@@ -1,0 +1,90 @@
+// Command graphbench runs the full Fig. 1 batch-kernel spectrum against a
+// generated workload graph and prints the taxonomy coverage matrix plus
+// per-kernel timings (experiment E1 in DESIGN.md).
+//
+// Usage:
+//
+//	graphbench [-scale N] [-ef N] [-seed N] [-coverage] [-kernel NAME]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graph500"
+)
+
+func main() {
+	scale := flag.Int("scale", 14, "R-MAT scale (2^scale vertices)")
+	ef := flag.Int("ef", 16, "edge factor")
+	seed := flag.Int64("seed", 42, "generator seed")
+	coverage := flag.Bool("coverage", false, "print the Fig. 1 coverage matrix and exit")
+	kernel := flag.String("kernel", "", "run a single kernel by taxonomy name")
+	g500 := flag.Bool("graph500", false, "run the Graph500-style BFS+SSSP harness and exit")
+	family := flag.String("gen", "rmat", "graph family: rmat, ba (preferential attachment), ws (small world), er")
+	flag.Parse()
+
+	if *coverage {
+		core.RenderCoverage(os.Stdout)
+		return
+	}
+	if *g500 {
+		spec := graph500.DefaultSpec(*scale)
+		spec.EdgeFactor = *ef
+		spec.Seed = *seed
+		bfs, err := graph500.RunBFS(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		bfs.Render(os.Stdout, "bfs")
+		fmt.Println()
+		sssp, err := graph500.RunSSSP(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sssp.Render(os.Stdout, "sssp")
+		return
+	}
+
+	fmt.Printf("generating %s scale=%d edgefactor=%d seed=%d ...\n", *family, *scale, *ef, *seed)
+	var g *graph.Graph
+	switch *family {
+	case "rmat":
+		g = gen.RMAT(*scale, *ef, gen.Graph500RMAT, *seed, false)
+	case "ba":
+		g = gen.BarabasiAlbert(1<<*scale, *ef/2+1, *seed)
+	case "ws":
+		g = gen.WattsStrogatz(1<<*scale, *ef, 0.1, *seed)
+	case "er":
+		g = gen.ErdosRenyi(1<<*scale, (1<<*scale)**ef/2, *seed, false)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -gen %q (rmat|ba|ws|er)\n", *family)
+		os.Exit(1)
+	}
+	st := graph.ComputeStats(g)
+	fmt.Printf("graph: %d vertices, %d arcs, degree mean %.1f max %d\n\n",
+		st.NumVertices, st.NumArcs, st.MeanDegree, st.MaxDegree)
+
+	if *kernel != "" {
+		res, err := core.Run(*kernel, g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-14s %12v  %s\n", res.Kernel, res.Elapsed, res.Summary)
+		return
+	}
+
+	tb := bench.NewTable("kernel", "time", "result")
+	for _, res := range core.RunAll(g) {
+		tb.Add(res.Kernel, res.Elapsed.String(), res.Summary)
+	}
+	tb.Render(os.Stdout)
+}

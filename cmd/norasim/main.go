@@ -1,0 +1,81 @@
+// Command norasim evaluates the analytical NORA performance model and
+// regenerates the paper's Fig. 3 (per-step resource profiles across machine
+// configurations) and Fig. 6 (size vs performance, including the Emu
+// generations) — experiments E3, E6 and E8 in DESIGN.md.
+//
+// Usage:
+//
+//	norasim -fig3          per-config ASCII bar profiles
+//	norasim -fig3table     compact step × config table
+//	norasim -fig6          racks vs speedup scatter (default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/nora"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	fig3 := flag.Bool("fig3", false, "render Fig. 3 bar profiles")
+	fig3table := flag.Bool("fig3table", false, "render Fig. 3 as a compact table")
+	fig6 := flag.Bool("fig6", false, "render Fig. 6 size-performance comparison")
+	sensitivity := flag.Bool("sensitivity", false, "render per-resource sensitivity sweeps")
+	calibrate := flag.Bool("calibrate", false, "run the real NORA pipeline and calibrate the model against it")
+	flag.Parse()
+
+	if !*fig3 && !*fig3table && !*fig6 && !*sensitivity && !*calibrate {
+		*fig6 = true
+		*fig3table = true
+	}
+	if *calibrate {
+		runCalibration()
+	}
+	if *sensitivity {
+		factors := []float64{0.5, 1, 2, 4, 8}
+		for _, cfg := range []perfmodel.Config{perfmodel.Base2012, perfmodel.AllButCPU, perfmodel.AllUpgrades} {
+			perfmodel.RenderSensitivity(os.Stdout, cfg, factors)
+			r, sp := perfmodel.MostValuableUpgrade(cfg)
+			fmt.Printf("most valuable doubling: %s (%.2fx)\n\n", r, sp)
+		}
+	}
+	if *fig3 {
+		perfmodel.RenderFig3(os.Stdout, perfmodel.Fig3Configs)
+	}
+	if *fig3table {
+		fmt.Println("== Fig. 3: NORA step times (bounding resource) across configurations ==")
+		perfmodel.RenderFig3Table(os.Stdout, perfmodel.Fig3Configs)
+		fmt.Println()
+	}
+	if *fig6 {
+		fmt.Println("== Fig. 6: size-performance comparison for the NORA problem ==")
+		perfmodel.RenderFig6(os.Stdout)
+	}
+}
+
+// runCalibration executes the measured NORA pipeline (the "reference
+// implementation, with explicit instrumentation" the paper proposes) and
+// compares its per-step time shares with the model's projections.
+func runCalibration() {
+	p := gen.DefaultNORAParams()
+	fmt.Printf("running real NORA boil (%d people, %d addresses)...\n", p.NumPeople, p.NumAddresses)
+	records := gen.GenerateNORARecords(p)
+	res := nora.Boil(records, p.NumAddresses, 2)
+	measured := make([]perfmodel.MeasuredStep, 0, len(res.Steps))
+	for _, st := range res.Steps {
+		measured = append(measured, perfmodel.MeasuredStep{Name: st.Name, Elapsed: st.Elapsed})
+	}
+	for _, cfg := range []perfmodel.Config{perfmodel.Base2012, perfmodel.AllUpgrades, perfmodel.Emu1} {
+		rep := perfmodel.Calibrate(cfg, measured)
+		rep.Render(os.Stdout)
+		fmt.Println()
+	}
+	derived := perfmodel.DeriveConfig("MeasuredGo", measured)
+	ev := perfmodel.EvaluateNORA(derived)
+	fmt.Printf("derived single-box config: effective %.3g Gops/s -> modeled total %.1fs\n",
+		derived.PerRack.Ops, ev.Total)
+}

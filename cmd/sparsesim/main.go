@@ -1,0 +1,77 @@
+// Command sparsesim reproduces the Section V.A experiments (E4): SpGEMM on
+// the simulated sparse linear-algebra accelerator (Fig. 4) versus modeled
+// conventional nodes (Cray XT4/XK7 class) and the real measured Go CPU
+// baseline, including node scaling and performance-per-watt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/lamachine"
+	"repro/internal/matrix"
+)
+
+func main() {
+	scale := flag.Int("scale", 13, "R-MAT scale for A (SpGEMM computes A*A)")
+	ef := flag.Int("ef", 8, "edge factor")
+	seed := flag.Int64("seed", 7, "generator seed")
+	flag.Parse()
+
+	g := gen.RMAT(*scale, *ef, gen.Graph500RMAT, *seed, true)
+	a := matrix.AdjacencyMatrix(g)
+	fmt.Printf("A: %dx%d, nnz=%d (R-MAT scale %d)\n\n", a.Rows, a.Cols, a.NNZ(), *scale)
+
+	// Real measured host baselines (algorithmic comparison).
+	start := time.Now()
+	cG := matrix.SpGEMMGustavson(matrix.PlusTimes, a, a)
+	tGust := time.Since(start)
+	start = time.Now()
+	cH := matrix.SpGEMMHeapMerge(matrix.PlusTimes, a, a)
+	tHeap := time.Since(start)
+	if !cG.Equal(cH, 1e-9) {
+		fmt.Fprintln(os.Stderr, "FATAL: SpGEMM algorithms disagree")
+		os.Exit(1)
+	}
+	fmt.Printf("host Go baseline: gustavson=%v heap-merge=%v  (C nnz=%d)\n\n", tGust, tHeap, cG.NNZ())
+
+	// Simulated accelerator nodes.
+	_, fpga := lamachine.SimulateNode(lamachine.FPGANode, a, a)
+	_, asic := lamachine.SimulateNode(lamachine.ASICNode, a, a)
+
+	// Modeled conventional nodes at the same useful work.
+	xt4s, xt4j := lamachine.XT4Node.EstimateCPU(fpga.Counts.MACs)
+	xk7s, xk7j := lamachine.XK7Node.EstimateCPU(fpga.Counts.MACs)
+
+	tb := bench.NewTable("node", "time(s)", "GFLOPS", "joules", "vs-XT4", "perf/W vs XT4")
+	add := func(name string, secs, joules, gflops float64) {
+		tb.Add(name, fmt.Sprintf("%.4g", secs), fmt.Sprintf("%.2f", gflops),
+			fmt.Sprintf("%.3g", joules),
+			fmt.Sprintf("%.1fx", xt4s/secs),
+			fmt.Sprintf("%.1fx", xt4j/joules))
+	}
+	add("cray-xt4(model)", xt4s, xt4j, 2*float64(fpga.Counts.MACs)/xt4s/1e9)
+	add("cray-xk7(model)", xk7s, xk7j, 2*float64(fpga.Counts.MACs)/xk7s/1e9)
+	add("accel-fpga(sim)", fpga.Seconds, fpga.Energy, fpga.GFLOPS)
+	add("accel-asic(sim)", asic.Seconds, asic.Energy, asic.GFLOPS)
+	tb.Render(os.Stdout)
+	fmt.Printf("\npipeline bound: fpga=%s asic=%s  (counts: %+v)\n", fpga.Bound, asic.Bound, fpga.Counts)
+
+	// 8-node prototype scaling (the paper's measured system was 8 nodes).
+	fmt.Println("\nnode scaling (FPGA config):")
+	st := bench.NewTable("nodes", "time(s)", "speedup", "GFLOPS")
+	base := 0.0
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		r := lamachine.SimulateSystem(lamachine.FPGANode, n, a, a)
+		if n == 1 {
+			base = r.Seconds
+		}
+		st.Add(n, fmt.Sprintf("%.4g", r.Seconds), fmt.Sprintf("%.2fx", base/r.Seconds),
+			fmt.Sprintf("%.2f", r.GFLOPS))
+	}
+	st.Render(os.Stdout)
+}

@@ -1,0 +1,13 @@
+// Package repro is a reproduction of P. M. Kogge, "Graph Analytics:
+// Complexity, Scalability, and Architectures" (IPDPS Workshops 2017): the
+// full Fig. 1 kernel taxonomy implemented as runnable batch and streaming
+// kernels, the Fig. 2 canonical batch+streaming processing flow, the NORA
+// application and its analytical performance model (Figs. 3 and 6), and
+// simulators of the two emerging architectures the paper studies — the
+// sparse linear-algebra accelerator (Fig. 4) and the Emu migrating-thread
+// machine (Fig. 5).
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. Benchmarks in bench_test.go
+// regenerate every table and figure; the cmd/ tools print them directly.
+package repro

@@ -1,0 +1,131 @@
+// Package bench provides the experiment-harness utilities the cmd/ tools
+// and bench_test.go share: latency statistics, rate formatting, and simple
+// aligned-table and CSV rendering for experiment output.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LatencyStats summarizes a sample of durations.
+type LatencyStats struct {
+	N                        int
+	Mean, P50, P90, P99, Max time.Duration
+}
+
+// Latencies computes summary statistics over samples (which it sorts).
+func Latencies(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	pick := func(q float64) time.Duration {
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+	return LatencyStats{
+		N:    len(samples),
+		Mean: sum / time.Duration(len(samples)),
+		P50:  pick(0.50), P90: pick(0.90), P99: pick(0.99),
+		Max: samples[len(samples)-1],
+	}
+}
+
+func (l LatencyStats) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		l.N, l.Mean, l.P50, l.P90, l.P99, l.Max)
+}
+
+// Rate formats an events-per-second figure with a unit prefix.
+func Rate(events int64, elapsed time.Duration) string {
+	if elapsed <= 0 {
+		return "inf"
+	}
+	r := float64(events) / elapsed.Seconds()
+	switch {
+	case r >= 1e9:
+		return fmt.Sprintf("%.2f G/s", r/1e9)
+	case r >= 1e6:
+		return fmt.Sprintf("%.2f M/s", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.2f K/s", r/1e3)
+	}
+	return fmt.Sprintf("%.1f /s", r)
+}
+
+// Table renders rows with aligned columns.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given headers.
+func NewTable(headers ...string) *Table { return &Table{Headers: headers} }
+
+// Add appends a row; values are stringified with %v.
+func (t *Table) Add(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// RenderCSV writes the table as CSV.
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Headers, ","))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

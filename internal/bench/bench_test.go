@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLatencies(t *testing.T) {
+	samples := []time.Duration{5, 1, 3, 2, 4} // will be sorted
+	st := Latencies(samples)
+	if st.N != 5 || st.P50 != 3 || st.Max != 5 || st.Mean != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if Latencies(nil).N != 0 {
+		t.Fatal("empty sample")
+	}
+	if st.String() == "" {
+		t.Fatal("empty string render")
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i + 1)
+	}
+	st := Latencies(samples)
+	if st.P99 != 99 && st.P99 != 100 {
+		t.Fatalf("p99 = %v", st.P99)
+	}
+	if st.P90 < 85 || st.P90 > 95 {
+		t.Fatalf("p90 = %v", st.P90)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(2000, time.Second); got != "2.00 K/s" {
+		t.Fatalf("rate = %q", got)
+	}
+	if got := Rate(3_000_000, time.Second); got != "3.00 M/s" {
+		t.Fatalf("rate = %q", got)
+	}
+	if got := Rate(5_000_000_000, time.Second); got != "5.00 G/s" {
+		t.Fatalf("rate = %q", got)
+	}
+	if got := Rate(5, time.Second); got != "5.0 /s" {
+		t.Fatalf("rate = %q", got)
+	}
+	if Rate(1, 0) != "inf" {
+		t.Fatal("zero elapsed")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Add("alpha", 1)
+	tb.Add("b", 2.5)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.5") {
+		t.Fatalf("table = %s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var csv bytes.Buffer
+	tb.RenderCSV(&csv)
+	if !strings.HasPrefix(csv.String(), "name,value\n") {
+		t.Fatalf("csv = %s", csv.String())
+	}
+}

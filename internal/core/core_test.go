@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestTaxonomyShape(t *testing.T) {
+	if len(Taxonomy) != 22 {
+		t.Fatalf("taxonomy rows = %d, want 22 (Fig. 1)", len(Taxonomy))
+	}
+	seen := make(map[string]bool)
+	for _, k := range Taxonomy {
+		if seen[k.Name] {
+			t.Fatalf("duplicate kernel %s", k.Name)
+		}
+		seen[k.Name] = true
+		if len(k.Classes) == 0 {
+			t.Fatalf("%s has no class", k.Name)
+		}
+		if len(k.Outputs) == 0 {
+			t.Fatalf("%s has no output class", k.Name)
+		}
+		if len(k.Usage) == 0 {
+			t.Fatalf("%s used by no suite", k.Name)
+		}
+		if k.Implementation == "" {
+			t.Fatalf("%s has no implementation pointer", k.Name)
+		}
+		for s := range k.Usage {
+			found := false
+			for _, known := range Suites {
+				if s == known {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s references unknown suite %s", k.Name, s)
+			}
+		}
+	}
+}
+
+func TestFig1SpotChecks(t *testing.T) {
+	// BFS is batch in Graph500 and GraphBLAS.
+	bfs, ok := KernelByName("BFS")
+	if !ok || bfs.Usage[Graph500] != Batch || bfs.Usage[GraphBLAS] != Batch {
+		t.Fatalf("BFS row wrong: %+v", bfs)
+	}
+	// Anomaly kernels are streaming-only standalone.
+	a, _ := KernelByName("Anomaly-FixedKey")
+	if a.Usage[Standalone] != Streaming {
+		t.Fatal("anomaly kernel should be streaming")
+	}
+	// TL is batch+streaming in Graph500 per the table.
+	tl, _ := KernelByName("TL")
+	if tl.Usage[Graph500] != BatchAndStreaming {
+		t.Fatal("TL usage wrong")
+	}
+	if _, ok := KernelByName("nonexistent"); ok {
+		t.Fatal("phantom kernel found")
+	}
+}
+
+func TestStreamingKernelsNonEmpty(t *testing.T) {
+	sk := StreamingKernels()
+	if len(sk) < 5 {
+		t.Fatalf("streaming kernels = %d", len(sk))
+	}
+	names := make(map[string]bool)
+	for _, k := range sk {
+		names[k.Name] = true
+	}
+	for _, want := range []string{"Anomaly-FixedKey", "Jaccard", "SSSP"} {
+		if !names[want] {
+			t.Fatalf("missing streaming kernel %s", want)
+		}
+	}
+}
+
+func TestSuiteKernels(t *testing.T) {
+	g5 := SuiteKernels(Graph500)
+	if len(g5) != 4 { // BC, BFS, SI, TL
+		t.Fatalf("Graph500 kernels = %d", len(g5))
+	}
+	if len(SuiteKernels(VAST)) != 0 {
+		t.Fatal("VAST uses composed problems, not single kernels, in our table")
+	}
+}
+
+func TestRenderCoverage(t *testing.T) {
+	var buf bytes.Buffer
+	RenderCoverage(&buf)
+	out := buf.String()
+	for _, want := range []string{"BFS", "Jaccard", "B/S", "connectedness"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("coverage missing %q", want)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != len(Taxonomy)+1 {
+		t.Fatal("coverage row count wrong")
+	}
+}
+
+func TestRunAllKernels(t *testing.T) {
+	g := gen.RMAT(9, 8, gen.Graph500RMAT, 7, false)
+	results := RunAll(g)
+	if len(results) != len(RunnableKernels()) {
+		t.Fatalf("ran %d of %d", len(results), len(RunnableKernels()))
+	}
+	for _, r := range results {
+		if r.Summary == "" {
+			t.Fatalf("%s produced no summary", r.Kernel)
+		}
+	}
+}
+
+func TestRunUnknownKernel(t *testing.T) {
+	g := gen.Ring(4)
+	if _, err := Run("InsertDelete", g); err == nil {
+		t.Fatal("InsertDelete is streaming-only; want error")
+	}
+	res, err := Run("BFS", g)
+	if err != nil || !strings.Contains(res.Summary, "visited=4") {
+		t.Fatalf("BFS run = %+v, %v", res, err)
+	}
+}
+
+func TestRunnableKernelsAreInTaxonomy(t *testing.T) {
+	for _, name := range RunnableKernels() {
+		if _, ok := KernelByName(name); !ok {
+			t.Fatalf("runner %s not in taxonomy", name)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package dedup implements the record-deduplication stage of the paper's
+// canonical flow (Fig. 2): "large batch processing dedup processes that
+// clean up multiple data sets by checking spelling, removing duplicates
+// (post-process deduping), identifying faulty or missing values". Both
+// forms from the paper are provided:
+//
+//   - Batch (post-process) dedup: blocking by cheap keys, pairwise fuzzy
+//     matching within blocks, and union-find clustering of matched records
+//     into entities.
+//   - In-line (streaming) dedup: records arrive one at a time and are
+//     resolved against the already-built entity index immediately.
+package dedup
+
+import (
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/kernels"
+)
+
+// Entity is one resolved person: the cluster of record IDs judged to be the
+// same underlying individual, with its canonical attributes.
+type Entity struct {
+	ID        int32
+	Records   []int32
+	FirstName string
+	LastName  string
+	SSNLast4  string
+	Addresses []int32
+}
+
+// Result is the output of deduplication.
+type Result struct {
+	Entities []Entity
+	// EntityOf maps record index -> entity ID.
+	EntityOf []int32
+	// Comparisons actually evaluated (for benchmarking blocking quality).
+	Comparisons int64
+}
+
+// matchKey is the blocking key: records sharing it are candidate
+// duplicates. Soundex-like compression of the last name plus SSN last-4
+// keeps blocks small while tolerating first-name typos.
+func matchKey(r gen.PersonRecord) string {
+	return compressName(r.LastName) + "|" + r.SSNLast4
+}
+
+// compressName is a tiny soundex-flavored normalizer: uppercase first
+// letter, then consonant classes with vowels and repeats dropped.
+func compressName(s string) string {
+	if s == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte(s[0] &^ 0x20)
+	last := byte(0)
+	for i := 1; i < len(s) && b.Len() < 4; i++ {
+		c := classOf(s[i])
+		if c != 0 && c != last {
+			b.WriteByte(c)
+		}
+		last = c
+	}
+	return b.String()
+}
+
+func classOf(c byte) byte {
+	switch c {
+	case 'b', 'f', 'p', 'v':
+		return '1'
+	case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+		return '2'
+	case 'd', 't':
+		return '3'
+	case 'l':
+		return '4'
+	case 'm', 'n':
+		return '5'
+	case 'r':
+		return '6'
+	}
+	return 0
+}
+
+// similar reports whether two records likely describe the same person:
+// same blocking key by construction, plus first names within edit distance
+// 2 (tolerating the generator's single-character typos and then some).
+func similar(a, b gen.PersonRecord) bool {
+	if a.SSNLast4 != b.SSNLast4 || a.LastName != b.LastName {
+		return false
+	}
+	return editDistanceAtMost(a.FirstName, b.FirstName, 2)
+}
+
+// editDistanceAtMost reports whether Levenshtein(a,b) <= k using the
+// banded dynamic program (O(k·min(len)) time).
+func editDistanceAtMost(a, b string, k int) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b)-len(a) > k {
+		return false
+	}
+	prev := make([]int, len(a)+1)
+	cur := make([]int, len(a)+1)
+	for i := range prev {
+		prev[i] = i
+	}
+	for j := 1; j <= len(b); j++ {
+		cur[0] = j
+		rowMin := cur[0]
+		for i := 1; i <= len(a); i++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[i-1] + cost
+			if v := prev[i] + 1; v < m {
+				m = v
+			}
+			if v := cur[i-1] + 1; v < m {
+				m = v
+			}
+			cur[i] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > k {
+			return false
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(a)] <= k
+}
+
+// Batch performs post-process deduplication over the full record set.
+func Batch(records []gen.PersonRecord) *Result {
+	// Blocking.
+	blocks := make(map[string][]int32)
+	for i, r := range records {
+		k := matchKey(r)
+		blocks[k] = append(blocks[k], int32(i))
+	}
+	uf := kernels.NewUnionFind(int32(len(records)))
+	var comparisons int64
+	for _, block := range blocks {
+		for i := 0; i < len(block); i++ {
+			for j := i + 1; j < len(block); j++ {
+				comparisons++
+				if similar(records[block[i]], records[block[j]]) {
+					uf.Union(block[i], block[j])
+				}
+			}
+		}
+	}
+	return buildResult(records, uf, comparisons)
+}
+
+func buildResult(records []gen.PersonRecord, uf *kernels.UnionFind, comparisons int64) *Result {
+	res := &Result{EntityOf: make([]int32, len(records)), Comparisons: comparisons}
+	entityID := make(map[int32]int32)
+	for i := range records {
+		root := uf.Find(int32(i))
+		id, ok := entityID[root]
+		if !ok {
+			id = int32(len(res.Entities))
+			entityID[root] = id
+			r := records[i]
+			res.Entities = append(res.Entities, Entity{
+				ID: id, FirstName: r.FirstName, LastName: r.LastName, SSNLast4: r.SSNLast4,
+			})
+		}
+		res.EntityOf[i] = id
+		e := &res.Entities[id]
+		e.Records = append(e.Records, int32(i))
+		addr := records[i].AddressID
+		found := false
+		for _, a := range e.Addresses {
+			if a == addr {
+				found = true
+				break
+			}
+		}
+		if !found {
+			e.Addresses = append(e.Addresses, addr)
+		}
+	}
+	return res
+}
+
+// Quality scores a dedup result against generator ground truth with
+// pairwise precision/recall over same-entity record pairs.
+type Quality struct {
+	PairPrecision float64
+	PairRecall    float64
+	NumEntities   int
+	TruePeople    int
+}
+
+// Evaluate computes dedup quality against the TruePerso ground truth.
+func Evaluate(records []gen.PersonRecord, res *Result) Quality {
+	// Count pairs via per-cluster tallies rather than O(n^2).
+	byEntity := make(map[int32]map[int32]int) // entity -> truePerson -> count
+	byTruth := make(map[int32]int)
+	for i, r := range records {
+		e := res.EntityOf[i]
+		if byEntity[e] == nil {
+			byEntity[e] = make(map[int32]int)
+		}
+		byEntity[e][r.TruePerso]++
+		byTruth[r.TruePerso]++
+	}
+	var tp, clusterPairs, truthPairs int64
+	for _, truthCounts := range byEntity {
+		total := 0
+		for _, c := range truthCounts {
+			tp += int64(c) * int64(c-1) / 2
+			total += c
+		}
+		clusterPairs += int64(total) * int64(total-1) / 2
+	}
+	for _, c := range byTruth {
+		truthPairs += int64(c) * int64(c-1) / 2
+	}
+	q := Quality{NumEntities: len(res.Entities), TruePeople: len(byTruth)}
+	if clusterPairs > 0 {
+		q.PairPrecision = float64(tp) / float64(clusterPairs)
+	} else {
+		q.PairPrecision = 1
+	}
+	if truthPairs > 0 {
+		q.PairRecall = float64(tp) / float64(truthPairs)
+	} else {
+		q.PairRecall = 1
+	}
+	return q
+}
+
+// Inline is the streaming (in-line) deduper: each arriving record is
+// resolved against existing entities immediately via the same blocking key.
+type Inline struct {
+	records  []gen.PersonRecord
+	byKey    map[string][]int32 // blocking key -> entity IDs
+	entities []Entity
+	// Resolved[i] is the entity ID assigned to the i-th ingested record.
+	Resolved    []int32
+	Comparisons int64
+}
+
+// NewInline creates an empty streaming deduper.
+func NewInline() *Inline {
+	return &Inline{byKey: make(map[string][]int32)}
+}
+
+// Ingest resolves one record, either attaching it to an existing entity or
+// minting a new one, and returns the entity ID plus whether it was new.
+func (d *Inline) Ingest(r gen.PersonRecord) (int32, bool) {
+	idx := int32(len(d.records))
+	d.records = append(d.records, r)
+	key := matchKey(r)
+	for _, eid := range d.byKey[key] {
+		e := &d.entities[eid]
+		d.Comparisons++
+		probe := gen.PersonRecord{FirstName: e.FirstName, LastName: e.LastName, SSNLast4: e.SSNLast4}
+		if similar(probe, r) {
+			e.Records = append(e.Records, idx)
+			addAddress(e, r.AddressID)
+			d.Resolved = append(d.Resolved, eid)
+			return eid, false
+		}
+	}
+	eid := int32(len(d.entities))
+	d.entities = append(d.entities, Entity{
+		ID: eid, Records: []int32{idx},
+		FirstName: r.FirstName, LastName: r.LastName, SSNLast4: r.SSNLast4,
+		Addresses: []int32{r.AddressID},
+	})
+	d.byKey[key] = append(d.byKey[key], eid)
+	d.Resolved = append(d.Resolved, eid)
+	return eid, true
+}
+
+func addAddress(e *Entity, addr int32) {
+	for _, a := range e.Addresses {
+		if a == addr {
+			return
+		}
+	}
+	e.Addresses = append(e.Addresses, addr)
+}
+
+// Entities returns the current entity set.
+func (d *Inline) Entities() []Entity { return d.entities }
+
+// Result converts the inline state into a batch-style Result.
+func (d *Inline) Result() *Result {
+	res := &Result{
+		Entities: d.entities, EntityOf: d.Resolved, Comparisons: d.Comparisons,
+	}
+	return res
+}

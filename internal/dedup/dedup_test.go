@@ -1,0 +1,178 @@
+package dedup
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+func TestEditDistanceAtMost(t *testing.T) {
+	cases := []struct {
+		a, b string
+		k    int
+		want bool
+	}{
+		{"kitten", "sitting", 3, true},
+		{"kitten", "sitting", 2, false},
+		{"", "", 0, true},
+		{"a", "", 1, true},
+		{"abc", "abc", 0, true},
+		{"abc", "acb", 2, true}, // plain Levenshtein: a transpose costs 2
+		{"abc", "acb", 1, false},
+		{"james", "jmaes", 2, true},
+		{"abcdef", "xyzuvw", 3, false},
+	}
+	for _, c := range cases {
+		if got := editDistanceAtMost(c.a, c.b, c.k); got != c.want {
+			t.Fatalf("editDistanceAtMost(%q,%q,%d) = %v", c.a, c.b, c.k, got)
+		}
+	}
+}
+
+func TestEditDistanceSymmetric(t *testing.T) {
+	f := func(a, b string, k uint8) bool {
+		kk := int(k % 4)
+		if len(a) > 12 {
+			a = a[:12]
+		}
+		if len(b) > 12 {
+			b = b[:12]
+		}
+		return editDistanceAtMost(a, b, kk) == editDistanceAtMost(b, a, kk)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressName(t *testing.T) {
+	if compressName("smith") != compressName("smyth") {
+		t.Fatal("soundex-like key should merge smith/smyth")
+	}
+	if compressName("") != "" {
+		t.Fatal("empty name")
+	}
+	if compressName("smith") == compressName("jones") {
+		t.Fatal("distinct names collided")
+	}
+}
+
+func TestBatchDedupRecall(t *testing.T) {
+	p := gen.DefaultNORAParams()
+	p.NumPeople = 2000
+	p.NumAddresses = 800
+	recs := gen.GenerateNORARecords(p)
+	res := Batch(recs)
+	q := Evaluate(recs, res)
+	if q.PairRecall < 0.85 {
+		t.Fatalf("pair recall = %.3f", q.PairRecall)
+	}
+	if q.PairPrecision < 0.8 {
+		t.Fatalf("pair precision = %.3f", q.PairPrecision)
+	}
+	// Dedup must reduce record count toward the true person count.
+	if q.NumEntities >= len(recs) {
+		t.Fatal("no merging happened")
+	}
+	if res.Comparisons <= 0 {
+		t.Fatal("no comparisons recorded")
+	}
+	// Blocking keeps comparisons far below the quadratic bound.
+	quad := int64(len(recs)) * int64(len(recs)-1) / 2
+	if res.Comparisons*20 > quad {
+		t.Fatalf("blocking ineffective: %d comparisons of %d pairs", res.Comparisons, quad)
+	}
+}
+
+func TestBatchDedupEntityStructure(t *testing.T) {
+	p := gen.DefaultNORAParams()
+	p.NumPeople = 300
+	p.NumAddresses = 100
+	recs := gen.GenerateNORARecords(p)
+	res := Batch(recs)
+	// Every record maps to a valid entity; entities own their records.
+	for i := range recs {
+		e := res.EntityOf[i]
+		if e < 0 || int(e) >= len(res.Entities) {
+			t.Fatalf("record %d -> bad entity %d", i, e)
+		}
+		found := false
+		for _, r := range res.Entities[e].Records {
+			if r == int32(i) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("entity %d missing record %d", e, i)
+		}
+	}
+	// Addresses are deduplicated per entity.
+	for _, e := range res.Entities {
+		seen := make(map[int32]bool)
+		for _, a := range e.Addresses {
+			if seen[a] {
+				t.Fatal("duplicate address in entity")
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestInlineDedupMatchesRecords(t *testing.T) {
+	p := gen.DefaultNORAParams()
+	p.NumPeople = 500
+	p.NumAddresses = 200
+	p.TypoRate = 0 // exact duplicates only: inline should merge all
+	recs := gen.GenerateNORARecords(p)
+	inline := NewInline()
+	for _, r := range recs {
+		inline.Ingest(r)
+	}
+	res := inline.Result()
+	q := Evaluate(recs, res)
+	if q.PairRecall < 0.95 {
+		t.Fatalf("inline recall (no typos) = %.3f", q.PairRecall)
+	}
+	if len(res.EntityOf) != len(recs) {
+		t.Fatal("resolved count mismatch")
+	}
+}
+
+func TestInlineNewVsExisting(t *testing.T) {
+	inline := NewInline()
+	r1 := gen.PersonRecord{FirstName: "alice", LastName: "smith", SSNLast4: "1234", AddressID: 5}
+	id1, isNew1 := inline.Ingest(r1)
+	if !isNew1 {
+		t.Fatal("first record should be new")
+	}
+	r2 := r1
+	r2.AddressID = 9
+	id2, isNew2 := inline.Ingest(r2)
+	if isNew2 || id2 != id1 {
+		t.Fatal("duplicate should attach to existing entity")
+	}
+	ents := inline.Entities()
+	if len(ents) != 1 || len(ents[0].Addresses) != 2 {
+		t.Fatalf("entity = %+v", ents)
+	}
+	r3 := gen.PersonRecord{FirstName: "bob", LastName: "jones", SSNLast4: "9999", AddressID: 1}
+	if _, isNew3 := inline.Ingest(r3); !isNew3 {
+		t.Fatal("distinct person merged")
+	}
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	recs := []gen.PersonRecord{
+		{RecordID: 0, TruePerso: 0}, {RecordID: 1, TruePerso: 0}, {RecordID: 2, TruePerso: 1},
+	}
+	res := &Result{
+		Entities: []Entity{{ID: 0, Records: []int32{0, 1}}, {ID: 1, Records: []int32{2}}},
+		EntityOf: []int32{0, 0, 1},
+	}
+	q := Evaluate(recs, res)
+	if q.PairPrecision != 1 || q.PairRecall != 1 {
+		t.Fatalf("perfect clustering scored %.2f/%.2f", q.PairPrecision, q.PairRecall)
+	}
+}

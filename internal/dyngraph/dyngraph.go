@@ -1,0 +1,302 @@
+// Package dyngraph provides the mutable graph substrate for streaming
+// analytics: a STINGER-inspired blocked adjacency store supporting edge
+// insertion, deletion, timestamps, and O(degree) neighbor iteration, plus
+// snapshotting into the immutable CSR form for batch kernels.
+//
+// The paper's streaming path (Fig. 2, left side) performs "incremental
+// targeted graph updates" against the persistent graph; this package is that
+// persistent, update-in-place representation.
+package dyngraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// DefaultBlockSize is the edges-per-block default, matching STINGER's
+// cache-line-sized blocks in spirit.
+const DefaultBlockSize = 16
+
+type edgeSlot struct {
+	dst    int32
+	weight float32
+	time   int64
+}
+
+// block is a fixed-capacity chunk of a vertex's adjacency list. Blocks form
+// a singly linked list per vertex. Deleted slots are compacted immediately
+// within their block (swap-with-last), so iteration never sees tombstones.
+type block struct {
+	slots []edgeSlot
+	next  *block
+}
+
+// DynGraph is a mutable directed or undirected multigraph-free graph.
+// Undirected graphs store each edge in both endpoints' lists. Not safe for
+// concurrent mutation; the streaming engine serializes updates, matching the
+// single-writer model of STINGER's update batches.
+type DynGraph struct {
+	adj       []*block
+	degree    []int32
+	directed  bool
+	blockSize int
+	numArcs   int64
+	updates   int64 // total applied insert+delete operations
+}
+
+// New creates an empty dynamic graph with n vertices.
+func New(n int32, directed bool) *DynGraph {
+	return NewWithBlockSize(n, directed, DefaultBlockSize)
+}
+
+// NewWithBlockSize creates a dynamic graph with an explicit block size
+// (exposed for the block-size ablation benchmark).
+func NewWithBlockSize(n int32, directed bool, blockSize int) *DynGraph {
+	if blockSize < 1 {
+		blockSize = DefaultBlockSize
+	}
+	return &DynGraph{
+		adj:       make([]*block, n),
+		degree:    make([]int32, n),
+		directed:  directed,
+		blockSize: blockSize,
+	}
+}
+
+// NumVertices returns the vertex count.
+func (g *DynGraph) NumVertices() int32 { return int32(len(g.adj)) }
+
+// NumArcs returns stored directed arcs (undirected edges count twice).
+func (g *DynGraph) NumArcs() int64 { return g.numArcs }
+
+// NumEdges returns logical edges.
+func (g *DynGraph) NumEdges() int64 {
+	if g.directed {
+		return g.numArcs
+	}
+	return g.numArcs / 2
+}
+
+// Directed reports the directedness.
+func (g *DynGraph) Directed() bool { return g.directed }
+
+// UpdateCount returns the number of applied updates (inserts + deletes).
+func (g *DynGraph) UpdateCount() int64 { return g.updates }
+
+// Degree returns the current out-degree of v.
+func (g *DynGraph) Degree(v int32) int32 { return g.degree[v] }
+
+// HasEdge reports whether arc v->w currently exists.
+func (g *DynGraph) HasEdge(v, w int32) bool {
+	for b := g.adj[v]; b != nil; b = b.next {
+		for _, s := range b.slots {
+			if s.dst == w {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// InsertEdge adds edge (v,w) with the given weight and timestamp. If the
+// edge already exists its weight and timestamp are updated instead (the
+// paper's "checking if it is already in the graph and then either adding the
+// edge or updating some properties"). Returns true when a new edge was
+// created.
+func (g *DynGraph) InsertEdge(v, w int32, weight float32, time int64) bool {
+	g.updates++
+	created := g.insertArc(v, w, weight, time)
+	if !g.directed && v != w {
+		g.insertArc(w, v, weight, time)
+	}
+	return created
+}
+
+func (g *DynGraph) insertArc(v, w int32, weight float32, time int64) bool {
+	var last *block
+	for b := g.adj[v]; b != nil; b = b.next {
+		for i := range b.slots {
+			if b.slots[i].dst == w {
+				b.slots[i].weight = weight
+				b.slots[i].time = time
+				return false
+			}
+		}
+		last = b
+	}
+	slot := edgeSlot{dst: w, weight: weight, time: time}
+	if last != nil && len(last.slots) < g.blockSize {
+		last.slots = append(last.slots, slot)
+	} else {
+		nb := &block{slots: make([]edgeSlot, 1, g.blockSize)}
+		nb.slots[0] = slot
+		if last == nil {
+			g.adj[v] = nb
+		} else {
+			last.next = nb
+		}
+	}
+	g.degree[v]++
+	g.numArcs++
+	return true
+}
+
+// DeleteEdge removes edge (v,w); returns true if it existed.
+func (g *DynGraph) DeleteEdge(v, w int32) bool {
+	g.updates++
+	ok := g.deleteArc(v, w)
+	if !g.directed && v != w {
+		g.deleteArc(w, v)
+	}
+	return ok
+}
+
+func (g *DynGraph) deleteArc(v, w int32) bool {
+	for b := g.adj[v]; b != nil; b = b.next {
+		for i := range b.slots {
+			if b.slots[i].dst == w {
+				b.slots[i] = b.slots[len(b.slots)-1]
+				b.slots = b.slots[:len(b.slots)-1]
+				g.degree[v]--
+				g.numArcs--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ForEachNeighbor calls fn for every out-neighbor of v with its weight and
+// timestamp. Iteration order is storage order, not sorted.
+func (g *DynGraph) ForEachNeighbor(v int32, fn func(w int32, weight float32, time int64)) {
+	for b := g.adj[v]; b != nil; b = b.next {
+		for _, s := range b.slots {
+			fn(s.dst, s.weight, s.time)
+		}
+	}
+}
+
+// Neighbors returns a freshly allocated sorted slice of v's out-neighbors.
+func (g *DynGraph) Neighbors(v int32) []int32 {
+	out := make([]int32, 0, g.degree[v])
+	g.ForEachNeighbor(v, func(w int32, _ float32, _ int64) { out = append(out, w) })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CommonNeighborCount counts vertices adjacent to both u and v — the inner
+// loop of incremental triangle counting and streaming Jaccard. Cost is
+// O(min-degree) expected via a hash probe of the smaller list.
+func (g *DynGraph) CommonNeighborCount(u, v int32) int32 {
+	if g.degree[u] > g.degree[v] {
+		u, v = v, u
+	}
+	if g.degree[u] == 0 {
+		return 0
+	}
+	small := make(map[int32]struct{}, g.degree[u])
+	g.ForEachNeighbor(u, func(w int32, _ float32, _ int64) { small[w] = struct{}{} })
+	var count int32
+	g.ForEachNeighbor(v, func(w int32, _ float32, _ int64) {
+		if _, ok := small[w]; ok {
+			count++
+		}
+	})
+	return count
+}
+
+// Snapshot freezes the current state as an immutable CSR graph, the bridge
+// from the streaming side of Fig. 2 to batch analytics on extracted
+// subgraphs.
+func (g *DynGraph) Snapshot() *graph.Graph {
+	b := graph.NewBuilder(g.NumVertices()).Weighted().Timestamped()
+	// Arcs are copied verbatim (both directions already present when
+	// undirected), so keep the builder directed and fix the flag after.
+	for v := int32(0); v < g.NumVertices(); v++ {
+		g.ForEachNeighbor(v, func(w int32, weight float32, t int64) {
+			b.AddEdge(graph.Edge{Src: v, Dst: w, Weight: weight, Time: t})
+		})
+	}
+	snap := b.Build()
+	if !g.directed {
+		snap = forceUndirected(snap)
+	}
+	return snap
+}
+
+// forceUndirected rebuilds the graph marking it undirected without doubling
+// arcs (they are already symmetric).
+func forceUndirected(g *graph.Graph) *graph.Graph {
+	// Round-trip through an edge list keeping only v<=w arcs.
+	b := graph.NewBuilder(g.NumVertices()).Undirected().Weighted().Timestamped()
+	for v := int32(0); v < g.NumVertices(); v++ {
+		ns := g.Neighbors(v)
+		ws := g.NeighborWeights(v)
+		ts := g.NeighborTimes(v)
+		for i, w := range ns {
+			if w < v {
+				continue
+			}
+			b.AddEdge(graph.Edge{Src: v, Dst: w, Weight: ws[i], Time: ts[i]})
+		}
+	}
+	return b.Build()
+}
+
+// FromGraph loads an immutable graph into a fresh dynamic graph.
+func FromGraph(src *graph.Graph) *DynGraph {
+	g := New(src.NumVertices(), src.Directed())
+	for v := int32(0); v < src.NumVertices(); v++ {
+		ns := src.Neighbors(v)
+		ws := src.NeighborWeights(v)
+		ts := src.NeighborTimes(v)
+		for i, w := range ns {
+			if !src.Directed() && w < v {
+				continue
+			}
+			weight := float32(1)
+			if ws != nil {
+				weight = ws[i]
+			}
+			var t int64
+			if ts != nil {
+				t = ts[i]
+			}
+			g.InsertEdge(v, w, weight, t)
+		}
+	}
+	g.updates = 0
+	return g
+}
+
+// Validate checks internal consistency: degree counters match slot counts,
+// undirected symmetry holds, and no duplicate arcs exist.
+func (g *DynGraph) Validate() error {
+	var arcs int64
+	for v := int32(0); v < g.NumVertices(); v++ {
+		seen := make(map[int32]bool)
+		count := int32(0)
+		for b := g.adj[v]; b != nil; b = b.next {
+			for _, s := range b.slots {
+				if seen[s.dst] {
+					return fmt.Errorf("dyngraph: duplicate arc %d->%d", v, s.dst)
+				}
+				seen[s.dst] = true
+				count++
+				if !g.directed && !g.HasEdge(s.dst, v) {
+					return fmt.Errorf("dyngraph: asymmetric arc %d->%d", v, s.dst)
+				}
+			}
+		}
+		if count != g.degree[v] {
+			return fmt.Errorf("dyngraph: vertex %d degree %d != stored %d", v, count, g.degree[v])
+		}
+		arcs += int64(count)
+	}
+	if arcs != g.numArcs {
+		return fmt.Errorf("dyngraph: arc count %d != stored %d", arcs, g.numArcs)
+	}
+	return nil
+}

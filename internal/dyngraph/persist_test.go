@@ -1,0 +1,105 @@
+package dyngraph
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := gen.RMAT(8, 8, gen.Graph500RMAT, 9, false)
+	g := FromGraph(src)
+	g.InsertEdge(0, 1, 2.5, 77) // ensure a nontrivial payload survives
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape: %d/%d vs %d/%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	if g2.Directed() != g.Directed() {
+		t.Fatal("directedness lost")
+	}
+	// Full payload comparison.
+	for v := int32(0); v < g.NumVertices(); v++ {
+		type payload struct {
+			w float32
+			t int64
+		}
+		want := make(map[int32]payload)
+		g.ForEachNeighbor(v, func(dst int32, w float32, tm int64) {
+			want[dst] = payload{w, tm}
+		})
+		count := 0
+		g2.ForEachNeighbor(v, func(dst int32, w float32, tm int64) {
+			count++
+			p, ok := want[dst]
+			if !ok || p.w != w || p.t != tm {
+				t.Fatalf("vertex %d arc %d payload mismatch", v, dst)
+			}
+		})
+		if count != len(want) {
+			t.Fatalf("vertex %d arc count mismatch", v)
+		}
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadDirected(t *testing.T) {
+	g := New(4, true)
+	g.InsertEdge(0, 1, 1, 1)
+	g.InsertEdge(3, 0, 2, 2)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.HasEdge(0, 1) || g2.HasEdge(1, 0) {
+		t.Fatal("directed arcs wrong after reload")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a graph")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(bytes.NewBuffer(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated stream: valid header claiming more edges than present.
+	g := New(3, false)
+	g.InsertEdge(0, 1, 1, 0)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := Load(bytes.NewBuffer(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestLoadRejectsWrongVersionAndRange(t *testing.T) {
+	g := New(3, false)
+	g.InsertEdge(0, 1, 1, 0)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version byte
+	if _, err := Load(bytes.NewBuffer(data)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}

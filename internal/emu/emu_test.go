@@ -1,0 +1,410 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func smallMachine(model ...int) *Machine {
+	cfg := Emu1Config()
+	cfg.Nodes = 2
+	cfg.Nodelets = 4
+	return NewMachine(cfg, 1<<14)
+}
+
+func TestAddressMapping(t *testing.T) {
+	m := smallMachine()
+	if m.TotalNodelets() != 8 {
+		t.Fatalf("nodelets = %d", m.TotalNodelets())
+	}
+	// Consecutive blocks land on consecutive nodelets.
+	w := int64(m.Config().WordsPerNodeletBlock)
+	if m.NodeletOf(0) == m.NodeletOf(w) {
+		t.Fatal("block interleave broken")
+	}
+	if m.NodeletOf(0) != m.NodeletOf(w-1) {
+		t.Fatal("same block split across nodelets")
+	}
+	if m.NodeletOf(8*w) != m.NodeletOf(0) {
+		t.Fatal("interleave does not wrap")
+	}
+}
+
+func TestLocalVsRemoteAccess(t *testing.T) {
+	m := smallMachine()
+	th := m.NewThread(Migrating, m.NodeletOf(0))
+	m.MemWrite(0, 42)
+	if th.Read(0) != 42 {
+		t.Fatal("read wrong value")
+	}
+	if m.Migrations != 0 {
+		t.Fatal("local access migrated")
+	}
+	localClock := th.ClockNs
+	// Remote access migrates the thread.
+	remoteAddr := int64(m.Config().WordsPerNodeletBlock) // next nodelet
+	th.Write(remoteAddr, 7)
+	if m.Migrations != 1 {
+		t.Fatalf("migrations = %d", m.Migrations)
+	}
+	if th.Nodelet != m.NodeletOf(remoteAddr) {
+		t.Fatal("thread did not move")
+	}
+	if th.ClockNs <= localClock {
+		t.Fatal("migration cost not charged")
+	}
+	// Now that it moved, the same address is local.
+	mig := m.Migrations
+	if th.Read(remoteAddr) != 7 {
+		t.Fatal("readback wrong")
+	}
+	if m.Migrations != mig {
+		t.Fatal("second access should be local")
+	}
+}
+
+func TestConventionalDoesNotMove(t *testing.T) {
+	m := smallMachine()
+	th := m.NewThread(Conventional, 0)
+	remoteAddr := int64(m.Config().WordsPerNodeletBlock * 3)
+	th.Write(remoteAddr, 1)
+	th.Read(remoteAddr)
+	if th.Nodelet != 0 {
+		t.Fatal("conventional thread moved")
+	}
+	if m.RemoteReads != 1 || m.RemoteWrites != 1 {
+		t.Fatalf("remote counters = %d/%d", m.RemoteReads, m.RemoteWrites)
+	}
+	if m.Migrations != 0 {
+		t.Fatal("conventional model migrated")
+	}
+}
+
+func TestAtomicAdd(t *testing.T) {
+	m := smallMachine()
+	th := m.NewThread(Migrating, 0)
+	addr := int64(5)
+	if old := th.AtomicAdd(addr, 3); old != 0 {
+		t.Fatalf("old = %d", old)
+	}
+	if old := th.AtomicAdd(addr, 2); old != 3 {
+		t.Fatalf("old = %d", old)
+	}
+	if m.MemRead(addr) != 5 {
+		t.Fatal("atomic result wrong")
+	}
+}
+
+func TestRemoteAddOneWay(t *testing.T) {
+	m := smallMachine()
+	th := m.NewThread(Migrating, 0)
+	remoteAddr := int64(m.Config().WordsPerNodeletBlock * 5)
+	before := th.ClockNs
+	th.RemoteAdd(remoteAddr, 9)
+	if m.MemRead(remoteAddr) != 9 {
+		t.Fatal("remote add lost")
+	}
+	if th.Nodelet != 0 {
+		t.Fatal("remote op moved the thread")
+	}
+	if m.RemoteOps != 1 {
+		t.Fatalf("remote ops = %d", m.RemoteOps)
+	}
+	// Issue cost only — far below a round trip.
+	if th.ClockNs-before > m.Config().IntraNodeHopNs {
+		t.Fatal("remote op charged like a round trip")
+	}
+	// Conventional model degrades to round-trip atomic.
+	m2 := smallMachine()
+	th2 := m2.NewThread(Conventional, 0)
+	th2.RemoteAdd(remoteAddr, 1)
+	if m2.RemoteOps != 0 || m2.RemoteWrites != 1 {
+		t.Fatal("conventional remote add should be a round trip")
+	}
+}
+
+func TestSpawn(t *testing.T) {
+	m := smallMachine()
+	th := m.NewThread(Migrating, 0)
+	remoteAddr := int64(m.Config().WordsPerNodeletBlock * 6)
+	child := th.Spawn(remoteAddr)
+	if child.Nodelet != m.NodeletOf(remoteAddr) {
+		t.Fatal("child not spawned at target")
+	}
+	if m.Spawns != 1 {
+		t.Fatalf("spawns = %d", m.Spawns)
+	}
+	if child.ClockNs < th.ClockNs {
+		t.Fatal("child clock precedes parent")
+	}
+	// Conventional spawn stays local.
+	th2 := m.NewThread(Conventional, 2)
+	c2 := th2.Spawn(remoteAddr)
+	if c2.Nodelet != 2 {
+		t.Fatal("conventional child should stay at parent nodelet")
+	}
+}
+
+func TestMigrationTrafficBeatsRoundTrips(t *testing.T) {
+	// The paper's central claim: pointer-chasing via migration consumes
+	// "half or less the bandwidth" of remote round trips, and lower latency.
+	mMig := NewMachine(Emu1Config(), 1<<20)
+	mConv := NewMachine(Emu1Config(), 1<<20)
+	st1 := PointerChase(mMig, Migrating, 64, 256, 42)
+	st2 := PointerChase(mConv, Conventional, 64, 256, 42)
+	if st1.TrafficBytes*2 > st2.TrafficBytes {
+		t.Fatalf("migration traffic %d not <= half of conventional %d",
+			st1.TrafficBytes, st2.TrafficBytes)
+	}
+	if st1.MakespanNs >= st2.MakespanNs {
+		t.Fatalf("migration makespan %v >= conventional %v", st1.MakespanNs, st2.MakespanNs)
+	}
+	if st1.Migrations == 0 || st2.RemoteRefs == 0 {
+		t.Fatalf("models not exercised: %+v %+v", st1, st2)
+	}
+}
+
+func TestPointerChaseCorrectness(t *testing.T) {
+	// After walking, every list element's counter word must be 1.
+	m := NewMachine(Emu1Config(), 1<<16)
+	st := PointerChase(m, Migrating, 8, 32, 7)
+	if st.Ops != int64(8*32*2) {
+		t.Fatalf("ops = %d", st.Ops)
+	}
+	var sum uint64
+	for addr := int64(1); addr < m.MemWords(); addr += 2 {
+		sum += m.MemRead(addr)
+	}
+	if sum != 8*32 {
+		t.Fatalf("counter sum = %d, want %d", sum, 8*32)
+	}
+}
+
+func TestRandomUpdateRemoteOpAdvantage(t *testing.T) {
+	m1 := NewMachine(Emu1Config(), 1<<18)
+	m2 := NewMachine(Emu1Config(), 1<<18)
+	s1 := RandomUpdate(m1, Migrating, 128, 200, 3)
+	s2 := RandomUpdate(m2, Conventional, 128, 200, 3)
+	// All mass arrived in both cases.
+	var t1, t2 uint64
+	for a := int64(0); a < m1.MemWords(); a++ {
+		t1 += m1.MemRead(a)
+		t2 += m2.MemRead(a)
+	}
+	if t1 != 128*200 || t2 != 128*200 {
+		t.Fatalf("updates lost: %d %d", t1, t2)
+	}
+	if s1.MakespanNs >= s2.MakespanNs {
+		t.Fatal("remote-op GUPS not faster than round-trip GUPS")
+	}
+	if s1.RemoteOps == 0 {
+		t.Fatal("migrating model should use remote ops")
+	}
+}
+
+func TestGraphLayoutAndBFS(t *testing.T) {
+	g := gen.RMAT(8, 8, gen.Graph500RMAT, 5, false)
+	m := NewMachine(Emu1Config(), WordsForGraph(g))
+	lay := LoadGraph(m, g)
+	// Spot-check layout: degree word matches.
+	for v := int32(0); v < 10; v++ {
+		if m.MemRead(lay.Offset[v]) != uint64(g.Degree(v)) {
+			t.Fatalf("layout degree wrong at %d", v)
+		}
+	}
+	st := BFSVisit(m, lay, Migrating, 0)
+	if st.Threads < 2 {
+		t.Fatal("BFS spawned no children")
+	}
+	if st.Ops == 0 || st.MakespanNs <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestJaccardQueriesMatchKernelAndLatency(t *testing.T) {
+	g := gen.RMAT(9, 8, gen.Graph500RMAT, 13, false)
+	m := NewMachine(Emu2Config(), WordsForGraph(g))
+	lay := LoadGraph(m, g)
+	queries := gen.QueryStream(40, g.NumVertices(), 3)
+	results, st := JaccardQueries(m, lay, Migrating, queries)
+	if len(results) != 40 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Cross-check a few best-partner answers against the batch kernel.
+	for _, r := range results[:10] {
+		if r.BestV < 0 {
+			continue
+		}
+		want, ok := maxJaccardRef(g, r.Query)
+		if !ok {
+			t.Fatalf("kernel found no partner but sim did for %d", r.Query)
+		}
+		if want.score != r.BestScore {
+			t.Fatalf("query %d: sim score %v != kernel %v", r.Query, r.BestScore, want.score)
+		}
+	}
+	// Latency scale: the paper reports tens of microseconds per query.
+	var worst float64
+	for _, r := range results {
+		if r.LatencyNs > worst {
+			worst = r.LatencyNs
+		}
+	}
+	if st.MakespanNs <= 0 || worst <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}
+
+type refBest struct {
+	v     int32
+	score float64
+}
+
+func maxJaccardRef(g interface {
+	NumVertices() int32
+	Degree(int32) int32
+	Neighbors(int32) []int32
+}, q int32) (refBest, bool) {
+	counts := make(map[int32]int32)
+	for _, x := range g.Neighbors(q) {
+		for _, w := range g.Neighbors(x) {
+			if w != q {
+				counts[w]++
+			}
+		}
+	}
+	best := refBest{v: -1}
+	dq := float64(g.Degree(q))
+	// Deterministic order.
+	keys := make([]int32, 0, len(counts))
+	for w := range counts {
+		keys = append(keys, w)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, w := range keys {
+		c := counts[w]
+		union := dq + float64(g.Degree(w)) - float64(c)
+		if union <= 0 {
+			continue
+		}
+		if s := float64(c) / union; s > best.score {
+			best = refBest{v: w, score: s}
+		}
+	}
+	return best, best.v >= 0
+}
+
+func TestThreadCapacityScaling(t *testing.T) {
+	cfg := Emu1Config()
+	cfg.Nodes, cfg.Nodelets, cfg.GCsPerNlet, cfg.ThreadsPerGC = 1, 1, 1, 4
+	m := NewMachine(cfg, 1<<12)
+	// 16 threads on 4-thread hardware: makespan scales by 4.
+	threads := make([]*Thread, 16)
+	for i := range threads {
+		th := m.NewThread(Migrating, 0)
+		th.ClockNs = 100
+		threads[i] = th
+	}
+	if got := m.Makespan(threads); got != 400 {
+		t.Fatalf("oversubscribed makespan = %v, want 400", got)
+	}
+	if got := m.Makespan(threads[:4]); got != 100 {
+		t.Fatalf("fitting makespan = %v, want 100", got)
+	}
+}
+
+func TestGenerationsGetFaster(t *testing.T) {
+	run := func(cfg Config) float64 {
+		m := NewMachine(cfg, 1<<18)
+		st := PointerChase(m, Migrating, 64, 128, 9)
+		return st.MakespanNs
+	}
+	e1, e2, e3 := run(Emu1Config()), run(Emu2Config()), run(Emu3Config())
+	if !(e1 > e2 && e2 > e3) {
+		t.Fatalf("generations not monotone: %v %v %v", e1, e2, e3)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	m := smallMachine()
+	th := m.NewThread(Migrating, 0)
+	th.Read(int64(m.Config().WordsPerNodeletBlock * 3))
+	if m.Migrations == 0 {
+		t.Fatal("setup failed")
+	}
+	m.ResetCounters()
+	if m.Migrations != 0 || m.TrafficBytes != 0 || m.BusiestNodeletNs() != 0 || m.NetBusyNs() != 0 {
+		t.Fatal("counters not reset")
+	}
+}
+
+func TestOccupancyStats(t *testing.T) {
+	m := NewMachine(Emu1Config(), 1<<18)
+	// Before any work: all zeros.
+	st := m.Occupancy()
+	if st.ActiveCount != 0 || st.BusiestNs != 0 {
+		t.Fatalf("idle occupancy = %+v", st)
+	}
+	// Uniform random updates spread evenly.
+	RandomUpdate(m, Migrating, 256, 200, 3)
+	st = m.Occupancy()
+	if st.ActiveCount == 0 || st.BusiestNs <= 0 {
+		t.Fatalf("occupancy = %+v", st)
+	}
+	if st.Imbalance < 1 {
+		t.Fatal("imbalance below 1 is impossible")
+	}
+	if st.GiniLike < 0 || st.GiniLike > 1 {
+		t.Fatalf("gini = %v", st.GiniLike)
+	}
+	// Uniform traffic should be reasonably balanced.
+	if st.Imbalance > 2.5 {
+		t.Fatalf("uniform GUPS imbalance = %v", st.Imbalance)
+	}
+	// Hot-spot traffic: all threads hammer one address -> one nodelet.
+	m2 := NewMachine(Emu1Config(), 1<<18)
+	th := m2.NewThread(Migrating, 0)
+	for i := 0; i < 500; i++ {
+		th.RemoteAdd(12345, 1)
+	}
+	hot := m2.Occupancy()
+	if hot.ActiveCount != 1 {
+		t.Fatalf("hot-spot active nodelets = %d", hot.ActiveCount)
+	}
+	if hot.GiniLike < 0.9 {
+		t.Fatalf("hot-spot gini = %v", hot.GiniLike)
+	}
+}
+
+func TestJaccardQueriesConventionalSameAnswers(t *testing.T) {
+	g := gen.RMAT(8, 8, gen.Graph500RMAT, 13, false)
+	qs := gen.QueryStream(20, g.NumVertices(), 5)
+	m1 := NewMachine(Emu1Config(), WordsForGraph(g))
+	lay1 := LoadGraph(m1, g)
+	r1, _ := JaccardQueries(m1, lay1, Migrating, qs)
+	m2 := NewMachine(Emu1Config(), WordsForGraph(g))
+	lay2 := LoadGraph(m2, g)
+	r2, st2 := JaccardQueries(m2, lay2, Conventional, qs)
+	for i := range r1 {
+		if r1[i].BestV != r2[i].BestV || r1[i].BestScore != r2[i].BestScore {
+			t.Fatalf("query %d: models disagree on the answer", i)
+		}
+		if r2[i].LatencyNs < r1[i].LatencyNs {
+			t.Fatalf("query %d: conventional latency %v below migrating %v",
+				i, r2[i].LatencyNs, r1[i].LatencyNs)
+		}
+		// Queries that actually walked an adjacency must be strictly slower
+		// conventionally (degree-0 vertices cost one local read in both).
+		if r1[i].LatencyNs > 500 && r2[i].LatencyNs <= r1[i].LatencyNs {
+			t.Fatalf("query %d: nontrivial query not slower conventionally", i)
+		}
+	}
+	if st2.RemoteRefs == 0 {
+		t.Fatal("conventional model issued no remote references")
+	}
+}

@@ -1,0 +1,368 @@
+// Package emu simulates the paper's second emerging architecture (Section
+// V.B, Fig. 5): the Emu migrating-thread machine. The system is a single
+// shared memory domain built from nodes, each containing nodelets; every
+// nodelet owns a memory channel and a set of heavily multithreaded Gossamer
+// Cores (GCs). When a thread references memory owned by another nodelet,
+// the hardware suspends it, packages its context, and ships it to the owning
+// nodelet, where it resumes — so all memory references execute locally. The
+// memory controllers also execute atomic memory operations (AMOs) and
+// single-shot "remote op" threads, and threads can spawn children with one
+// instruction.
+//
+// The simulator executes real programs against a real word-addressed memory
+// while charging a latency/traffic cost model, under either of two
+// execution models:
+//
+//   - Migrating: the Emu model. Non-local references migrate the thread
+//     (one-way context transfer); subsequent references at that nodelet are
+//     local. AMOs at the current nodelet are local; RemoteAdd is a one-way
+//     packet with no reply.
+//   - Conventional: a distributed-memory cluster model. Threads are pinned
+//     to their home nodelet; every non-local reference is a request/response
+//     round trip, and atomics are round trips too.
+//
+// Per-op latencies accumulate on each thread's clock; per-nodelet service
+// occupancy and network-link occupancy accumulate on the machine, and the
+// makespan of a workload is the max of the slowest thread, the busiest
+// nodelet, and the network — the same bounding-resource treatment the
+// paper's NORA model uses.
+package emu
+
+import "fmt"
+
+// ExecModel selects how non-local references are serviced.
+type ExecModel int
+
+// Execution models.
+const (
+	Migrating ExecModel = iota
+	Conventional
+)
+
+func (m ExecModel) String() string {
+	if m == Migrating {
+		return "migrating"
+	}
+	return "conventional"
+}
+
+// Config describes the machine. Defaults mirror the paper's production
+// system: 8 nodes × 8 nodelets, 4 GCs per nodelet, 64 threads per GC.
+type Config struct {
+	Nodes        int
+	Nodelets     int // per node
+	GCsPerNlet   int
+	ThreadsPerGC int
+
+	WordsPerNodeletBlock int // memory interleave granularity in words
+
+	// Latencies in nanoseconds.
+	LocalAccessNs    float64 // local load/store/AMO at the memory channel
+	IntraNodeHopNs   float64 // nodelet-to-nodelet within a node
+	InterNodeHopNs   float64 // node-to-node network hop
+	MigrationFixedNs float64 // suspend+package+unpack overhead
+	SpawnNs          float64
+
+	// Traffic in bytes.
+	ThreadContextBytes int // migrated context size
+	RemoteReqBytes     int
+	RemoteRespBytes    int
+	RemoteOpBytes      int // single-shot remote operation packet
+
+	// Service occupancies.
+	NodeletOpNs   float64 // memory channel occupancy per operation
+	NetBytesPerNs float64 // aggregate network bandwidth
+}
+
+// Emu1Config is the current-generation (FPGA-based "Emu1") deskside system
+// extended with paper-quoted structure.
+func Emu1Config() Config {
+	return Config{
+		Nodes: 8, Nodelets: 8, GCsPerNlet: 4, ThreadsPerGC: 64,
+		WordsPerNodeletBlock: 8,
+		LocalAccessNs:        70,
+		IntraNodeHopNs:       120,
+		InterNodeHopNs:       400,
+		MigrationFixedNs:     180,
+		SpawnNs:              60,
+		ThreadContextBytes:   72, // compact context: registers + PC, ~one line
+		RemoteReqBytes:       16,
+		RemoteRespBytes:      72,
+		RemoteOpBytes:        24,
+		NodeletOpNs:          12,
+		NetBytesPerNs:        10,
+	}
+}
+
+// Emu2Config is the ASIC generation: faster cores and links.
+func Emu2Config() Config {
+	c := Emu1Config()
+	c.LocalAccessNs = 35
+	c.IntraNodeHopNs = 50
+	c.InterNodeHopNs = 200
+	c.MigrationFixedNs = 60
+	c.SpawnNs = 20
+	c.NodeletOpNs = 4
+	c.NetBytesPerNs = 40
+	return c
+}
+
+// Emu3Config is the 3D-stack generation: dozens of nodelets per package with
+// stack-level bandwidth.
+func Emu3Config() Config {
+	c := Emu2Config()
+	c.Nodes = 8
+	c.Nodelets = 32
+	c.LocalAccessNs = 20
+	c.IntraNodeHopNs = 25
+	c.InterNodeHopNs = 120
+	c.MigrationFixedNs = 30
+	c.NodeletOpNs = 1.5
+	c.NetBytesPerNs = 160
+	return c
+}
+
+// Machine is one simulated system instance. Not safe for concurrent use.
+type Machine struct {
+	cfg Config
+	mem []uint64
+
+	// Counters.
+	Migrations    int64
+	RemoteReads   int64
+	RemoteWrites  int64
+	RemoteOps     int64
+	LocalAccesses int64
+	Spawns        int64
+	TrafficBytes  int64
+
+	nodeletBusyNs []float64
+	netBusyNs     float64
+}
+
+// NewMachine creates a machine with the given memory size in 64-bit words.
+func NewMachine(cfg Config, words int64) *Machine {
+	return &Machine{
+		cfg:           cfg,
+		mem:           make([]uint64, words),
+		nodeletBusyNs: make([]float64, cfg.Nodes*cfg.Nodelets),
+	}
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// MemWords returns the memory size in words.
+func (m *Machine) MemWords() int64 { return int64(len(m.mem)) }
+
+// TotalNodelets returns nodes × nodelets.
+func (m *Machine) TotalNodelets() int { return m.cfg.Nodes * m.cfg.Nodelets }
+
+// MaxThreads returns the hardware thread capacity.
+func (m *Machine) MaxThreads() int {
+	return m.TotalNodelets() * m.cfg.GCsPerNlet * m.cfg.ThreadsPerGC
+}
+
+// NodeletOf maps a word address to its owning nodelet via block interleave.
+func (m *Machine) NodeletOf(addr int64) int {
+	return int(addr/int64(m.cfg.WordsPerNodeletBlock)) % m.TotalNodelets()
+}
+
+// nodeOf returns the node of a nodelet.
+func (m *Machine) nodeOf(nodelet int) int { return nodelet / m.cfg.Nodelets }
+
+// hopLatency is the one-way latency between two nodelets.
+func (m *Machine) hopLatency(from, to int) float64 {
+	if from == to {
+		return 0
+	}
+	if m.nodeOf(from) == m.nodeOf(to) {
+		return m.cfg.IntraNodeHopNs
+	}
+	return m.cfg.InterNodeHopNs
+}
+
+// charge records service occupancy for an op at a nodelet and net traffic.
+func (m *Machine) charge(nodelet int, bytes int) {
+	m.nodeletBusyNs[nodelet] += m.cfg.NodeletOpNs
+	if bytes > 0 {
+		m.TrafficBytes += int64(bytes)
+		m.netBusyNs += float64(bytes) / m.cfg.NetBytesPerNs
+	}
+}
+
+// ResetCounters zeroes all statistics (memory contents are kept).
+func (m *Machine) ResetCounters() {
+	m.Migrations, m.RemoteReads, m.RemoteWrites, m.RemoteOps = 0, 0, 0, 0
+	m.LocalAccesses, m.Spawns, m.TrafficBytes = 0, 0, 0
+	for i := range m.nodeletBusyNs {
+		m.nodeletBusyNs[i] = 0
+	}
+	m.netBusyNs = 0
+}
+
+// Makespan returns the bounding-resource completion time in ns for a set of
+// finished threads: max(slowest thread, busiest nodelet, network), scaled up
+// if the thread count exceeded hardware capacity.
+func (m *Machine) Makespan(threads []*Thread) float64 {
+	worst := 0.0
+	for _, t := range threads {
+		if t.ClockNs > worst {
+			worst = t.ClockNs
+		}
+	}
+	busiest := 0.0
+	for _, b := range m.nodeletBusyNs {
+		if b > busiest {
+			busiest = b
+		}
+	}
+	span := worst
+	if busiest > span {
+		span = busiest
+	}
+	if m.netBusyNs > span {
+		span = m.netBusyNs
+	}
+	if over := float64(len(threads)) / float64(m.MaxThreads()); over > 1 {
+		span *= over
+	}
+	return span
+}
+
+// BusiestNodeletNs exposes the max nodelet occupancy (for reports).
+func (m *Machine) BusiestNodeletNs() float64 {
+	worst := 0.0
+	for _, b := range m.nodeletBusyNs {
+		if b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
+// NetBusyNs exposes network occupancy.
+func (m *Machine) NetBusyNs() float64 { return m.netBusyNs }
+
+// Thread is one simulated thread of execution. Programs call its memory
+// operations in order; the thread accumulates latency on ClockNs.
+type Thread struct {
+	m       *Machine
+	model   ExecModel
+	Nodelet int // current (migrating) or home (conventional) nodelet
+	ClockNs float64
+}
+
+// NewThread starts a thread at the given nodelet.
+func (m *Machine) NewThread(model ExecModel, nodelet int) *Thread {
+	return &Thread{m: m, model: model, Nodelet: nodelet % m.TotalNodelets()}
+}
+
+// access performs the movement/cost accounting shared by Read and Write.
+func (t *Thread) access(addr int64, isWrite bool) {
+	m := t.m
+	owner := m.NodeletOf(addr)
+	if owner == t.Nodelet {
+		t.ClockNs += m.cfg.LocalAccessNs
+		m.LocalAccesses++
+		m.charge(owner, 0)
+		return
+	}
+	switch t.model {
+	case Migrating:
+		// One-way migration of the thread context, then a local access.
+		t.ClockNs += m.cfg.MigrationFixedNs + m.hopLatency(t.Nodelet, owner) + m.cfg.LocalAccessNs
+		m.Migrations++
+		m.charge(owner, m.cfg.ThreadContextBytes)
+		t.Nodelet = owner
+	case Conventional:
+		// Round trip: request out, access at owner, response back.
+		t.ClockNs += 2*m.hopLatency(t.Nodelet, owner) + m.cfg.LocalAccessNs
+		if isWrite {
+			m.RemoteWrites++
+			m.charge(owner, m.cfg.RemoteReqBytes+m.cfg.RemoteRespBytes)
+		} else {
+			m.RemoteReads++
+			m.charge(owner, m.cfg.RemoteReqBytes+m.cfg.RemoteRespBytes)
+		}
+	}
+}
+
+// Read loads the word at addr.
+func (t *Thread) Read(addr int64) uint64 {
+	t.access(addr, false)
+	return t.m.mem[addr]
+}
+
+// Write stores v at addr.
+func (t *Thread) Write(addr int64, v uint64) {
+	t.access(addr, true)
+	t.m.mem[addr] = v
+}
+
+// AtomicAdd performs a fetch-and-add AMO at addr. Under the migrating model
+// the thread must be (or migrate) at the owning nodelet, where the memory
+// controller executes the AMO at local cost; conventionally it is a round
+// trip like any other access.
+func (t *Thread) AtomicAdd(addr int64, delta uint64) uint64 {
+	t.access(addr, true)
+	old := t.m.mem[addr]
+	t.m.mem[addr] = old + delta
+	return old
+}
+
+// RemoteAdd issues a fire-and-forget remote add: a "tiny single-function
+// thread" that performs one operation at the target with no reply. Under
+// the migrating model this is a one-way packet that does not move or stall
+// the issuing thread (useful for "random updates into a very large table").
+// Under the conventional model there is no such primitive, so it degrades
+// to a full AtomicAdd round trip.
+func (t *Thread) RemoteAdd(addr int64, delta uint64) {
+	m := t.m
+	owner := m.NodeletOf(addr)
+	if t.model == Conventional {
+		t.AtomicAdd(addr, delta)
+		return
+	}
+	// Issue cost only; the packet's network/service cost is charged to the
+	// machine, not the thread's critical path.
+	t.ClockNs += m.cfg.SpawnNs
+	m.RemoteOps++
+	m.charge(owner, m.cfg.RemoteOpBytes)
+	m.mem[addr] += delta
+}
+
+// Spawn creates a child thread at the nodelet owning addr (migrating model)
+// or at the parent's nodelet (conventional — conventional clusters fork
+// locally and communicate). The child's clock starts at the parent's.
+func (t *Thread) Spawn(addr int64) *Thread {
+	m := t.m
+	t.ClockNs += m.cfg.SpawnNs
+	m.Spawns++
+	child := &Thread{m: m, model: t.model, ClockNs: t.ClockNs}
+	if t.model == Migrating {
+		owner := m.NodeletOf(addr)
+		child.Nodelet = owner
+		if owner != t.Nodelet {
+			m.charge(owner, m.cfg.ThreadContextBytes)
+			child.ClockNs += m.hopLatency(t.Nodelet, owner)
+		}
+	} else {
+		child.Nodelet = t.Nodelet
+	}
+	return child
+}
+
+// MemRead returns memory contents without any simulation cost (for test
+// verification only).
+func (m *Machine) MemRead(addr int64) uint64 { return m.mem[addr] }
+
+// MemWrite sets memory contents without simulation cost (for workload
+// setup).
+func (m *Machine) MemWrite(addr int64, v uint64) { m.mem[addr] = v }
+
+// String describes the machine briefly.
+func (m *Machine) String() string {
+	return fmt.Sprintf("emu{%d nodes × %d nodelets, %d GC/nlet, %d thr/GC, %d Mwords}",
+		m.cfg.Nodes, m.cfg.Nodelets, m.cfg.GCsPerNlet, m.cfg.ThreadsPerGC, len(m.mem)>>20)
+}

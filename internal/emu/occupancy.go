@@ -1,0 +1,47 @@
+package emu
+
+import "sort"
+
+// OccupancyStats summarizes how evenly work landed across nodelets — the
+// load-balance view the migrating-thread model lives or dies by (hot
+// vertices pull every visiting thread to one nodelet).
+type OccupancyStats struct {
+	BusiestNs   float64
+	MeanNs      float64
+	Imbalance   float64 // busiest / mean; 1.0 = perfectly even
+	GiniLike    float64 // 0 = even, →1 = all work on one nodelet
+	ActiveCount int     // nodelets with any work
+}
+
+// Occupancy computes the distribution over the machine's nodelet busy
+// times since the last ResetCounters.
+func (m *Machine) Occupancy() OccupancyStats {
+	n := len(m.nodeletBusyNs)
+	if n == 0 {
+		return OccupancyStats{}
+	}
+	sorted := append([]float64(nil), m.nodeletBusyNs...)
+	sort.Float64s(sorted)
+	var sum float64
+	st := OccupancyStats{}
+	for _, b := range sorted {
+		sum += b
+		if b > 0 {
+			st.ActiveCount++
+		}
+	}
+	st.BusiestNs = sorted[n-1]
+	st.MeanNs = sum / float64(n)
+	if st.MeanNs > 0 {
+		st.Imbalance = st.BusiestNs / st.MeanNs
+	}
+	// Gini coefficient over busy times.
+	if sum > 0 {
+		var weighted float64
+		for i, b := range sorted {
+			weighted += float64(2*(i+1)-n-1) * b
+		}
+		st.GiniLike = weighted / (float64(n) * sum)
+	}
+	return st
+}

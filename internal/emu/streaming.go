@@ -1,0 +1,121 @@
+package emu
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// MixedStreamStats reports the combined streaming workload of the paper's
+// Section V.B: one stream of property updates against the persistent
+// in-memory graph plus one stream of independent analytic queries, running
+// on the same machine — "this architecture can support both batch and, in
+// particular, streaming applications".
+type MixedStreamStats struct {
+	Model           ExecModel
+	Updates         int
+	Queries         int
+	UpdateMeanNs    float64
+	QueryMeanNs     float64
+	MakespanNs      float64
+	TrafficBytes    int64
+	UpdatesByRemote int64 // updates served by single-shot remote ops
+}
+
+// PropertyLayout extends GraphLayout with one property word per vertex
+// (e.g., an activity counter the update stream increments — the Firehose
+// pattern of "inputs may specify specific vertices and some update to one
+// or more of the vertex's properties").
+type PropertyLayout struct {
+	*GraphLayout
+	PropBase int64
+}
+
+// LoadGraphWithProperties lays out the graph followed by a property array.
+func LoadGraphWithProperties(m *Machine, g *graph.Graph) *PropertyLayout {
+	lay := LoadGraph(m, g)
+	base := int64(g.NumVertices()) + g.NumEdges() + 1
+	return &PropertyLayout{GraphLayout: lay, PropBase: base}
+}
+
+// WordsForGraphWithProperties returns the memory demand of
+// LoadGraphWithProperties.
+func WordsForGraphWithProperties(g *graph.Graph) int64 {
+	return WordsForGraph(g) + int64(g.NumVertices()) + 1
+}
+
+// MixedStream interleaves property updates (vertex counter increments) with
+// per-vertex Jaccard queries at the given updates:queries ratio. Under the
+// migrating model updates use single-shot remote ops and queries migrate;
+// conventionally both are round-trip sequences.
+func MixedStream(m *Machine, lay *PropertyLayout, model ExecModel, updates, queries int, seed int64) MixedStreamStats {
+	m.ResetCounters()
+	rng := rand.New(rand.NewSource(seed))
+	g := lay.g
+	n := g.NumVertices()
+	st := MixedStreamStats{Model: model, Updates: updates, Queries: queries}
+
+	var updateNs, queryNs float64
+	threads := make([]*Thread, 0, updates+queries)
+
+	// Interleave: spread queries evenly through the update stream.
+	qEvery := 1
+	if queries > 0 {
+		qEvery = (updates + queries) / queries
+		if qEvery < 1 {
+			qEvery = 1
+		}
+	}
+	issued := 0
+	doneQ := 0
+	for issued < updates || doneQ < queries {
+		if doneQ < queries && (issued%qEvery == qEvery-1 || issued >= updates) {
+			q := rng.Int31n(n)
+			th := m.NewThread(model, m.NodeletOf(lay.Offset[q]))
+			start := th.ClockNs
+			runJaccardThread(th, lay.GraphLayout, q)
+			queryNs += th.ClockNs - start
+			threads = append(threads, th)
+			doneQ++
+		}
+		if issued < updates {
+			v := rng.Int31n(n)
+			th := m.NewThread(model, rng.Intn(m.TotalNodelets()))
+			start := th.ClockNs
+			th.RemoteAdd(lay.PropBase+int64(v), 1)
+			updateNs += th.ClockNs - start
+			threads = append(threads, th)
+			issued++
+		}
+	}
+	st.MakespanNs = m.Makespan(threads)
+	st.TrafficBytes = m.TrafficBytes
+	st.UpdatesByRemote = m.RemoteOps
+	if updates > 0 {
+		st.UpdateMeanNs = updateNs / float64(updates)
+	}
+	if queries > 0 {
+		st.QueryMeanNs = queryNs / float64(queries)
+	}
+	return st
+}
+
+// runJaccardThread performs the adjacency walk of one Jaccard query on the
+// machine (same access pattern as JaccardQueries, counters in registers).
+func runJaccardThread(th *Thread, lay *GraphLayout, q int32) {
+	base := lay.Offset[q]
+	deg := int64(th.Read(base))
+	counts := make(map[int32]int32)
+	for i := int64(0); i < deg; i++ {
+		x := int32(th.Read(base + 1 + i))
+		xBase := lay.Offset[x]
+		xDeg := int64(th.Read(xBase))
+		for j := int64(0); j < xDeg; j++ {
+			w := int32(th.Read(xBase + 1 + j))
+			if w != q {
+				counts[w]++
+			}
+		}
+	}
+	_ = counts
+}

@@ -1,0 +1,63 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestMixedStreamBothModels(t *testing.T) {
+	g := gen.RMAT(9, 8, gen.Graph500RMAT, 3, false)
+	var mig, conv MixedStreamStats
+	{
+		m := NewMachine(Emu1Config(), WordsForGraphWithProperties(g))
+		lay := LoadGraphWithProperties(m, g)
+		mig = MixedStream(m, lay, Migrating, 2000, 100, 7)
+		// All updates landed.
+		var total uint64
+		for v := int64(0); v < int64(g.NumVertices()); v++ {
+			total += m.MemRead(lay.PropBase + v)
+		}
+		if total != 2000 {
+			t.Fatalf("updates lost: %d", total)
+		}
+	}
+	{
+		m := NewMachine(Emu1Config(), WordsForGraphWithProperties(g))
+		lay := LoadGraphWithProperties(m, g)
+		conv = MixedStream(m, lay, Conventional, 2000, 100, 7)
+	}
+	if mig.UpdatesByRemote == 0 {
+		t.Fatal("migrating model should use remote ops for updates")
+	}
+	if conv.UpdatesByRemote != 0 {
+		t.Fatal("conventional model has no remote-op primitive")
+	}
+	if mig.QueryMeanNs >= conv.QueryMeanNs {
+		t.Fatalf("migrating query latency %v >= conventional %v",
+			mig.QueryMeanNs, conv.QueryMeanNs)
+	}
+	if mig.UpdateMeanNs >= conv.UpdateMeanNs {
+		t.Fatalf("migrating update latency %v >= conventional %v",
+			mig.UpdateMeanNs, conv.UpdateMeanNs)
+	}
+	if mig.MakespanNs >= conv.MakespanNs {
+		t.Fatal("migrating makespan should win on the mixed stream")
+	}
+}
+
+func TestMixedStreamQueryOnlyAndUpdateOnly(t *testing.T) {
+	g := gen.RMAT(8, 4, gen.Graph500RMAT, 5, false)
+	m := NewMachine(Emu1Config(), WordsForGraphWithProperties(g))
+	lay := LoadGraphWithProperties(m, g)
+	st := MixedStream(m, lay, Migrating, 0, 50, 3)
+	if st.Updates != 0 || st.QueryMeanNs <= 0 {
+		t.Fatalf("query-only stats = %+v", st)
+	}
+	m2 := NewMachine(Emu1Config(), WordsForGraphWithProperties(g))
+	lay2 := LoadGraphWithProperties(m2, g)
+	st2 := MixedStream(m2, lay2, Migrating, 500, 0, 3)
+	if st2.Queries != 0 || st2.UpdateMeanNs <= 0 {
+		t.Fatalf("update-only stats = %+v", st2)
+	}
+}

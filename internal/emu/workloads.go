@@ -1,0 +1,259 @@
+package emu
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// WorkloadStats summarizes one simulated workload run.
+type WorkloadStats struct {
+	Model        ExecModel
+	Threads      int
+	Ops          int64
+	MakespanNs   float64
+	MeanOpNs     float64
+	TrafficBytes int64
+	Migrations   int64
+	RemoteRefs   int64
+	RemoteOps    int64
+}
+
+// PointerChase builds numThreads independent linked lists of listLen
+// elements scattered uniformly across the machine's memory, then walks each
+// list with one thread performing an atomic update at every element — the
+// paper's "pointer-chasing with atomic updates to list elements" exemplar.
+// Element layout: mem[slot] = next slot index (or ^0 to stop); the atomic
+// update targets mem[slot+1].
+func PointerChase(m *Machine, model ExecModel, numThreads, listLen int, seed int64) WorkloadStats {
+	rng := rand.New(rand.NewSource(seed))
+	slots := int64(len(m.mem)) / 2 // element = 2 words: next, counter
+	perm := rng.Perm(int(slots))
+	// Carve per-thread lists from a global random permutation so elements
+	// land on random nodelets.
+	need := numThreads * listLen
+	if need > len(perm) {
+		need = len(perm)
+		listLen = need / numThreads
+	}
+	heads := make([]int64, numThreads)
+	idx := 0
+	for t := 0; t < numThreads; t++ {
+		prev := int64(-1)
+		for i := 0; i < listLen; i++ {
+			slot := int64(perm[idx]) * 2
+			idx++
+			if prev < 0 {
+				heads[t] = slot
+			} else {
+				m.MemWrite(prev, uint64(slot))
+			}
+			prev = slot
+		}
+		m.MemWrite(prev, ^uint64(0))
+	}
+	m.ResetCounters()
+	threads := make([]*Thread, numThreads)
+	var ops int64
+	for t := 0; t < numThreads; t++ {
+		th := m.NewThread(model, m.NodeletOf(heads[t]))
+		threads[t] = th
+		slot := heads[t]
+		for {
+			next := th.Read(slot)
+			th.AtomicAdd(slot+1, 1)
+			ops += 2
+			if next == ^uint64(0) {
+				break
+			}
+			slot = int64(next)
+		}
+	}
+	return summarize(m, model, threads, ops)
+}
+
+// RandomUpdate performs GUPS-style updates: each thread issues updatesPer
+// increments to uniformly random table words. The migrating model uses the
+// single-shot RemoteAdd instruction ("useful for performing such things as
+// random updates into a very large table"); the conventional model must do
+// read-modify-write round trips.
+func RandomUpdate(m *Machine, model ExecModel, numThreads, updatesPer int, seed int64) WorkloadStats {
+	rng := rand.New(rand.NewSource(seed))
+	m.ResetCounters()
+	threads := make([]*Thread, numThreads)
+	var ops int64
+	words := int64(len(m.mem))
+	for t := 0; t < numThreads; t++ {
+		th := m.NewThread(model, t%m.TotalNodelets())
+		threads[t] = th
+		for i := 0; i < updatesPer; i++ {
+			addr := rng.Int63n(words)
+			th.RemoteAdd(addr, 1)
+			ops++
+		}
+	}
+	return summarize(m, model, threads, ops)
+}
+
+// GraphLayout places a graph's adjacency in machine memory: vertex v's
+// record starts at Offset[v] and holds [degree, n0, n1, ...]. Records are
+// placed round-robin so consecutive vertices live on different nodelets,
+// matching how Emu distributes graph data.
+type GraphLayout struct {
+	Offset []int64
+	g      *graph.Graph
+}
+
+// LoadGraph writes g into m's memory and returns the layout. The machine
+// must have at least NumVertices + NumEdges(arcs) words.
+func LoadGraph(m *Machine, g *graph.Graph) *GraphLayout {
+	n := g.NumVertices()
+	lay := &GraphLayout{Offset: make([]int64, n), g: g}
+	// Round-robin block assignment: vertex v begins at a block boundary on
+	// nodelet v % nodelets when possible. We simply lay out sequentially —
+	// the machine's block interleave already spreads records.
+	cursor := int64(0)
+	for v := int32(0); v < n; v++ {
+		lay.Offset[v] = cursor
+		ns := g.Neighbors(v)
+		m.MemWrite(cursor, uint64(len(ns)))
+		for i, w := range ns {
+			m.MemWrite(cursor+1+int64(i), uint64(w))
+		}
+		cursor += 1 + int64(len(ns))
+	}
+	return lay
+}
+
+// WordsForGraph returns the memory words LoadGraph needs.
+func WordsForGraph(g *graph.Graph) int64 {
+	return int64(g.NumVertices()) + g.NumEdges() + 8
+}
+
+// JaccardQueryResult is one query's outcome on the simulator.
+type JaccardQueryResult struct {
+	Query     int32
+	BestV     int32
+	BestScore float64
+	LatencyNs float64
+}
+
+// JaccardQueries runs a stream of independent per-vertex Jaccard queries
+// (the paper's "streaming queries for Jaccard-like problems"): for each
+// queried vertex v the thread walks v's adjacency, then each neighbor's
+// adjacency, counting common neighbors in thread-local registers, and
+// reports v's best-scoring partner. Each query is one thread; per-query
+// latency is its clock delta.
+func JaccardQueries(m *Machine, lay *GraphLayout, model ExecModel, queries []int32) ([]JaccardQueryResult, WorkloadStats) {
+	m.ResetCounters()
+	g := lay.g
+	results := make([]JaccardQueryResult, 0, len(queries))
+	threads := make([]*Thread, 0, len(queries))
+	var ops int64
+	for _, q := range queries {
+		th := m.NewThread(model, m.NodeletOf(lay.Offset[q]))
+		start := th.ClockNs
+		counts := make(map[int32]int32)
+		base := lay.Offset[q]
+		deg := int64(th.Read(base))
+		ops++
+		for i := int64(0); i < deg; i++ {
+			x := int32(th.Read(base + 1 + i))
+			ops++
+			xBase := lay.Offset[x]
+			xDeg := int64(th.Read(xBase))
+			ops++
+			for j := int64(0); j < xDeg; j++ {
+				w := int32(th.Read(xBase + 1 + j))
+				ops++
+				if w != q {
+					counts[w]++
+				}
+			}
+		}
+		best, bestScore := int32(-1), 0.0
+		dq := float64(g.Degree(q))
+		// Deterministic iteration for reproducibility.
+		keys := make([]int32, 0, len(counts))
+		for w := range counts {
+			keys = append(keys, w)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, w := range keys {
+			c := counts[w]
+			union := dq + float64(g.Degree(w)) - float64(c)
+			if union <= 0 {
+				continue
+			}
+			if s := float64(c) / union; s > bestScore {
+				best, bestScore = w, s
+			}
+		}
+		results = append(results, JaccardQueryResult{
+			Query: q, BestV: best, BestScore: bestScore, LatencyNs: th.ClockNs - start,
+		})
+		threads = append(threads, th)
+	}
+	return results, summarize(m, model, threads, ops)
+}
+
+// BFSVisit performs a simulated BFS touch of every vertex reachable from
+// src: the canonical "fast edge-following" pattern. A real Emu BFS spawns a
+// child per frontier vertex; we model the spawn tree and aggregate costs.
+func BFSVisit(m *Machine, lay *GraphLayout, model ExecModel, src int32) WorkloadStats {
+	m.ResetCounters()
+	g := lay.g
+	n := g.NumVertices()
+	visited := make([]bool, n)
+	visited[src] = true
+	root := m.NewThread(model, m.NodeletOf(lay.Offset[src]))
+	type item struct {
+		v  int32
+		th *Thread
+	}
+	frontier := []item{{v: src, th: root}}
+	threads := []*Thread{root}
+	var ops int64
+	for len(frontier) > 0 {
+		var next []item
+		for _, it := range frontier {
+			base := lay.Offset[it.v]
+			deg := int64(it.th.Read(base))
+			ops++
+			for i := int64(0); i < deg; i++ {
+				w := int32(it.th.Read(base + 1 + i))
+				ops++
+				if !visited[w] {
+					visited[w] = true
+					child := it.th.Spawn(lay.Offset[w])
+					threads = append(threads, child)
+					next = append(next, item{v: w, th: child})
+				}
+			}
+		}
+		frontier = next
+	}
+	return summarize(m, model, threads, ops)
+}
+
+func summarize(m *Machine, model ExecModel, threads []*Thread, ops int64) WorkloadStats {
+	st := WorkloadStats{
+		Model:        model,
+		Threads:      len(threads),
+		Ops:          ops,
+		MakespanNs:   m.Makespan(threads),
+		TrafficBytes: m.TrafficBytes,
+		Migrations:   m.Migrations,
+		RemoteRefs:   m.RemoteReads + m.RemoteWrites,
+		RemoteOps:    m.RemoteOps,
+	}
+	if ops > 0 {
+		var total float64
+		for _, t := range threads {
+			total += t.ClockNs
+		}
+		st.MeanOpNs = total / float64(ops)
+	}
+	return st
+}

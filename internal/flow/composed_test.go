@@ -1,0 +1,51 @@
+package flow
+
+import "testing"
+
+func TestComposedBenchmark(t *testing.T) {
+	cb := ComposedBenchmark{Scale: 9, Updates: 2000, TriggerDelta: 20, Seed: 3}
+	res, err := cb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range []string{"build", "global-analytics", "extract-analyze", "streaming", "report"} {
+		if _, ok := res.Phase[ph]; !ok {
+			t.Fatalf("phase %s missing", ph)
+		}
+	}
+	if res.Vertices != 512 || res.Edges == 0 {
+		t.Fatalf("graph = %d/%d", res.Vertices, res.Edges)
+	}
+	if res.Components == 0 {
+		t.Fatal("no components reported")
+	}
+	if res.Extracted == 0 {
+		t.Fatal("extraction empty")
+	}
+	if res.Triangles == 0 {
+		t.Fatal("no triangles in extracted hub region")
+	}
+	if res.Escalations == 0 {
+		t.Fatal("streaming phase never escalated")
+	}
+	if res.TopVertex < 0 || res.TopVertex >= res.Vertices {
+		t.Fatalf("top vertex = %d", res.TopVertex)
+	}
+}
+
+func TestComposedBenchmarkDeterministic(t *testing.T) {
+	cb := ComposedBenchmark{Scale: 8, Updates: 500, TriggerDelta: 10, Seed: 7}
+	r1, err := cb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Edges != r2.Edges || r1.Components != r2.Components ||
+		r1.Triangles != r2.Triangles || r1.Escalations != r2.Escalations ||
+		r1.TopVertex != r2.TopVertex {
+		t.Fatalf("nondeterministic: %+v vs %+v", r1, r2)
+	}
+}

@@ -1,0 +1,8 @@
+package gen
+
+import "math/rand"
+
+// perturbForTest exposes perturb with a seeded RNG for property tests.
+func perturbForTest(seed int64, s string) string {
+	return perturb(rand.New(rand.NewSource(seed)), s)
+}

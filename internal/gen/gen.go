@@ -1,0 +1,284 @@
+// Package gen synthesizes the workloads the paper's experiments need:
+// Graph500-style R-MAT/Kronecker graphs, Erdős–Rényi graphs, structured
+// graphs (ring, grid, star, tree) for kernel validation, Firehose-style
+// biased-key update streams with planted anomalies, and synthetic NORA
+// person/address records (standing in for the proprietary 40+ TB public
+// records data the paper's NORA study used).
+//
+// All generators are deterministic given a seed.
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// RMATParams are the Kronecker quadrant probabilities. Graph500 uses
+// A=0.57, B=0.19, C=0.19 (D implied as 1-A-B-C).
+type RMATParams struct {
+	A, B, C float64
+}
+
+// Graph500RMAT is the standard Graph500 parameter set.
+var Graph500RMAT = RMATParams{A: 0.57, B: 0.19, C: 0.19}
+
+// RMAT generates an R-MAT graph with 2^scale vertices and edgeFactor *
+// 2^scale undirected edges (before dedup/self-loop removal). The resulting
+// degree distribution is heavy-tailed like real social graphs.
+func RMAT(scale int, edgeFactor int, p RMATParams, seed int64, directed bool) *graph.Graph {
+	n := int32(1) << scale
+	m := int(n) * edgeFactor
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	if !directed {
+		b.Undirected()
+	}
+	b.DedupEdges()
+	for i := 0; i < m; i++ {
+		src, dst := rmatEdge(scale, p, rng)
+		b.Add(src, dst)
+	}
+	return b.Build()
+}
+
+// RMATWeighted is RMAT with uniform [0,1) edge weights, for SSSP-style
+// kernels.
+func RMATWeighted(scale int, edgeFactor int, p RMATParams, seed int64, directed bool) *graph.Graph {
+	n := int32(1) << scale
+	m := int(n) * edgeFactor
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n).Weighted()
+	if !directed {
+		b.Undirected()
+	}
+	b.DedupEdges()
+	for i := 0; i < m; i++ {
+		src, dst := rmatEdge(scale, p, rng)
+		b.AddWeighted(src, dst, rng.Float32())
+	}
+	return b.Build()
+}
+
+func rmatEdge(scale int, p RMATParams, rng *rand.Rand) (int32, int32) {
+	var src, dst int32
+	for bit := 0; bit < scale; bit++ {
+		r := rng.Float64()
+		switch {
+		case r < p.A:
+			// top-left: neither bit set
+		case r < p.A+p.B:
+			dst |= 1 << bit
+		case r < p.A+p.B+p.C:
+			src |= 1 << bit
+		default:
+			src |= 1 << bit
+			dst |= 1 << bit
+		}
+	}
+	return src, dst
+}
+
+// RMATEdgeStream returns m raw R-MAT edges without building a graph; the
+// streaming engine consumes these as incremental updates.
+func RMATEdgeStream(scale int, m int, p RMATParams, seed int64) [][2]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][2]int32, m)
+	for i := range edges {
+		s, d := rmatEdge(scale, p, rng)
+		edges[i] = [2]int32{s, d}
+	}
+	return edges
+}
+
+// ErdosRenyi generates G(n, m): m edges chosen uniformly at random.
+func ErdosRenyi(n int32, m int, seed int64, directed bool) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	if !directed {
+		b.Undirected()
+	}
+	b.DedupEdges()
+	for i := 0; i < m; i++ {
+		b.Add(rng.Int31n(n), rng.Int31n(n))
+	}
+	return b.Build()
+}
+
+// Ring generates an undirected cycle of n vertices (diameter n/2).
+func Ring(n int32) *graph.Graph {
+	b := graph.NewBuilder(n).Undirected()
+	for v := int32(0); v < n; v++ {
+		b.Add(v, (v+1)%n)
+	}
+	return b.Build()
+}
+
+// Path generates an undirected path of n vertices.
+func Path(n int32) *graph.Graph {
+	b := graph.NewBuilder(n).Undirected()
+	for v := int32(0); v+1 < n; v++ {
+		b.Add(v, v+1)
+	}
+	return b.Build()
+}
+
+// Grid generates an undirected rows×cols mesh; vertex (r,c) is r*cols+c.
+func Grid(rows, cols int32) *graph.Graph {
+	b := graph.NewBuilder(rows * cols).Undirected()
+	for r := int32(0); r < rows; r++ {
+		for c := int32(0); c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				b.Add(v, v+1)
+			}
+			if r+1 < rows {
+				b.Add(v, v+cols)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Star generates an undirected star: vertex 0 connected to 1..n-1.
+func Star(n int32) *graph.Graph {
+	b := graph.NewBuilder(n).Undirected()
+	for v := int32(1); v < n; v++ {
+		b.Add(0, v)
+	}
+	return b.Build()
+}
+
+// CompleteGraph generates K_n.
+func CompleteGraph(n int32) *graph.Graph {
+	b := graph.NewBuilder(n).Undirected()
+	for i := int32(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.Add(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// BinaryTree generates a complete binary tree with n vertices (vertex v has
+// children 2v+1 and 2v+2).
+func BinaryTree(n int32) *graph.Graph {
+	b := graph.NewBuilder(n).Undirected()
+	for v := int32(0); v < n; v++ {
+		if 2*v+1 < n {
+			b.Add(v, 2*v+1)
+		}
+		if 2*v+2 < n {
+			b.Add(v, 2*v+2)
+		}
+	}
+	return b.Build()
+}
+
+// CommunityGraph generates k dense communities of size each, wired
+// internally with probability pIn and across communities with pOut —
+// ground truth for community-detection tests. It returns the graph and the
+// true community assignment.
+func CommunityGraph(k int, size int32, pIn, pOut float64, seed int64) (*graph.Graph, []int32) {
+	n := int32(k) * size
+	rng := rand.New(rand.NewSource(seed))
+	truth := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		truth[v] = v / size
+	}
+	b := graph.NewBuilder(n).Undirected().DedupEdges()
+	for i := int32(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := pOut
+			if truth[i] == truth[j] {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				b.Add(i, j)
+			}
+		}
+	}
+	return b.Build(), truth
+}
+
+// Permutation returns a pseudorandom permutation of [0, n).
+func Permutation(n int32, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: each new vertex
+// attaches m edges to existing vertices with probability proportional to
+// their current degree, yielding the power-law degree tails of real social
+// networks. Deterministic given seed.
+func BarabasiAlbert(n int32, m int, seed int64) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilderForBA(n)
+	// Repeated-endpoint list: sampling uniformly from it is sampling
+	// proportional to degree.
+	var endpoints []int32
+	start := int32(m + 1)
+	if start > n {
+		start = n
+	}
+	// Seed clique among the first m+1 vertices.
+	for i := int32(0); i < start; i++ {
+		for j := i + 1; j < start; j++ {
+			b.Add(i, j)
+			endpoints = append(endpoints, i, j)
+		}
+	}
+	for v := start; v < n; v++ {
+		chosen := make(map[int32]bool, m)
+		for len(chosen) < m && len(chosen) < int(v) {
+			var t int32
+			if len(endpoints) == 0 {
+				t = rng.Int31n(v)
+			} else {
+				t = endpoints[rng.Intn(len(endpoints))]
+			}
+			if t != v && !chosen[t] {
+				chosen[t] = true
+				b.Add(v, t)
+				endpoints = append(endpoints, v, t)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// NewBuilderForBA builds the undirected deduped builder BarabasiAlbert
+// uses (split out so the function body stays readable).
+func NewBuilderForBA(n int32) *graph.Builder {
+	return graph.NewBuilder(n).Undirected().DedupEdges()
+}
+
+// WattsStrogatz generates a small-world graph: a ring lattice where each
+// vertex connects to its k nearest neighbors, with each edge rewired to a
+// uniform random endpoint with probability beta.
+func WattsStrogatz(n int32, k int, beta float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n).Undirected().DedupEdges()
+	for v := int32(0); v < n; v++ {
+		for d := 1; d <= k/2; d++ {
+			w := (v + int32(d)) % n
+			if rng.Float64() < beta {
+				// Rewire to a random non-self endpoint.
+				w = rng.Int31n(n)
+				if w == v {
+					w = (w + 1) % n
+				}
+			}
+			b.Add(v, w)
+		}
+	}
+	return b.Build()
+}

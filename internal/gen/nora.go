@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PersonRecord is one synthetic public-records row, standing in for the
+// proprietary multi-terabyte data the paper's NORA study consumed. Records
+// deliberately contain duplicates (same underlying person, perturbed
+// spelling) so the dedup stage has real work, and people share addresses
+// with a heavy-tailed distribution so NORA relationships exist.
+type PersonRecord struct {
+	RecordID  int32
+	FirstName string
+	LastName  string
+	SSNLast4  string
+	AddressID int32
+	TruePerso int32 // ground-truth person identity (for evaluating dedup)
+}
+
+// NORAParams controls the synthetic records generator.
+type NORAParams struct {
+	NumPeople    int32   // distinct underlying people
+	NumAddresses int32   // distinct addresses
+	RecordsPer   float64 // mean records per person (>=1); extra records are dups
+	MovesPer     float64 // mean distinct addresses per person
+	TypoRate     float64 // probability a duplicate record perturbs a name
+	SharedBias   float64 // skew of address popularity (higher = heavier tail)
+	// HouseholdRate is the probability a person co-habits with the
+	// previously generated person, sharing that person's address history
+	// (and, half the time, last name). Households are what create the
+	// multi-shared-address relationships NORA mines.
+	HouseholdRate float64
+	Seed          int64
+}
+
+// DefaultNORAParams returns a laptop-scale parameterization that still
+// exhibits the paper's structure (dups to clean, shared addresses to mine).
+func DefaultNORAParams() NORAParams {
+	return NORAParams{
+		NumPeople:     20000,
+		NumAddresses:  8000,
+		RecordsPer:    2.5,
+		MovesPer:      1.8,
+		TypoRate:      0.25,
+		SharedBias:    1.5,
+		HouseholdRate: 0.3,
+		Seed:          42,
+	}
+}
+
+var firstNames = []string{
+	"james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+	"linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "charles", "karen", "chris",
+	"nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+	"lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+}
+
+// GenerateNORARecords produces the synthetic record set plus the ground-truth
+// person→addresses mapping. Address popularity is skewed so some addresses
+// are shared by many people (apartment buildings), which is exactly the
+// signal NORA mines ("who shared an address with whom 2+ times").
+func GenerateNORARecords(p NORAParams) []PersonRecord {
+	rng := rand.New(rand.NewSource(p.Seed))
+	var records []PersonRecord
+	recID := int32(0)
+	var prevAddrs []int32
+	var prevLast string
+	for person := int32(0); person < p.NumPeople; person++ {
+		fn := firstNames[rng.Intn(len(firstNames))]
+		ln := lastNames[rng.Intn(len(lastNames))]
+		ssn := fmt.Sprintf("%04d", rng.Intn(10000))
+		var addrs []int32
+		if len(prevAddrs) > 0 && rng.Float64() < p.HouseholdRate {
+			// Household member: shares the previous person's address
+			// history (a family or roommates moving together).
+			addrs = append(addrs, prevAddrs...)
+			if rng.Float64() < 0.5 {
+				ln = prevLast
+			}
+		} else {
+			nAddr := 1 + poissonish(rng, p.MovesPer-1)
+			for len(addrs) < nAddr {
+				addrs = append(addrs, skewedAddress(rng, p.NumAddresses, p.SharedBias))
+			}
+		}
+		prevAddrs, prevLast = addrs, ln
+		nRec := 1 + poissonish(rng, p.RecordsPer-1)
+		for r := 0; r < nRec; r++ {
+			rec := PersonRecord{
+				RecordID:  recID,
+				FirstName: fn,
+				LastName:  ln,
+				SSNLast4:  ssn,
+				AddressID: addrs[rng.Intn(len(addrs))],
+				TruePerso: person,
+			}
+			if r > 0 && rng.Float64() < p.TypoRate {
+				rec.FirstName = perturb(rng, rec.FirstName)
+			}
+			records = append(records, rec)
+			recID++
+		}
+	}
+	rng.Shuffle(len(records), func(i, j int) { records[i], records[j] = records[j], records[i] })
+	for i := range records {
+		records[i].RecordID = int32(i)
+	}
+	return records
+}
+
+// skewedAddress draws an address ID with power-law popularity.
+func skewedAddress(rng *rand.Rand, nAddr int32, bias float64) int32 {
+	u := rng.Float64()
+	for i := 0.0; i < bias; i++ {
+		u *= rng.Float64()
+	}
+	a := int32(u * float64(nAddr))
+	if a >= nAddr {
+		a = nAddr - 1
+	}
+	return a
+}
+
+// poissonish draws a small nonnegative integer with the given mean using a
+// geometric-ish scheme (exact Poisson is unnecessary for workload shaping).
+func poissonish(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	n := 0
+	for rng.Float64() < mean/(mean+1) {
+		n++
+		if n > 20 {
+			break
+		}
+	}
+	return n
+}
+
+// perturb introduces a single-character typo.
+func perturb(rng *rand.Rand, s string) string {
+	if len(s) < 2 {
+		return s
+	}
+	b := []byte(s)
+	i := rng.Intn(len(b))
+	switch rng.Intn(3) {
+	case 0: // substitute
+		b[i] = byte('a' + rng.Intn(26))
+		return string(b)
+	case 1: // delete
+		return string(append(b[:i], b[i+1:]...))
+	default: // transpose
+		if i+1 < len(b) {
+			b[i], b[i+1] = b[i+1], b[i]
+		}
+		return string(b)
+	}
+}
+
+// QueryStream produces a sequence of applicant vertex IDs for the real-time
+// NORA quote path (the paper's second streaming form: "a stream of
+// independent local queries").
+func QueryStream(n int, numPeople int32, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]int32, n)
+	for i := range qs {
+		qs[i] = rng.Int31n(numPeople)
+	}
+	return qs
+}

@@ -1,0 +1,385 @@
+// Package graph provides the static in-memory graph substrate used by every
+// batch kernel in this repository: a compressed-sparse-row (CSR) adjacency
+// structure with optional edge weights and timestamps, plus a columnar
+// property table for vertices.
+//
+// The representation mirrors what the paper calls the "large persistent
+// graph": vertices are dense integer IDs in [0, NumVertices), edges are
+// stored once per direction for directed graphs and twice (both directions)
+// for undirected graphs, and neighbor lists are sorted by target so that
+// intersection-style kernels (triangles, Jaccard) run in linear merge time.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a single directed edge used when constructing a Graph.
+type Edge struct {
+	Src, Dst int32
+	Weight   float32
+	Time     int64
+}
+
+// Graph is an immutable CSR graph. Vertex IDs are dense int32 values.
+// The zero value is an empty graph with no vertices.
+type Graph struct {
+	n        int32
+	offsets  []int64 // len n+1; neighbor list of v is targets[offsets[v]:offsets[v+1]]
+	targets  []int32
+	weights  []float32 // nil when unweighted
+	times    []int64   // nil when untimestamped
+	directed bool
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int32 { return g.n }
+
+// NumEdges returns the number of stored directed arcs. For an undirected
+// graph each logical edge contributes two arcs.
+func (g *Graph) NumEdges() int64 {
+	if g.n == 0 {
+		return 0
+	}
+	return g.offsets[g.n]
+}
+
+// NumUndirectedEdges returns the number of logical edges for an undirected
+// graph (arcs/2), or the arc count for a directed graph.
+func (g *Graph) NumUndirectedEdges() int64 {
+	if g.directed {
+		return g.NumEdges()
+	}
+	return g.NumEdges() / 2
+}
+
+// Directed reports whether the graph stores directed arcs only.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Weighted reports whether edges carry weights.
+func (g *Graph) Weighted() bool { return g.weights != nil }
+
+// Timestamped reports whether edges carry timestamps.
+func (g *Graph) Timestamped() bool { return g.times != nil }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v int32) int32 {
+	return int32(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted slice of out-neighbors of v. The slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.targets[g.offsets[v]:g.offsets[v+1]]
+}
+
+// NeighborWeights returns the weights parallel to Neighbors(v). It returns
+// nil for unweighted graphs.
+func (g *Graph) NeighborWeights(v int32) []float32 {
+	if g.weights == nil {
+		return nil
+	}
+	return g.weights[g.offsets[v]:g.offsets[v+1]]
+}
+
+// NeighborTimes returns the timestamps parallel to Neighbors(v). It returns
+// nil for untimestamped graphs.
+func (g *Graph) NeighborTimes(v int32) []int64 {
+	if g.times == nil {
+		return nil
+	}
+	return g.times[g.offsets[v]:g.offsets[v+1]]
+}
+
+// EdgeRange returns the half-open arc index range [lo, hi) for vertex v.
+// Arc indexes identify edges globally: targets[i] for i in [lo,hi).
+func (g *Graph) EdgeRange(v int32) (lo, hi int64) {
+	return g.offsets[v], g.offsets[v+1]
+}
+
+// HasEdge reports whether an arc v->w exists, using binary search over the
+// sorted neighbor list.
+func (g *Graph) HasEdge(v, w int32) bool {
+	ns := g.Neighbors(v)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= w })
+	return i < len(ns) && ns[i] == w
+}
+
+// Weight returns the weight of arc v->w and whether it exists. Unweighted
+// graphs report weight 1 for existing arcs.
+func (g *Graph) Weight(v, w int32) (float32, bool) {
+	ns := g.Neighbors(v)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= w })
+	if i >= len(ns) || ns[i] != w {
+		return 0, false
+	}
+	if g.weights == nil {
+		return 1, true
+	}
+	return g.weights[g.offsets[v]+int64(i)], true
+}
+
+// Transpose returns the reverse graph (CSC view materialized as CSR over
+// reversed arcs). For undirected graphs the transpose equals the original
+// arc structure, and a shallow copy sharing storage is returned.
+func (g *Graph) Transpose() *Graph {
+	if !g.directed {
+		cp := *g
+		return &cp
+	}
+	n := g.n
+	counts := make([]int64, n+1)
+	for _, t := range g.targets {
+		counts[t+1]++
+	}
+	for i := int32(0); i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	targets := make([]int32, len(g.targets))
+	var weights []float32
+	if g.weights != nil {
+		weights = make([]float32, len(g.weights))
+	}
+	var times []int64
+	if g.times != nil {
+		times = make([]int64, len(g.times))
+	}
+	cursor := make([]int64, n)
+	copy(cursor, counts[:n])
+	for v := int32(0); v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		for i := lo; i < hi; i++ {
+			w := g.targets[i]
+			p := cursor[w]
+			cursor[w]++
+			targets[p] = v
+			if weights != nil {
+				weights[p] = g.weights[i]
+			}
+			if times != nil {
+				times[p] = g.times[i]
+			}
+		}
+	}
+	// Neighbor lists of the transpose are automatically sorted because we
+	// scanned source vertices in increasing order.
+	return &Graph{n: n, offsets: counts, targets: targets, weights: weights, times: times, directed: true}
+}
+
+// Undirected returns an undirected view of g: for directed graphs it adds the
+// reverse of every arc and rebuilds; undirected graphs are returned as-is.
+func (g *Graph) Undirected() *Graph {
+	if !g.directed {
+		return g
+	}
+	b := NewBuilder(g.n)
+	b.directed = false
+	if g.weights != nil {
+		b.weighted = true
+	}
+	if g.times != nil {
+		b.timestamped = true
+	}
+	for v := int32(0); v < g.n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		for i := lo; i < hi; i++ {
+			e := Edge{Src: v, Dst: g.targets[i], Weight: 1}
+			if g.weights != nil {
+				e.Weight = g.weights[i]
+			}
+			if g.times != nil {
+				e.Time = g.times[i]
+			}
+			b.AddEdge(e)
+		}
+	}
+	return b.Build()
+}
+
+// Validate checks structural invariants (monotone offsets, in-range targets,
+// sorted neighbor lists) and returns a descriptive error on violation. It is
+// used by tests and by property-based checks.
+func (g *Graph) Validate() error {
+	if int32(len(g.offsets)) != g.n+1 && !(g.n == 0 && len(g.offsets) == 0) {
+		return fmt.Errorf("graph: offsets length %d for %d vertices", len(g.offsets), g.n)
+	}
+	prev := int64(0)
+	for v := int32(0); v < g.n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
+		prev = g.offsets[v+1]
+		ns := g.Neighbors(v)
+		for i, w := range ns {
+			if w < 0 || w >= g.n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, w)
+			}
+			if i > 0 && ns[i-1] > w {
+				return fmt.Errorf("graph: vertex %d neighbor list not sorted", v)
+			}
+		}
+	}
+	if g.n > 0 && prev != int64(len(g.targets)) {
+		return fmt.Errorf("graph: final offset %d != targets length %d", prev, len(g.targets))
+	}
+	if g.weights != nil && len(g.weights) != len(g.targets) {
+		return fmt.Errorf("graph: weights length mismatch")
+	}
+	if g.times != nil && len(g.times) != len(g.targets) {
+		return fmt.Errorf("graph: times length mismatch")
+	}
+	return nil
+}
+
+// Builder accumulates edges and produces an immutable CSR Graph.
+type Builder struct {
+	n           int32
+	edges       []Edge
+	directed    bool
+	weighted    bool
+	timestamped bool
+	dedup       bool
+	selfLoops   bool
+}
+
+// NewBuilder returns a builder for a directed graph with n vertices.
+// Configure with the With* methods before adding edges.
+func NewBuilder(n int32) *Builder {
+	return &Builder{n: n, directed: true}
+}
+
+// Undirected marks the graph undirected: every added edge is stored in both
+// directions.
+func (b *Builder) Undirected() *Builder { b.directed = false; return b }
+
+// Weighted enables per-edge weights.
+func (b *Builder) Weighted() *Builder { b.weighted = true; return b }
+
+// Timestamped enables per-edge timestamps.
+func (b *Builder) Timestamped() *Builder { b.timestamped = true; return b }
+
+// DedupEdges removes parallel edges at Build time (keeping the minimum
+// weight and the earliest timestamp among duplicates).
+func (b *Builder) DedupEdges() *Builder { b.dedup = true; return b }
+
+// AllowSelfLoops retains self loops; by default they are dropped at Build.
+func (b *Builder) AllowSelfLoops() *Builder { b.selfLoops = true; return b }
+
+// NumVertices returns the vertex count the builder was created with.
+func (b *Builder) NumVertices() int32 { return b.n }
+
+// AddEdge appends one edge. Endpoints must be in range; out-of-range edges
+// panic since they indicate a generator bug, not a runtime condition.
+func (b *Builder) AddEdge(e Edge) {
+	if e.Src < 0 || e.Src >= b.n || e.Dst < 0 || e.Dst >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", e.Src, e.Dst, b.n))
+	}
+	b.edges = append(b.edges, e)
+}
+
+// Add is shorthand for AddEdge with weight 1 and time 0.
+func (b *Builder) Add(src, dst int32) { b.AddEdge(Edge{Src: src, Dst: dst, Weight: 1}) }
+
+// AddWeighted is shorthand for AddEdge with a weight.
+func (b *Builder) AddWeighted(src, dst int32, w float32) {
+	b.AddEdge(Edge{Src: src, Dst: dst, Weight: w})
+}
+
+// NumPendingEdges returns how many edges have been added so far (before
+// direction doubling or dedup).
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build sorts, optionally dedups, and freezes the graph. The builder can be
+// reused afterwards; its edge buffer is consumed.
+func (b *Builder) Build() *Graph {
+	edges := b.edges
+	b.edges = nil
+	if !b.selfLoops {
+		kept := edges[:0]
+		for _, e := range edges {
+			if e.Src != e.Dst {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+	}
+	if !b.directed {
+		m := len(edges)
+		for i := 0; i < m; i++ {
+			e := edges[i]
+			edges = append(edges, Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight, Time: e.Time})
+		}
+	}
+	// Stable so that dedup keeps the first-added parallel edge for BOTH
+	// stored directions of an undirected edge (unstable sort could keep
+	// different weights for (u,v) and (v,u)).
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
+		}
+		return edges[i].Dst < edges[j].Dst
+	})
+	if b.dedup {
+		// Parallel edges collapse to the minimum weight and earliest
+		// timestamp — min is direction-symmetric, so undirected graphs get
+		// identical weights on both stored arcs no matter the input order.
+		out := edges[:0]
+		for _, e := range edges {
+			if len(out) > 0 && out[len(out)-1].Src == e.Src && out[len(out)-1].Dst == e.Dst {
+				last := &out[len(out)-1]
+				if e.Time < last.Time {
+					last.Time = e.Time
+				}
+				if e.Weight < last.Weight {
+					last.Weight = e.Weight
+				}
+				continue
+			}
+			out = append(out, e)
+		}
+		edges = out
+	}
+	g := &Graph{n: b.n, directed: b.directed}
+	g.offsets = make([]int64, b.n+1)
+	g.targets = make([]int32, len(edges))
+	if b.weighted {
+		g.weights = make([]float32, len(edges))
+	}
+	if b.timestamped {
+		g.times = make([]int64, len(edges))
+	}
+	for _, e := range edges {
+		g.offsets[e.Src+1]++
+	}
+	for i := int32(0); i < b.n; i++ {
+		g.offsets[i+1] += g.offsets[i]
+	}
+	cursor := make([]int64, b.n)
+	copy(cursor, g.offsets[:b.n])
+	for _, e := range edges {
+		p := cursor[e.Src]
+		cursor[e.Src]++
+		g.targets[p] = e.Dst
+		if g.weights != nil {
+			g.weights[p] = e.Weight
+		}
+		if g.times != nil {
+			g.times[p] = e.Time
+		}
+	}
+	return g
+}
+
+// FromEdges builds an unweighted graph from an edge list in one call.
+func FromEdges(n int32, directed bool, edges [][2]int32) *Graph {
+	b := NewBuilder(n)
+	if !directed {
+		b.Undirected()
+	}
+	b.DedupEdges()
+	for _, e := range edges {
+		b.Add(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as whitespace-separated "src dst [weight]"
+// lines, one arc per line (undirected graphs emit each logical edge once,
+// with src <= dst).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for v := int32(0); v < g.NumVertices(); v++ {
+		ns := g.Neighbors(v)
+		ws := g.NeighborWeights(v)
+		for i, t := range ns {
+			if !g.Directed() && t < v {
+				continue
+			}
+			var err error
+			if ws != nil {
+				_, err = fmt.Fprintf(bw, "%d %d %g\n", v, t, ws[i])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", v, t)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses "src dst [weight]" lines into a graph with n vertices.
+// Lines beginning with '#' or '%' are comments. When n <= 0 the vertex count
+// is inferred as max ID + 1.
+func ReadEdgeList(r io.Reader, n int32, directed bool) (*Graph, error) {
+	type rawEdge struct {
+		s, d int32
+		w    float32
+	}
+	var edges []rawEdge
+	weighted := false
+	maxID := int32(-1)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %d", lineNo, len(fields))
+		}
+		s64, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src: %v", lineNo, err)
+		}
+		d64, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst: %v", lineNo, err)
+		}
+		e := rawEdge{s: int32(s64), d: int32(d64), w: 1}
+		if len(fields) >= 3 {
+			wf, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
+			}
+			e.w = float32(wf)
+			weighted = true
+		}
+		if e.s > maxID {
+			maxID = e.s
+		}
+		if e.d > maxID {
+			maxID = e.d
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		n = maxID + 1
+	}
+	b := NewBuilder(n)
+	if !directed {
+		b.Undirected()
+	}
+	if weighted {
+		b.Weighted()
+	}
+	b.DedupEdges()
+	for _, e := range edges {
+		b.AddWeighted(e.s, e.d, e.w)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PropertyTable is a columnar store of named per-vertex properties. The paper
+// emphasizes that real persistent graphs carry hundreds to thousands of
+// vertex properties that analytics read and write back; the flow engine
+// (internal/flow) uses this table as that persistent property store.
+//
+// Two column kinds are supported: float64 (numeric metrics such as PageRank
+// or credit score) and string (labels such as names or classes). Columns are
+// created lazily on first write.
+type PropertyTable struct {
+	n       int32
+	numeric map[string][]float64
+	labels  map[string][]string
+}
+
+// NewPropertyTable creates a table for n vertices.
+func NewPropertyTable(n int32) *PropertyTable {
+	return &PropertyTable{
+		n:       n,
+		numeric: make(map[string][]float64),
+		labels:  make(map[string][]string),
+	}
+}
+
+// NumVertices returns the table's vertex count.
+func (t *PropertyTable) NumVertices() int32 { return t.n }
+
+// SetNumeric sets property name for vertex v.
+func (t *PropertyTable) SetNumeric(name string, v int32, value float64) {
+	col, ok := t.numeric[name]
+	if !ok {
+		col = make([]float64, t.n)
+		t.numeric[name] = col
+	}
+	col[v] = value
+}
+
+// Numeric returns property name for vertex v, or 0 when the column does not
+// exist.
+func (t *PropertyTable) Numeric(name string, v int32) float64 {
+	if col, ok := t.numeric[name]; ok {
+		return col[v]
+	}
+	return 0
+}
+
+// NumericColumn returns the whole column (aliased, not copied) and whether it
+// exists.
+func (t *PropertyTable) NumericColumn(name string) ([]float64, bool) {
+	col, ok := t.numeric[name]
+	return col, ok
+}
+
+// SetNumericColumn installs (or replaces) an entire numeric column. The slice
+// is retained; its length must equal the vertex count.
+func (t *PropertyTable) SetNumericColumn(name string, col []float64) error {
+	if int32(len(col)) != t.n {
+		return fmt.Errorf("graph: column %q length %d != %d vertices", name, len(col), t.n)
+	}
+	t.numeric[name] = col
+	return nil
+}
+
+// SetLabel sets string property name for vertex v.
+func (t *PropertyTable) SetLabel(name string, v int32, value string) {
+	col, ok := t.labels[name]
+	if !ok {
+		col = make([]string, t.n)
+		t.labels[name] = col
+	}
+	col[v] = value
+}
+
+// Label returns string property name for vertex v ("" if absent).
+func (t *PropertyTable) Label(name string, v int32) string {
+	if col, ok := t.labels[name]; ok {
+		return col[v]
+	}
+	return ""
+}
+
+// LabelColumn returns the whole string column and whether it exists.
+func (t *PropertyTable) LabelColumn(name string) ([]string, bool) {
+	col, ok := t.labels[name]
+	return col, ok
+}
+
+// NumericNames returns the sorted list of numeric column names.
+func (t *PropertyTable) NumericNames() []string {
+	names := make([]string, 0, len(t.numeric))
+	for k := range t.numeric {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LabelNames returns the sorted list of string column names.
+func (t *PropertyTable) LabelNames() []string {
+	names := make([]string, 0, len(t.labels))
+	for k := range t.labels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TopK returns the k vertices with the largest values of the named numeric
+// property, in descending order. This implements the paper's "scan for the
+// top-k vertices with the highest values of some properties" seed-selection
+// primitive. Returns nil when the column is absent.
+func (t *PropertyTable) TopK(name string, k int) []int32 {
+	col, ok := t.numeric[name]
+	if !ok || k <= 0 {
+		return nil
+	}
+	ids := make([]int32, t.n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if col[ids[a]] != col[ids[b]] {
+			return col[ids[a]] > col[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+// Project copies a subset of columns for a subset of vertices into a new
+// table indexed by the local IDs 0..len(vertices)-1. It implements the
+// "projection" step of subgraph extraction.
+func (t *PropertyTable) Project(vertices []int32, numericCols, labelCols []string) *PropertyTable {
+	out := NewPropertyTable(int32(len(vertices)))
+	for _, name := range numericCols {
+		src, ok := t.numeric[name]
+		if !ok {
+			continue
+		}
+		col := make([]float64, len(vertices))
+		for i, v := range vertices {
+			col[i] = src[v]
+		}
+		out.numeric[name] = col
+	}
+	for _, name := range labelCols {
+		src, ok := t.labels[name]
+		if !ok {
+			continue
+		}
+		col := make([]string, len(vertices))
+		for i, v := range vertices {
+			col[i] = src[v]
+		}
+		out.labels[name] = col
+	}
+	return out
+}

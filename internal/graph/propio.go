@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary persistence for property tables, completing the "persistent
+// graph" story: dyngraph.Save/Load handles structure, this handles the
+// accumulated per-vertex properties that analytics wrote back.
+//
+// Format (little-endian): magic, version, vertex count, numeric column
+// count, then per column: name length, name bytes, n float64 values; then
+// label column count and per column: name, then n (length, bytes) strings.
+
+const (
+	propMagic   = 0x50524f50 // "PROP"
+	propVersion = 1
+)
+
+// Save writes the table to w.
+func (t *PropertyTable) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	for _, v := range []uint32{propMagic, propVersion, uint32(t.n)} {
+		if err := binary.Write(bw, le, v); err != nil {
+			return err
+		}
+	}
+	writeString := func(s string) error {
+		if err := binary.Write(bw, le, uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	numNames := t.NumericNames()
+	if err := binary.Write(bw, le, uint32(len(numNames))); err != nil {
+		return err
+	}
+	for _, name := range numNames {
+		if err := writeString(name); err != nil {
+			return err
+		}
+		for _, x := range t.numeric[name] {
+			if err := binary.Write(bw, le, math.Float64bits(x)); err != nil {
+				return err
+			}
+		}
+	}
+	labNames := t.LabelNames()
+	if err := binary.Write(bw, le, uint32(len(labNames))); err != nil {
+		return err
+	}
+	for _, name := range labNames {
+		if err := writeString(name); err != nil {
+			return err
+		}
+		for _, s := range t.labels[name] {
+			if err := writeString(s); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadPropertyTable reads a table written by Save.
+func LoadPropertyTable(r io.Reader) (*PropertyTable, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var hdr [3]uint32
+	for i := range hdr {
+		if err := binary.Read(br, le, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("graph: property header: %w", err)
+		}
+	}
+	if hdr[0] != propMagic {
+		return nil, fmt.Errorf("graph: bad property magic %#x", hdr[0])
+	}
+	if hdr[1] != propVersion {
+		return nil, fmt.Errorf("graph: unsupported property version %d", hdr[1])
+	}
+	n := int32(hdr[2])
+	t := NewPropertyTable(n)
+	readString := func() (string, error) {
+		var l uint32
+		if err := binary.Read(br, le, &l); err != nil {
+			return "", err
+		}
+		if l > 1<<20 {
+			return "", fmt.Errorf("graph: implausible string length %d", l)
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	var numCols uint32
+	if err := binary.Read(br, le, &numCols); err != nil {
+		return nil, err
+	}
+	for c := uint32(0); c < numCols; c++ {
+		name, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("graph: numeric column %d name: %w", c, err)
+		}
+		col := make([]float64, n)
+		for i := range col {
+			var bits uint64
+			if err := binary.Read(br, le, &bits); err != nil {
+				return nil, fmt.Errorf("graph: column %q value %d: %w", name, i, err)
+			}
+			col[i] = math.Float64frombits(bits)
+		}
+		t.numeric[name] = col
+	}
+	var labCols uint32
+	if err := binary.Read(br, le, &labCols); err != nil {
+		return nil, err
+	}
+	for c := uint32(0); c < labCols; c++ {
+		name, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("graph: label column %d name: %w", c, err)
+		}
+		col := make([]string, n)
+		for i := range col {
+			if col[i], err = readString(); err != nil {
+				return nil, fmt.Errorf("graph: label %q value %d: %w", name, i, err)
+			}
+		}
+		t.labels[name] = col
+	}
+	return t, nil
+}

@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"testing"
+)
+
+func relabelFixture() *Graph {
+	b := NewBuilder(5).Undirected().Weighted()
+	b.AddWeighted(0, 1, 1)
+	b.AddWeighted(1, 2, 2)
+	b.AddWeighted(2, 3, 3)
+	b.AddWeighted(0, 4, 4)
+	b.AddWeighted(0, 2, 5)
+	return b.Build()
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	g := relabelFixture()
+	perm := []int32{4, 3, 2, 1, 0} // reverse
+	rg := Relabel(g, perm)
+	if rg.NumEdges() != g.NumEdges() {
+		t.Fatal("edge count changed")
+	}
+	for v := int32(0); v < 5; v++ {
+		for _, w := range g.Neighbors(v) {
+			if !rg.HasEdge(perm[v], perm[w]) {
+				t.Fatalf("edge (%d,%d) lost", v, w)
+			}
+		}
+	}
+	// Weight follows.
+	if w, ok := rg.Weight(perm[0], perm[2]); !ok || w != 5 {
+		t.Fatalf("weight = %v,%v", w, ok)
+	}
+	if err := rg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeOrderPermutation(t *testing.T) {
+	g := relabelFixture() // degrees: 0:3 1:2 2:3 3:1 4:1
+	perm := DegreeOrderPermutation(g)
+	rg := Relabel(g, perm)
+	// Degrees must be non-increasing in the new numbering.
+	for v := int32(1); v < rg.NumVertices(); v++ {
+		if rg.Degree(v) > rg.Degree(v-1) {
+			t.Fatalf("degree order violated at %d", v)
+		}
+	}
+	// perm is a bijection.
+	seen := make([]bool, 5)
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatal("not a permutation")
+		}
+		seen[p] = true
+	}
+}
+
+func TestBFSOrderPermutation(t *testing.T) {
+	g := relabelFixture()
+	perm := BFSOrderPermutation(g, 3)
+	if perm[3] != 0 {
+		t.Fatal("source should be numbered 0")
+	}
+	rg := Relabel(g, perm)
+	if err := rg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Disconnected vertices get trailing numbers.
+	b := NewBuilder(4).Undirected()
+	b.Add(0, 1)
+	g2 := b.Build()
+	perm2 := BFSOrderPermutation(g2, 0)
+	if perm2[2] < 2 || perm2[3] < 2 {
+		t.Fatalf("unreached vertices numbered early: %v", perm2)
+	}
+}

@@ -1,0 +1,105 @@
+package graph
+
+import "fmt"
+
+// Schema models the paper's observation that "real applications start with
+// large graphs built from not one but many classes of vertices and edges":
+// it assigns each vertex a class (person, address, account, ...) and each
+// edge-class name an ID, and enforces which edge classes may connect which
+// vertex classes. The NORA bipartite graph registers person/address classes
+// through this.
+type Schema struct {
+	vertexClasses []string
+	classOf       []int32 // vertex -> class ID
+	edgeClasses   []string
+	// allowed[edgeClass] = (srcClass, dstClass); -1 means any.
+	allowed [][2]int32
+}
+
+// NewSchema creates a schema for n vertices; all vertices start in class 0
+// ("default").
+func NewSchema(n int32) *Schema {
+	return &Schema{
+		vertexClasses: []string{"default"},
+		classOf:       make([]int32, n),
+	}
+}
+
+// AddVertexClass registers a vertex class and returns its ID.
+func (s *Schema) AddVertexClass(name string) int32 {
+	s.vertexClasses = append(s.vertexClasses, name)
+	return int32(len(s.vertexClasses) - 1)
+}
+
+// AddEdgeClass registers an edge class constrained to connect srcClass to
+// dstClass (pass -1 for either to allow any class on that side).
+func (s *Schema) AddEdgeClass(name string, srcClass, dstClass int32) int32 {
+	s.edgeClasses = append(s.edgeClasses, name)
+	s.allowed = append(s.allowed, [2]int32{srcClass, dstClass})
+	return int32(len(s.edgeClasses) - 1)
+}
+
+// SetClass assigns vertex v to the class.
+func (s *Schema) SetClass(v, class int32) {
+	if class < 0 || int(class) >= len(s.vertexClasses) {
+		panic(fmt.Sprintf("graph: unknown vertex class %d", class))
+	}
+	s.classOf[v] = class
+}
+
+// SetClassRange assigns the half-open vertex range [lo,hi) to the class.
+func (s *Schema) SetClassRange(lo, hi, class int32) {
+	for v := lo; v < hi; v++ {
+		s.SetClass(v, class)
+	}
+}
+
+// ClassOf returns vertex v's class ID.
+func (s *Schema) ClassOf(v int32) int32 { return s.classOf[v] }
+
+// ClassName returns the class's registered name.
+func (s *Schema) ClassName(class int32) string { return s.vertexClasses[class] }
+
+// EdgeClassName returns the edge class's registered name.
+func (s *Schema) EdgeClassName(ec int32) string { return s.edgeClasses[ec] }
+
+// CheckEdge reports whether an edge of class ec may connect u to v.
+func (s *Schema) CheckEdge(ec, u, v int32) error {
+	if ec < 0 || int(ec) >= len(s.edgeClasses) {
+		return fmt.Errorf("graph: unknown edge class %d", ec)
+	}
+	want := s.allowed[ec]
+	if want[0] >= 0 && s.classOf[u] != want[0] {
+		return fmt.Errorf("graph: edge class %q requires src class %q, got %q",
+			s.edgeClasses[ec], s.vertexClasses[want[0]], s.vertexClasses[s.classOf[u]])
+	}
+	if want[1] >= 0 && s.classOf[v] != want[1] {
+		return fmt.Errorf("graph: edge class %q requires dst class %q, got %q",
+			s.edgeClasses[ec], s.vertexClasses[want[1]], s.vertexClasses[s.classOf[v]])
+	}
+	return nil
+}
+
+// ValidateGraph checks every arc of g against a single edge class (the
+// common case of a bipartite layer, e.g. person—lived-at—address).
+func (s *Schema) ValidateGraph(g *Graph, ec int32) error {
+	for v := int32(0); v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if err := s.CheckEdge(ec, v, w); err != nil {
+				return fmt.Errorf("arc %d->%d: %w", v, w, err)
+			}
+		}
+	}
+	return nil
+}
+
+// VerticesOfClass returns all vertices in the class, in ID order.
+func (s *Schema) VerticesOfClass(class int32) []int32 {
+	var out []int32
+	for v, c := range s.classOf {
+		if c == class {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}

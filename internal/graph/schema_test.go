@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemaClasses(t *testing.T) {
+	s := NewSchema(6)
+	person := s.AddVertexClass("person")
+	address := s.AddVertexClass("address")
+	s.SetClassRange(0, 3, person)
+	s.SetClassRange(3, 6, address)
+	if s.ClassOf(1) != person || s.ClassOf(4) != address {
+		t.Fatal("class assignment wrong")
+	}
+	if s.ClassName(person) != "person" {
+		t.Fatal("class name wrong")
+	}
+	if got := s.VerticesOfClass(address); len(got) != 3 || got[0] != 3 {
+		t.Fatalf("vertices of class = %v", got)
+	}
+}
+
+func TestSchemaEdgeConstraints(t *testing.T) {
+	s := NewSchema(4)
+	person := s.AddVertexClass("person")
+	address := s.AddVertexClass("address")
+	s.SetClassRange(0, 2, person)
+	s.SetClassRange(2, 4, address)
+	livedAt := s.AddEdgeClass("lived-at", person, address)
+	if err := s.CheckEdge(livedAt, 0, 2); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := s.CheckEdge(livedAt, 0, 1); err == nil {
+		t.Fatal("person->person lived-at accepted")
+	}
+	if err := s.CheckEdge(livedAt, 2, 3); err == nil {
+		t.Fatal("address src accepted")
+	}
+	if err := s.CheckEdge(99, 0, 2); err == nil {
+		t.Fatal("unknown edge class accepted")
+	}
+	// Wildcard side.
+	any := s.AddEdgeClass("related", -1, -1)
+	if err := s.CheckEdge(any, 0, 1); err != nil {
+		t.Fatalf("wildcard edge rejected: %v", err)
+	}
+}
+
+func TestSchemaValidateGraph(t *testing.T) {
+	s := NewSchema(4)
+	person := s.AddVertexClass("person")
+	address := s.AddVertexClass("address")
+	s.SetClassRange(0, 2, person)
+	s.SetClassRange(2, 4, address)
+	livedAt := s.AddEdgeClass("lived-at", person, address)
+	ok := FromEdges(4, true, [][2]int32{{0, 2}, {1, 3}})
+	if err := s.ValidateGraph(ok, livedAt); err != nil {
+		t.Fatalf("valid bipartite rejected: %v", err)
+	}
+	bad := FromEdges(4, true, [][2]int32{{0, 1}})
+	err := s.ValidateGraph(bad, livedAt)
+	if err == nil || !strings.Contains(err.Error(), "lived-at") {
+		t.Fatalf("violation not reported: %v", err)
+	}
+}
+
+func TestSchemaPanicsOnUnknownClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSchema(2).SetClass(0, 7)
+}

@@ -1,0 +1,93 @@
+package graph
+
+import "sort"
+
+// Stats summarizes structural characteristics of a graph, used by the
+// benchmark harness to report workload parameters alongside results.
+type Stats struct {
+	NumVertices   int32
+	NumArcs       int64
+	MinDegree     int32
+	MaxDegree     int32
+	MeanDegree    float64
+	MedianDegree  int32
+	Isolated      int64 // vertices with degree 0
+	DegreeP99     int32
+	SelfLoopCount int64
+}
+
+// ComputeStats scans the graph once and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumVertices()
+	s := Stats{NumVertices: n, NumArcs: g.NumEdges(), MinDegree: int32(1<<31 - 1)}
+	if n == 0 {
+		s.MinDegree = 0
+		return s
+	}
+	degs := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		d := g.Degree(v)
+		degs[v] = d
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+		for _, w := range g.Neighbors(v) {
+			if w == v {
+				s.SelfLoopCount++
+			}
+		}
+	}
+	s.MeanDegree = float64(s.NumArcs) / float64(n)
+	sort.Slice(degs, func(i, j int) bool { return degs[i] < degs[j] })
+	s.MedianDegree = degs[n/2]
+	p99 := int(float64(n)*0.99) - 1
+	if p99 < 0 {
+		p99 = 0
+	}
+	s.DegreeP99 = degs[p99]
+	return s
+}
+
+// DegreeHistogram returns counts of vertices per log2 degree bucket:
+// bucket 0 holds degree 0, bucket k holds degrees in [2^(k-1), 2^k).
+func DegreeHistogram(g *Graph) []int64 {
+	var hist []int64
+	bump := func(b int) {
+		for len(hist) <= b {
+			hist = append(hist, 0)
+		}
+		hist[b]++
+	}
+	for v := int32(0); v < g.NumVertices(); v++ {
+		d := g.Degree(v)
+		if d == 0 {
+			bump(0)
+			continue
+		}
+		b := 1
+		for x := d; x > 1; x >>= 1 {
+			b++
+		}
+		bump(b)
+	}
+	return hist
+}
+
+// MaxDegreeVertex returns the vertex with the largest out-degree (lowest ID
+// wins ties) and that degree. This is the paper's "Search for Largest"
+// kernel in its simplest form.
+func MaxDegreeVertex(g *Graph) (int32, int32) {
+	best, bestDeg := int32(-1), int32(-1)
+	for v := int32(0); v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	return best, bestDeg
+}

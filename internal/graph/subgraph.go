@@ -1,0 +1,53 @@
+package graph
+
+// InducedSubgraph returns the subgraph induced by the given vertices,
+// relabeled to local IDs 0..len(vertices)-1, plus the local→global ID map
+// (which is just the input slice) for writing results back. Duplicate input
+// vertices are ignored after the first occurrence.
+//
+// This is the physical "copy the extracted subgraph into a smaller, faster
+// memory" step of the paper's canonical flow (Fig. 2).
+func InducedSubgraph(g *Graph, vertices []int32) (*Graph, []int32) {
+	local := make(map[int32]int32, len(vertices))
+	order := make([]int32, 0, len(vertices))
+	for _, v := range vertices {
+		if _, ok := local[v]; !ok {
+			local[v] = int32(len(order))
+			order = append(order, v)
+		}
+	}
+	b := NewBuilder(int32(len(order)))
+	if !g.Directed() {
+		// Arcs already exist in both directions in g; keep builder directed
+		// and copy arcs verbatim so we do not double them.
+	}
+	if g.Weighted() {
+		b.Weighted()
+	}
+	if g.Timestamped() {
+		b.Timestamped()
+	}
+	b.AllowSelfLoops()
+	for gi, v := range order {
+		ns := g.Neighbors(v)
+		ws := g.NeighborWeights(v)
+		ts := g.NeighborTimes(v)
+		for i, w := range ns {
+			lw, ok := local[w]
+			if !ok {
+				continue
+			}
+			e := Edge{Src: int32(gi), Dst: lw, Weight: 1}
+			if ws != nil {
+				e.Weight = ws[i]
+			}
+			if ts != nil {
+				e.Time = ts[i]
+			}
+			b.AddEdge(e)
+		}
+	}
+	sub := b.Build()
+	sub.directed = g.directed
+	return sub, order
+}

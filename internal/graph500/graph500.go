@@ -1,0 +1,182 @@
+// Package graph500 is a faithful-in-shape harness for the Graph500
+// benchmark the paper's Section IV leans on ("perhaps the most exhaustive
+// [results are] the twice-yearly reports ... of the Breadth First Kernel
+// used in the GRAPH500 benchmark"): Kronecker/R-MAT construction, a fixed
+// number of BFS iterations from random reachable roots with full tree
+// validation, TEPS statistics in the reference implementation's format,
+// and the later-added SSSP phase.
+package graph500
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+)
+
+// Spec parameterizes a run.
+type Spec struct {
+	Scale      int
+	EdgeFactor int
+	Iterations int
+	Seed       int64
+}
+
+// DefaultSpec mirrors the toy-scale defaults used in tests and demos; the
+// official benchmark fixes EdgeFactor=16 and 64 iterations.
+func DefaultSpec(scale int) Spec {
+	return Spec{Scale: scale, EdgeFactor: 16, Iterations: 16, Seed: 12345}
+}
+
+// Result holds one phase's statistics over all iterations.
+type Result struct {
+	Spec          Spec
+	ConstructTime time.Duration
+	NumVertices   int32
+	NumEdges      int64 // undirected edge count, per the benchmark's TEPS basis
+	TEPS          []float64
+	Times         []time.Duration
+	AllValid      bool
+}
+
+// TEPSStats summarizes traversed-edges-per-second samples the way the
+// reference output does (min, quartiles, max, harmonic mean and its
+// standard error).
+type TEPSStats struct {
+	Min, Q1, Median, Q3, Max float64
+	HarmonicMean             float64
+	HarmonicStddev           float64
+}
+
+// Stats computes the TEPS summary.
+func (r *Result) Stats() TEPSStats {
+	s := append([]float64(nil), r.TEPS...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return TEPSStats{}
+	}
+	q := func(f float64) float64 { return s[int(f*float64(n-1))] }
+	var invSum, invSqSum float64
+	for _, t := range s {
+		invSum += 1 / t
+		invSqSum += 1 / (t * t)
+	}
+	hm := float64(n) / invSum
+	// Standard error of the harmonic mean (as in the reference code).
+	var hsd float64
+	if n > 1 {
+		hsd = math.Sqrt(invSqSum-invSum*invSum/float64(n)) /
+			(invSum / float64(n)) / math.Sqrt(float64(n-1)) * hm / float64(n)
+	}
+	return TEPSStats{
+		Min: s[0], Q1: q(0.25), Median: q(0.5), Q3: q(0.75), Max: s[n-1],
+		HarmonicMean: hm, HarmonicStddev: hsd,
+	}
+}
+
+// RunBFS executes the benchmark's BFS phase: construct once, then for each
+// iteration pick a root with nonzero degree, run the parallel BFS, validate
+// the tree, and record TEPS = edges-connected-to-the-traversed-component /
+// time (we use the standard practice of counting all undirected edges of
+// the traversed component; for the dominant giant component this is ≈ all
+// edges).
+func RunBFS(spec Spec) (*Result, error) {
+	start := time.Now()
+	g := gen.RMAT(spec.Scale, spec.EdgeFactor, gen.Graph500RMAT, spec.Seed, false)
+	res := &Result{
+		Spec: spec, ConstructTime: time.Since(start),
+		NumVertices: g.NumVertices(), NumEdges: g.NumUndirectedEdges(),
+		AllValid: true,
+	}
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	for it := 0; it < spec.Iterations; it++ {
+		root := pickRoot(g, rng)
+		t0 := time.Now()
+		bfs := kernels.BFSParallel(g, root)
+		elapsed := time.Since(t0)
+		if !kernels.ValidateBFSTree(g, bfs) {
+			res.AllValid = false
+			return res, fmt.Errorf("graph500: iteration %d produced an invalid BFS tree", it)
+		}
+		// Edges in the traversed component.
+		var traversed int64
+		for v := int32(0); v < g.NumVertices(); v++ {
+			if bfs.Depth[v] != kernels.Unreached {
+				traversed += int64(g.Degree(v))
+			}
+		}
+		traversed /= 2
+		res.Times = append(res.Times, elapsed)
+		res.TEPS = append(res.TEPS, float64(traversed)/elapsed.Seconds())
+	}
+	return res, nil
+}
+
+// RunSSSP executes the SSSP phase added in Graph500 v2 (delta-stepping on
+// uniformly weighted edges), with the same TEPS accounting.
+func RunSSSP(spec Spec) (*Result, error) {
+	start := time.Now()
+	g := gen.RMATWeighted(spec.Scale, spec.EdgeFactor, gen.Graph500RMAT, spec.Seed, false)
+	res := &Result{
+		Spec: spec, ConstructTime: time.Since(start),
+		NumVertices: g.NumVertices(), NumEdges: g.NumUndirectedEdges(),
+		AllValid: true,
+	}
+	rng := rand.New(rand.NewSource(spec.Seed + 2))
+	for it := 0; it < spec.Iterations; it++ {
+		root := pickRoot(g, rng)
+		t0 := time.Now()
+		sp := kernels.DeltaStepping(g, root, 0.1)
+		elapsed := time.Since(t0)
+		if !kernels.ValidateSSSP(g, sp) {
+			res.AllValid = false
+			return res, fmt.Errorf("graph500: iteration %d produced invalid SSSP distances", it)
+		}
+		var traversed int64
+		for v := int32(0); v < g.NumVertices(); v++ {
+			if !math.IsInf(sp.Dist[v], 1) {
+				traversed += int64(g.Degree(v))
+			}
+		}
+		traversed /= 2
+		res.Times = append(res.Times, elapsed)
+		res.TEPS = append(res.TEPS, float64(traversed)/elapsed.Seconds())
+	}
+	return res, nil
+}
+
+func pickRoot(g *graph.Graph, rng *rand.Rand) int32 {
+	for {
+		root := rng.Int31n(g.NumVertices())
+		if g.Degree(root) > 0 {
+			return root
+		}
+	}
+}
+
+// Render prints the result in the reference implementation's key:value
+// style.
+func (r *Result) Render(w io.Writer, phase string) {
+	st := r.Stats()
+	fmt.Fprintf(w, "SCALE:                          %d\n", r.Spec.Scale)
+	fmt.Fprintf(w, "edgefactor:                     %d\n", r.Spec.EdgeFactor)
+	fmt.Fprintf(w, "NBFS:                           %d\n", len(r.TEPS))
+	fmt.Fprintf(w, "construction_time:              %v\n", r.ConstructTime)
+	fmt.Fprintf(w, "num_vertices:                   %d\n", r.NumVertices)
+	fmt.Fprintf(w, "num_edges:                      %d\n", r.NumEdges)
+	fmt.Fprintf(w, "%s_min_TEPS:                %.4g\n", phase, st.Min)
+	fmt.Fprintf(w, "%s_firstquartile_TEPS:      %.4g\n", phase, st.Q1)
+	fmt.Fprintf(w, "%s_median_TEPS:             %.4g\n", phase, st.Median)
+	fmt.Fprintf(w, "%s_thirdquartile_TEPS:      %.4g\n", phase, st.Q3)
+	fmt.Fprintf(w, "%s_max_TEPS:                %.4g\n", phase, st.Max)
+	fmt.Fprintf(w, "%s_harmonic_mean_TEPS:      %.4g\n", phase, st.HarmonicMean)
+	fmt.Fprintf(w, "%s_harmonic_stddev_TEPS:    %.4g\n", phase, st.HarmonicStddev)
+	fmt.Fprintf(w, "validation:                     %v\n", r.AllValid)
+}

@@ -1,0 +1,81 @@
+package graph500
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBFS(t *testing.T) {
+	spec := Spec{Scale: 9, EdgeFactor: 8, Iterations: 8, Seed: 3}
+	res, err := RunBFS(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllValid {
+		t.Fatal("validation failed")
+	}
+	if len(res.TEPS) != 8 || len(res.Times) != 8 {
+		t.Fatalf("iterations = %d", len(res.TEPS))
+	}
+	if res.NumVertices != 512 {
+		t.Fatalf("vertices = %d", res.NumVertices)
+	}
+	for _, teps := range res.TEPS {
+		if teps <= 0 {
+			t.Fatal("nonpositive TEPS")
+		}
+	}
+}
+
+func TestRunSSSP(t *testing.T) {
+	spec := Spec{Scale: 8, EdgeFactor: 8, Iterations: 4, Seed: 5}
+	res, err := RunSSSP(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllValid || len(res.TEPS) != 4 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestStatsOrdering(t *testing.T) {
+	r := &Result{TEPS: []float64{100, 400, 200, 300}}
+	st := r.Stats()
+	if st.Min != 100 || st.Max != 400 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Median < st.Q1 || st.Q3 < st.Median {
+		t.Fatalf("quartiles out of order: %+v", st)
+	}
+	// Harmonic mean <= arithmetic mean, > min.
+	if st.HarmonicMean <= st.Min || st.HarmonicMean >= st.Max {
+		t.Fatalf("harmonic mean = %v", st.HarmonicMean)
+	}
+	if (&Result{}).Stats() != (TEPSStats{}) {
+		t.Fatal("empty stats should be zero")
+	}
+}
+
+func TestRender(t *testing.T) {
+	spec := Spec{Scale: 7, EdgeFactor: 4, Iterations: 2, Seed: 9}
+	res, err := RunBFS(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf, "bfs")
+	out := buf.String()
+	for _, key := range []string{"SCALE:", "bfs_harmonic_mean_TEPS:", "validation:"} {
+		if !strings.Contains(out, key) {
+			t.Fatalf("render missing %q:\n%s", key, out)
+		}
+	}
+}
+
+func TestDefaultSpec(t *testing.T) {
+	s := DefaultSpec(10)
+	if s.Scale != 10 || s.EdgeFactor != 16 || s.Iterations != 16 {
+		t.Fatalf("spec = %+v", s)
+	}
+}

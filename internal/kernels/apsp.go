@@ -1,0 +1,107 @@
+package kernels
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// APSPResult holds an all-pairs distance matrix, row-major: Dist[u*n+v].
+// This is the Fig. 1 kernel whose output grows as O(|V|^2) — the paper's
+// "Output O(|V|^k) list" class — so it is only intended for extracted
+// subgraphs, not the persistent graph.
+type APSPResult struct {
+	N    int32
+	Dist []float64
+}
+
+// At returns the distance from u to v.
+func (r *APSPResult) At(u, v int32) float64 { return r.Dist[int64(u)*int64(r.N)+int64(v)] }
+
+func (r *APSPResult) set(u, v int32, d float64) { r.Dist[int64(u)*int64(r.N)+int64(v)] = d }
+
+// APSP computes all-pairs shortest paths by running Dijkstra from every
+// vertex in parallel. Suitable for the small extracted subgraphs of the
+// canonical flow.
+func APSP(g *graph.Graph) *APSPResult {
+	n := g.NumVertices()
+	res := &APSPResult{N: n, Dist: make([]float64, int64(n)*int64(n))}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	next := make(chan int32, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for src := range next {
+				one := Dijkstra(g, src)
+				copy(res.Dist[int64(src)*int64(n):int64(src+1)*int64(n)], one.Dist)
+			}
+		}()
+	}
+	for v := int32(0); v < n; v++ {
+		next <- v
+	}
+	close(next)
+	wg.Wait()
+	return res
+}
+
+// FloydWarshall computes APSP with the classic O(n^3) dynamic program. It
+// exists as an independent oracle for testing APSP and handles negative
+// weights (but not negative cycles).
+func FloydWarshall(g *graph.Graph) *APSPResult {
+	n := g.NumVertices()
+	res := &APSPResult{N: n, Dist: make([]float64, int64(n)*int64(n))}
+	for i := range res.Dist {
+		res.Dist[i] = math.Inf(1)
+	}
+	for v := int32(0); v < n; v++ {
+		res.set(v, v, 0)
+		ns := g.Neighbors(v)
+		ws := g.NeighborWeights(v)
+		for i, w := range ns {
+			ew := 1.0
+			if ws != nil {
+				ew = float64(ws[i])
+			}
+			if ew < res.At(v, w) {
+				res.set(v, w, ew)
+			}
+		}
+	}
+	for k := int32(0); k < n; k++ {
+		for i := int32(0); i < n; i++ {
+			dik := res.At(i, k)
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			rowK := res.Dist[int64(k)*int64(n) : int64(k+1)*int64(n)]
+			rowI := res.Dist[int64(i)*int64(n) : int64(i+1)*int64(n)]
+			for j := int32(0); j < n; j++ {
+				if nd := dik + rowK[j]; nd < rowI[j] {
+					rowI[j] = nd
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Diameter returns the largest finite pairwise distance (the paper's
+// "diameter" global graph metric) and the eccentricity-maximizing pair.
+func Diameter(r *APSPResult) (float64, int32, int32) {
+	best := 0.0
+	var bu, bv int32
+	for u := int32(0); u < r.N; u++ {
+		for v := int32(0); v < r.N; v++ {
+			d := r.At(u, v)
+			if !math.IsInf(d, 1) && d > best {
+				best, bu, bv = d, u, v
+			}
+		}
+	}
+	return best, bu, bv
+}

@@ -1,0 +1,260 @@
+// Package kernels implements every batch graph kernel in the paper's Fig. 1
+// taxonomy: connectedness (BFS, WCC, SCC), path analysis (SSSP, APSP),
+// centrality (betweenness, PageRank, clustering coefficients), clustering
+// (Jaccard), contraction/partitioning, subgraph isomorphism and triangle
+// kernels, plus the auxiliary "search for largest" and k-hop neighborhood
+// primitives the canonical flow needs.
+//
+// Kernels operate on the immutable CSR graphs from internal/graph.
+// Distances and parents use int32 with -1 meaning "unreached".
+package kernels
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Unreached marks vertices not touched by a traversal.
+const Unreached = int32(-1)
+
+// BFSResult holds the output of a breadth-first search: per-vertex parent in
+// the BFS tree and hop distance from the source (the paper's "compute vertex
+// property" output class).
+type BFSResult struct {
+	Source  int32
+	Parent  []int32
+	Depth   []int32
+	Visited int64 // number of reached vertices
+}
+
+// BFS runs a serial top-down breadth-first search from src.
+func BFS(g *graph.Graph, src int32) *BFSResult {
+	n := g.NumVertices()
+	res := &BFSResult{Source: src, Parent: make([]int32, n), Depth: make([]int32, n)}
+	for i := range res.Parent {
+		res.Parent[i] = Unreached
+		res.Depth[i] = Unreached
+	}
+	res.Parent[src] = src
+	res.Depth[src] = 0
+	res.Visited = 1
+	frontier := []int32{src}
+	next := make([]int32, 0, 64)
+	depth := int32(0)
+	for len(frontier) > 0 {
+		depth++
+		next = next[:0]
+		for _, v := range frontier {
+			for _, w := range g.Neighbors(v) {
+				if res.Parent[w] == Unreached {
+					res.Parent[w] = v
+					res.Depth[w] = depth
+					res.Visited++
+					next = append(next, w)
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return res
+}
+
+// BFSParallel runs a level-synchronous direction-optimizing BFS using all
+// CPUs. It switches from top-down to bottom-up when the frontier grows past
+// a fraction of the unvisited arc volume, the standard Beamer optimization
+// that the Graph500 reference implementations use.
+func BFSParallel(g *graph.Graph, src int32) *BFSResult {
+	n := g.NumVertices()
+	res := &BFSResult{Source: src, Parent: make([]int32, n), Depth: make([]int32, n)}
+	parent := make([]int32, n) // atomic view
+	for i := range parent {
+		parent[i] = Unreached
+		res.Depth[i] = Unreached
+	}
+	parent[src] = src
+	res.Depth[src] = 0
+	var visited int64 = 1
+
+	frontier := []int32{src}
+	depth := int32(0)
+	workers := runtime.GOMAXPROCS(0)
+	inFrontier := make([]uint32, n) // bottom-up membership bitmap (word per vertex for simplicity)
+
+	for len(frontier) > 0 {
+		depth++
+		frontierArcs := int64(0)
+		for _, v := range frontier {
+			frontierArcs += int64(g.Degree(v))
+		}
+		useBottomUp := frontierArcs > g.NumEdges()/20 && int64(len(frontier)) > int64(n)/20
+
+		var next []int32
+		if useBottomUp {
+			for i := range inFrontier {
+				inFrontier[i] = 0
+			}
+			for _, v := range frontier {
+				inFrontier[v] = 1
+			}
+			nexts := make([][]int32, workers)
+			var wg sync.WaitGroup
+			chunk := (int(n) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := int32(w * chunk)
+				hi := lo + int32(chunk)
+				if hi > n {
+					hi = n
+				}
+				if lo >= hi {
+					continue
+				}
+				wg.Add(1)
+				go func(w int, lo, hi int32) {
+					defer wg.Done()
+					var local []int32
+					for v := lo; v < hi; v++ {
+						if atomic.LoadInt32(&parent[v]) != Unreached {
+							continue
+						}
+						for _, u := range g.Neighbors(v) {
+							if inFrontier[u] == 1 {
+								parent[v] = u
+								res.Depth[v] = depth
+								local = append(local, v)
+								break
+							}
+						}
+					}
+					nexts[w] = local
+				}(w, lo, hi)
+			}
+			wg.Wait()
+			for _, l := range nexts {
+				next = append(next, l...)
+			}
+		} else {
+			nexts := make([][]int32, workers)
+			var wg sync.WaitGroup
+			chunk := (len(frontier) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if hi > len(frontier) {
+					hi = len(frontier)
+				}
+				if lo >= hi {
+					continue
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					var local []int32
+					for _, v := range frontier[lo:hi] {
+						for _, u := range g.Neighbors(v) {
+							if atomic.LoadInt32(&parent[u]) == Unreached &&
+								atomic.CompareAndSwapInt32(&parent[u], Unreached, v) {
+								res.Depth[u] = depth
+								local = append(local, u)
+							}
+						}
+					}
+					nexts[w] = local
+				}(w, lo, hi)
+			}
+			wg.Wait()
+			for _, l := range nexts {
+				next = append(next, l...)
+			}
+		}
+		visited += int64(len(next))
+		frontier = next
+	}
+	copy(res.Parent, parent)
+	res.Visited = visited
+	return res
+}
+
+// ValidateBFSTree checks the Graph500-style invariants of a BFS result:
+// the tree edges exist in the graph, depths differ by exactly 1 along tree
+// edges, and every edge of the graph spans at most one level. Returns true
+// when all hold.
+func ValidateBFSTree(g *graph.Graph, res *BFSResult) bool {
+	n := g.NumVertices()
+	if res.Source < 0 || res.Source >= n {
+		return false
+	}
+	if res.Parent[res.Source] != res.Source || res.Depth[res.Source] != 0 {
+		return false
+	}
+	for v := int32(0); v < n; v++ {
+		p := res.Parent[v]
+		if p == Unreached {
+			if res.Depth[v] != Unreached {
+				return false
+			}
+			continue
+		}
+		if v != res.Source {
+			if !g.HasEdge(p, v) && !g.HasEdge(v, p) {
+				return false
+			}
+			if res.Depth[v] != res.Depth[p]+1 {
+				return false
+			}
+		}
+		// Every reachable neighbor must be within one level.
+		for _, w := range g.Neighbors(v) {
+			if res.Depth[w] == Unreached {
+				if !g.Directed() {
+					return false // undirected: neighbor of reached vertex must be reached
+				}
+				continue
+			}
+			d := res.Depth[v] - res.Depth[w]
+			if d > 1 || d < -1 {
+				if !g.Directed() {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// KHopNeighborhood returns all vertices within k hops of the seeds
+// (inclusive), in BFS discovery order. This is the paper's subgraph
+// extraction primitive ("a breadth-first search from individual seed
+// vertices out to some depth").
+func KHopNeighborhood(g *graph.Graph, seeds []int32, k int32) []int32 {
+	n := g.NumVertices()
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = Unreached
+	}
+	var order []int32
+	var frontier []int32
+	for _, s := range seeds {
+		if depth[s] == Unreached {
+			depth[s] = 0
+			frontier = append(frontier, s)
+			order = append(order, s)
+		}
+	}
+	for d := int32(1); d <= k && len(frontier) > 0; d++ {
+		var next []int32
+		for _, v := range frontier {
+			for _, w := range g.Neighbors(v) {
+				if depth[w] == Unreached {
+					depth[w] = d
+					next = append(next, w)
+					order = append(order, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return order
+}

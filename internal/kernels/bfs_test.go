@@ -1,0 +1,132 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := gen.Path(5)
+	res := BFS(g, 0)
+	for v := int32(0); v < 5; v++ {
+		if res.Depth[v] != v {
+			t.Fatalf("depth[%d] = %d", v, res.Depth[v])
+		}
+	}
+	if res.Visited != 5 {
+		t.Fatalf("visited = %d", res.Visited)
+	}
+	if !ValidateBFSTree(g, res) {
+		t.Fatal("BFS tree invalid")
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, false, [][2]int32{{0, 1}})
+	res := BFS(g, 0)
+	if res.Depth[2] != Unreached || res.Parent[3] != Unreached {
+		t.Fatal("unreachable vertices should stay Unreached")
+	}
+	if res.Visited != 2 {
+		t.Fatalf("visited = %d", res.Visited)
+	}
+}
+
+func TestBFSDirected(t *testing.T) {
+	g := graph.FromEdges(3, true, [][2]int32{{0, 1}, {2, 0}})
+	res := BFS(g, 0)
+	if res.Depth[1] != 1 {
+		t.Fatal("forward edge not followed")
+	}
+	if res.Depth[2] != Unreached {
+		t.Fatal("reverse edge should not be followed in directed BFS")
+	}
+}
+
+func TestBFSParallelMatchesSerial(t *testing.T) {
+	for _, scale := range []int{6, 9, 11} {
+		g := gen.RMAT(scale, 8, gen.Graph500RMAT, int64(scale), false)
+		s := BFS(g, 1)
+		p := BFSParallel(g, 1)
+		if s.Visited != p.Visited {
+			t.Fatalf("scale %d: visited %d != %d", scale, s.Visited, p.Visited)
+		}
+		for v := int32(0); v < g.NumVertices(); v++ {
+			if s.Depth[v] != p.Depth[v] {
+				t.Fatalf("scale %d: depth[%d] %d != %d", scale, v, s.Depth[v], p.Depth[v])
+			}
+		}
+		if !ValidateBFSTree(g, p) {
+			t.Fatalf("scale %d: parallel BFS tree invalid", scale)
+		}
+	}
+}
+
+func TestBFSParallelBottomUpTrigger(t *testing.T) {
+	// A dense graph forces the bottom-up switch: complete graph.
+	g := gen.CompleteGraph(200)
+	res := BFSParallel(g, 5)
+	for v := int32(0); v < 200; v++ {
+		want := int32(1)
+		if v == 5 {
+			want = 0
+		}
+		if res.Depth[v] != want {
+			t.Fatalf("depth[%d] = %d", v, res.Depth[v])
+		}
+	}
+}
+
+func TestValidateBFSTreeRejectsBadTree(t *testing.T) {
+	g := gen.Path(4)
+	res := BFS(g, 0)
+	res.Depth[3] = 1 // corrupt
+	if ValidateBFSTree(g, res) {
+		t.Fatal("validator accepted corrupted depths")
+	}
+}
+
+func TestBFSDepthProperty(t *testing.T) {
+	// Property: on a ring of size n, depth of vertex k from 0 is
+	// min(k, n-k).
+	f := func(raw uint8) bool {
+		n := int32(raw%60) + 3
+		g := gen.Ring(n)
+		res := BFS(g, 0)
+		for k := int32(0); k < n; k++ {
+			want := k
+			if n-k < k {
+				want = n - k
+			}
+			if res.Depth[k] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKHopNeighborhood(t *testing.T) {
+	g := gen.Path(10)
+	hood := KHopNeighborhood(g, []int32{5}, 2)
+	want := map[int32]bool{3: true, 4: true, 5: true, 6: true, 7: true}
+	if len(hood) != len(want) {
+		t.Fatalf("hood = %v", hood)
+	}
+	for _, v := range hood {
+		if !want[v] {
+			t.Fatalf("unexpected vertex %d", v)
+		}
+	}
+	// Multi-seed, depth 0 returns exactly the distinct seeds.
+	h0 := KHopNeighborhood(g, []int32{1, 1, 8}, 0)
+	if len(h0) != 2 {
+		t.Fatalf("depth-0 hood = %v", h0)
+	}
+}

@@ -1,0 +1,154 @@
+package kernels
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestWCCBasic(t *testing.T) {
+	g := graph.FromEdges(6, false, [][2]int32{{0, 1}, {1, 2}, {3, 4}})
+	cc := WCC(g)
+	if cc.NumComponents != 3 {
+		t.Fatalf("components = %d", cc.NumComponents)
+	}
+	if cc.Label[0] != 0 || cc.Label[2] != 0 {
+		t.Fatal("component 0 not labeled by min member")
+	}
+	if cc.Label[3] != 3 || cc.Label[4] != 3 {
+		t.Fatal("component {3,4} mislabeled")
+	}
+	if cc.Label[5] != 5 {
+		t.Fatal("isolated vertex mislabeled")
+	}
+}
+
+func TestWCCDirectedTreatsArcsAsUndirected(t *testing.T) {
+	g := graph.FromEdges(3, true, [][2]int32{{1, 0}, {1, 2}})
+	cc := WCC(g)
+	if cc.NumComponents != 1 {
+		t.Fatalf("weak components = %d", cc.NumComponents)
+	}
+}
+
+func TestWCCMatchesLabelProp(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int32(2 + rng.Intn(60))
+		g := gen.ErdosRenyi(n, rng.Intn(100), seed, rng.Intn(2) == 0)
+		a := WCC(g)
+		b := WCCLabelProp(g)
+		return reflect.DeepEqual(a.Label, b.Label) && a.NumComponents == b.NumComponents
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCCBasic(t *testing.T) {
+	// Two 2-cycles joined by a one-way edge, plus a sink.
+	g := graph.FromEdges(5, true, [][2]int32{
+		{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}, {3, 4},
+	})
+	cc := SCC(g)
+	if cc.NumComponents != 3 {
+		t.Fatalf("SCCs = %d", cc.NumComponents)
+	}
+	if cc.Label[0] != cc.Label[1] {
+		t.Fatal("cycle {0,1} split")
+	}
+	if cc.Label[2] != cc.Label[3] {
+		t.Fatal("cycle {2,3} split")
+	}
+	if cc.Label[0] == cc.Label[2] || cc.Label[4] == cc.Label[3] {
+		t.Fatal("distinct SCCs merged")
+	}
+}
+
+func TestSCCMatchesKosaraju(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int32(2 + rng.Intn(50))
+		g := gen.ErdosRenyi(n, rng.Intn(120), seed, true)
+		a := SCC(g)
+		b := SCCKosaraju(g)
+		return reflect.DeepEqual(a.Label, b.Label)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCCDeepChainNoOverflow(t *testing.T) {
+	// A 200k-vertex directed path would blow a recursive Tarjan; the
+	// iterative one must handle it.
+	n := int32(200000)
+	b := graph.NewBuilder(n)
+	for v := int32(0); v+1 < n; v++ {
+		b.Add(v, v+1)
+	}
+	g := b.Build()
+	cc := SCC(g)
+	if cc.NumComponents != n {
+		t.Fatalf("SCCs = %d, want %d", cc.NumComponents, n)
+	}
+}
+
+func TestSCCOfCycleIsOne(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for v := int32(0); v < 10; v++ {
+		b.Add(v, (v+1)%10)
+	}
+	g := b.Build()
+	if cc := SCC(g); cc.NumComponents != 1 {
+		t.Fatalf("cycle SCCs = %d", cc.NumComponents)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if !uf.Union(0, 1) {
+		t.Fatal("first union should merge")
+	}
+	if uf.Union(1, 0) {
+		t.Fatal("repeat union should report false")
+	}
+	uf.Union(2, 3)
+	if uf.Same(0, 2) {
+		t.Fatal("separate sets reported same")
+	}
+	uf.Union(1, 3)
+	if !uf.Same(0, 2) {
+		t.Fatal("transitive union broken")
+	}
+	if uf.SetSize(0) != 4 {
+		t.Fatalf("set size = %d", uf.SetSize(0))
+	}
+	if uf.SetSize(4) != 1 {
+		t.Fatalf("singleton size = %d", uf.SetSize(4))
+	}
+}
+
+func TestWCCOnRMAT(t *testing.T) {
+	g := gen.RMAT(10, 8, gen.Graph500RMAT, 3, false)
+	cc := WCC(g)
+	// Every edge must connect same-component vertices.
+	for v := int32(0); v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if cc.Label[v] != cc.Label[w] {
+				t.Fatal("edge crosses components")
+			}
+		}
+	}
+	// Labels must be component minima.
+	for v, l := range cc.Label {
+		if l > int32(v) {
+			t.Fatalf("label[%d] = %d exceeds vertex ID", v, l)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package kernels
+
+import "repro/internal/graph"
+
+// Contract builds the quotient graph induced by a vertex labeling: each
+// distinct label becomes one super-vertex, parallel edges between
+// super-vertices are merged with summed weights, and intra-group edges
+// become (dropped) self loops. This is the Fig. 1 "GC: Graph Contraction"
+// kernel — the "higher level views of graphs where vertices are in fact
+// subgraphs of the original graph".
+//
+// It returns the contracted graph and the mapping from original vertex to
+// super-vertex ID.
+func Contract(g *graph.Graph, label []int32) (*graph.Graph, []int32) {
+	n := g.NumVertices()
+	// Dense-renumber labels.
+	super := make(map[int32]int32)
+	mapping := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		l := label[v]
+		s, ok := super[l]
+		if !ok {
+			s = int32(len(super))
+			super[l] = s
+		}
+		mapping[v] = s
+	}
+	ns := int32(len(super))
+	// Accumulate merged edge weights.
+	acc := make(map[int64]float32)
+	for v := int32(0); v < n; v++ {
+		sv := mapping[v]
+		nbrs := g.Neighbors(v)
+		ws := g.NeighborWeights(v)
+		for i, w := range nbrs {
+			sw := mapping[w]
+			if sv == sw {
+				continue
+			}
+			ew := float32(1)
+			if ws != nil {
+				ew = ws[i]
+			}
+			acc[int64(sv)<<32|int64(uint32(sw))] += ew
+		}
+	}
+	b := graph.NewBuilder(ns).Weighted()
+	b.AllowSelfLoops()
+	for key, w := range acc {
+		b.AddWeighted(int32(key>>32), int32(uint32(key)), w)
+	}
+	cg := b.Build()
+	return cg, mapping
+}
+
+// ContractionChain repeatedly contracts by connected components of a
+// size-limited matching until the graph has at most target vertices,
+// returning the chain of graphs (coarsest last). This mirrors multilevel
+// partitioners' coarsening phase and exercises Contract under composition.
+func ContractionChain(g *graph.Graph, target int32) []*graph.Graph {
+	chain := []*graph.Graph{g}
+	cur := g
+	for cur.NumVertices() > target {
+		match := heavyEdgeMatching(cur)
+		next, _ := Contract(cur, match)
+		if next.NumVertices() == cur.NumVertices() {
+			break // no progress (no edges left)
+		}
+		chain = append(chain, next)
+		cur = next
+	}
+	return chain
+}
+
+// heavyEdgeMatching greedily matches each unmatched vertex with its
+// heaviest unmatched neighbor; matched pairs share a label.
+func heavyEdgeMatching(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	label := make([]int32, n)
+	matched := make([]bool, n)
+	for v := range label {
+		label[v] = int32(v)
+	}
+	for v := int32(0); v < n; v++ {
+		if matched[v] {
+			continue
+		}
+		ns := g.Neighbors(v)
+		ws := g.NeighborWeights(v)
+		best, bestW := int32(-1), float32(-1)
+		for i, w := range ns {
+			if w == v || matched[w] {
+				continue
+			}
+			ew := float32(1)
+			if ws != nil {
+				ew = ws[i]
+			}
+			if ew > bestW {
+				best, bestW = w, ew
+			}
+		}
+		if best >= 0 {
+			matched[v], matched[best] = true, true
+			if best < v {
+				label[v] = best
+			} else {
+				label[best] = v
+			}
+		}
+	}
+	return label
+}

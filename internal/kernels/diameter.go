@@ -1,0 +1,81 @@
+package kernels
+
+import "repro/internal/graph"
+
+// The paper names the diameter ("maximum distance between any two
+// vertices") as the canonical whole-graph property. Exact diameter needs
+// APSP; this file provides the standard cheap estimators used on large
+// graphs, plus per-vertex eccentricity over a BFS sample.
+
+// DoubleSweepDiameter lower-bounds the diameter with the double-sweep
+// heuristic: BFS from start, then BFS again from the farthest vertex
+// found; the second eccentricity is a (usually tight) lower bound. It
+// returns the bound and the endpoint pair realizing it. Unweighted
+// (hop-count) distances; unreachable vertices are ignored.
+func DoubleSweepDiameter(g *graph.Graph, start int32) (int32, int32, int32) {
+	first := BFS(g, start)
+	a := farthest(first)
+	second := BFS(g, a)
+	b := farthest(second)
+	return second.Depth[b], a, b
+}
+
+func farthest(res *BFSResult) int32 {
+	best, bestD := res.Source, int32(0)
+	for v, d := range res.Depth {
+		if d != Unreached && d > bestD {
+			best, bestD = int32(v), d
+		}
+	}
+	return best
+}
+
+// EccentricitySample BFSes from k evenly spread sources and returns the
+// max observed eccentricity (a diameter lower bound that tightens with k)
+// and the per-source eccentricities.
+func EccentricitySample(g *graph.Graph, k int) (int32, []int32) {
+	n := g.NumVertices()
+	if k <= 0 || n == 0 {
+		return 0, nil
+	}
+	if int32(k) > n {
+		k = int(n)
+	}
+	stride := n / int32(k)
+	if stride == 0 {
+		stride = 1
+	}
+	eccs := make([]int32, 0, k)
+	best := int32(0)
+	for i := 0; i < k; i++ {
+		src := (int32(i) * stride) % n
+		res := BFS(g, src)
+		e := int32(0)
+		for _, d := range res.Depth {
+			if d != Unreached && d > e {
+				e = d
+			}
+		}
+		eccs = append(eccs, e)
+		if e > best {
+			best = e
+		}
+	}
+	return best, eccs
+}
+
+// ExactDiameter computes the true hop diameter by BFS from every vertex
+// (O(V·E)); the oracle for the estimators on small graphs. Returns 0 for
+// graphs with no finite pairs.
+func ExactDiameter(g *graph.Graph) int32 {
+	best := int32(0)
+	for v := int32(0); v < g.NumVertices(); v++ {
+		res := BFS(g, v)
+		for _, d := range res.Depth {
+			if d != Unreached && d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,85 @@
+package kernels
+
+import (
+	"container/heap"
+
+	"repro/internal/graph"
+)
+
+// ScoredVertex is a vertex paired with a numeric score, used by top-k
+// searches (the Fig. 1 "Search for Largest" kernel and the canonical flow's
+// seed-selection stage).
+type ScoredVertex struct {
+	V     int32
+	Score float64
+}
+
+type minHeap []ScoredVertex
+
+func (h minHeap) Len() int           { return len(h) }
+func (h minHeap) Less(i, j int) bool { return h[i].Score < h[j].Score }
+func (h minHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) {
+	*h = append(*h, x.(ScoredVertex))
+}
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+// TopKByScore returns the k highest-scoring vertices in descending order
+// using a size-k min-heap (single pass, O(n log k)).
+func TopKByScore(scores []float64, k int) []ScoredVertex {
+	if k <= 0 {
+		return nil
+	}
+	h := &minHeap{}
+	for v, s := range scores {
+		if h.Len() < k {
+			heap.Push(h, ScoredVertex{V: int32(v), Score: s})
+		} else if s > (*h)[0].Score {
+			(*h)[0] = ScoredVertex{V: int32(v), Score: s}
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]ScoredVertex, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(ScoredVertex)
+	}
+	return out
+}
+
+// TopKByDegree returns the k highest-degree vertices in descending order.
+func TopKByDegree(g *graph.Graph, k int) []ScoredVertex {
+	scores := make([]float64, g.NumVertices())
+	for v := int32(0); v < g.NumVertices(); v++ {
+		scores[v] = float64(g.Degree(v))
+	}
+	return TopKByScore(scores, k)
+}
+
+// LargestComponent returns the vertices of the largest weakly connected
+// component (a common "search for largest" instance: Graph Challenge's
+// largest-component extraction).
+func LargestComponent(g *graph.Graph) []int32 {
+	cc := WCC(g)
+	sizes := make(map[int32]int64)
+	for _, l := range cc.Label {
+		sizes[l]++
+	}
+	best, bestSize := int32(-1), int64(-1)
+	for l, s := range sizes {
+		if s > bestSize || (s == bestSize && l < best) {
+			best, bestSize = l, s
+		}
+	}
+	out := make([]int32, 0, bestSize)
+	for v, l := range cc.Label {
+		if l == best {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestLouvainPlantedCommunities(t *testing.T) {
+	g, truth := gen.CommunityGraph(4, 25, 0.4, 0.005, 11)
+	res := Louvain(g, 5, 10)
+	acc := CommunityAccuracy(res.Label, truth, 3)
+	if acc < 0.9 {
+		t.Fatalf("louvain accuracy = %.3f", acc)
+	}
+	if res.Modularity < 0.4 {
+		t.Fatalf("louvain modularity = %.3f", res.Modularity)
+	}
+}
+
+func TestLouvainAtLeastAsGoodAsLP(t *testing.T) {
+	// On planted-community graphs Louvain's modularity should match or
+	// beat label propagation's.
+	for _, seed := range []int64{3, 7, 13} {
+		g, _ := gen.CommunityGraph(5, 20, 0.35, 0.01, seed)
+		lp := LabelPropagation(g, 30, seed)
+		lv := Louvain(g, 5, 10)
+		if lv.Modularity < lp.Modularity-0.05 {
+			t.Fatalf("seed %d: louvain Q=%.3f well below LP Q=%.3f",
+				seed, lv.Modularity, lp.Modularity)
+		}
+	}
+}
+
+func TestLouvainTwoCliquesBridge(t *testing.T) {
+	// Two 5-cliques joined by one edge: the canonical two-community graph.
+	b := graph.NewBuilder(10).Undirected()
+	for i := int32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.Add(i, j)
+			b.Add(i+5, j+5)
+		}
+	}
+	b.Add(4, 5)
+	g := b.Build()
+	res := Louvain(g, 5, 10)
+	if res.NumCommunities != 2 {
+		t.Fatalf("communities = %d, want 2", res.NumCommunities)
+	}
+	for v := int32(1); v < 5; v++ {
+		if res.Label[v] != res.Label[0] {
+			t.Fatal("first clique split")
+		}
+	}
+	for v := int32(6); v < 10; v++ {
+		if res.Label[v] != res.Label[5] {
+			t.Fatal("second clique split")
+		}
+	}
+	if res.Label[0] == res.Label[5] {
+		t.Fatal("cliques merged")
+	}
+}
+
+func TestLouvainEdgeCases(t *testing.T) {
+	// Edgeless graph: no moves, all singletons.
+	g := graph.NewBuilder(4).Build()
+	res := Louvain(g, 3, 5)
+	if res.NumCommunities != 4 {
+		t.Fatalf("edgeless communities = %d", res.NumCommunities)
+	}
+	// Single edge.
+	g2 := graph.FromEdges(3, false, [][2]int32{{0, 1}})
+	res2 := Louvain(g2, 3, 5)
+	if res2.Label[0] != res2.Label[1] {
+		t.Fatal("endpoints of the only edge should merge")
+	}
+	if res2.Label[2] == res2.Label[0] {
+		t.Fatal("isolated vertex joined a community")
+	}
+}
+
+func TestLouvainAggregatePreservesWeight(t *testing.T) {
+	g := gen.RMAT(8, 8, gen.Graph500RMAT, 5, false)
+	lp := LabelPropagation(g, 10, 3)
+	agg, mapping := louvainAggregate(g, lp.Label)
+	// Total arc weight must be preserved exactly.
+	var before, after float64
+	for v := int32(0); v < g.NumVertices(); v++ {
+		before += float64(g.Degree(v)) // unweighted: weight 1 per arc
+	}
+	for v := int32(0); v < agg.NumVertices(); v++ {
+		for _, w := range agg.NeighborWeights(v) {
+			after += float64(w)
+		}
+	}
+	if before != after {
+		t.Fatalf("aggregate weight %v != original %v", after, before)
+	}
+	// Mapping covers all communities densely.
+	seen := make(map[int32]bool)
+	for _, m := range mapping {
+		seen[m] = true
+	}
+	if int32(len(seen)) != agg.NumVertices() {
+		t.Fatal("mapping not dense")
+	}
+}

@@ -1,0 +1,180 @@
+package kernels
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// The paper's introduction lists "a covering: minimum set of edges that
+// connects all vertices" and spanning trees among the whole-graph outputs.
+// This file implements minimum spanning forests two independent ways
+// (Kruskal and Prim) so each can serve as the other's oracle.
+
+// MSTEdge is one chosen forest edge.
+type MSTEdge struct {
+	U, V   int32
+	Weight float64
+}
+
+// MSTResult is a minimum spanning forest: one tree per connected component.
+type MSTResult struct {
+	Edges       []MSTEdge
+	TotalWeight float64
+	NumTrees    int32 // number of components (trees in the forest)
+}
+
+// MSTKruskal computes a minimum spanning forest with Kruskal's algorithm:
+// sort all edges, take those that join distinct components. Unweighted
+// graphs use weight 1 per edge.
+func MSTKruskal(g *graph.Graph) *MSTResult {
+	n := g.NumVertices()
+	type edge struct {
+		u, v int32
+		w    float64
+	}
+	var edges []edge
+	for u := int32(0); u < n; u++ {
+		ns := g.Neighbors(u)
+		ws := g.NeighborWeights(u)
+		for i, v := range ns {
+			if !g.Directed() && v < u {
+				continue // each undirected edge once
+			}
+			w := 1.0
+			if ws != nil {
+				w = float64(ws[i])
+			}
+			edges = append(edges, edge{u: u, v: v, w: w})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w < edges[j].w
+		}
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	uf := NewUnionFind(n)
+	res := &MSTResult{}
+	for _, e := range edges {
+		if uf.Union(e.u, e.v) {
+			res.Edges = append(res.Edges, MSTEdge{U: e.u, V: e.v, Weight: e.w})
+			res.TotalWeight += e.w
+		}
+	}
+	comps := make(map[int32]struct{})
+	for v := int32(0); v < n; v++ {
+		comps[uf.Find(v)] = struct{}{}
+	}
+	res.NumTrees = int32(len(comps))
+	return res
+}
+
+// MSTPrim computes a minimum spanning forest with Prim's algorithm using a
+// lazy binary heap, restarted per component. It is the independent oracle
+// for MSTKruskal in tests.
+func MSTPrim(g *graph.Graph) *MSTResult {
+	n := g.NumVertices()
+	inTree := make([]bool, n)
+	res := &MSTResult{}
+	type item struct {
+		w    float64
+		u, v int32 // candidate edge u(in-tree) -> v
+	}
+	var heap []item
+	push := func(it item) {
+		heap = append(heap, it)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].w <= heap[i].w {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() item {
+		top := heap[0]
+		heap[0] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && heap[l].w < heap[small].w {
+				small = l
+			}
+			if r < len(heap) && heap[r].w < heap[small].w {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return top
+	}
+	addNeighbors := func(u int32) {
+		ns := g.Neighbors(u)
+		ws := g.NeighborWeights(u)
+		for i, v := range ns {
+			if !inTree[v] {
+				w := 1.0
+				if ws != nil {
+					w = float64(ws[i])
+				}
+				push(item{w: w, u: u, v: v})
+			}
+		}
+	}
+	for root := int32(0); root < n; root++ {
+		if inTree[root] {
+			continue
+		}
+		inTree[root] = true
+		res.NumTrees++
+		heap = heap[:0]
+		addNeighbors(root)
+		for len(heap) > 0 {
+			it := pop()
+			if inTree[it.v] {
+				continue
+			}
+			inTree[it.v] = true
+			res.Edges = append(res.Edges, MSTEdge{U: it.u, V: it.v, Weight: it.w})
+			res.TotalWeight += it.w
+			addNeighbors(it.v)
+		}
+	}
+	return res
+}
+
+// ValidateSpanningForest checks that the edge set is acyclic, spans each
+// component, and uses only existing edges.
+func ValidateSpanningForest(g *graph.Graph, res *MSTResult) bool {
+	n := g.NumVertices()
+	uf := NewUnionFind(n)
+	for _, e := range res.Edges {
+		if !g.HasEdge(e.U, e.V) && !g.HasEdge(e.V, e.U) {
+			return false
+		}
+		if !uf.Union(e.U, e.V) {
+			return false // cycle
+		}
+	}
+	// Forest must connect exactly what the graph connects.
+	gcc := WCC(g)
+	for v := int32(0); v < n; v++ {
+		for w := int32(0); w < n; w++ {
+			if gcc.Label[v] == gcc.Label[w] && !uf.Same(v, w) {
+				return false
+			}
+		}
+	}
+	return int64(len(res.Edges)) == int64(n)-int64(res.NumTrees)
+}

@@ -1,0 +1,221 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestMSTKnown(t *testing.T) {
+	// Classic example: weights force a specific tree.
+	b := graph.NewBuilder(4).Undirected().Weighted()
+	b.AddWeighted(0, 1, 1)
+	b.AddWeighted(1, 2, 2)
+	b.AddWeighted(2, 3, 1)
+	b.AddWeighted(0, 3, 4)
+	b.AddWeighted(0, 2, 3)
+	g := b.Build()
+	res := MSTKruskal(g)
+	if res.TotalWeight != 4 { // 1 + 2 + 1
+		t.Fatalf("total = %v", res.TotalWeight)
+	}
+	if len(res.Edges) != 3 || res.NumTrees != 1 {
+		t.Fatalf("forest = %+v", res)
+	}
+	if !ValidateSpanningForest(g, res) {
+		t.Fatal("invalid forest")
+	}
+}
+
+func TestMSTForestOnDisconnected(t *testing.T) {
+	g := graph.FromEdges(5, false, [][2]int32{{0, 1}, {1, 2}, {3, 4}})
+	res := MSTKruskal(g)
+	if res.NumTrees != 2 || len(res.Edges) != 3 {
+		t.Fatalf("forest = %+v", res)
+	}
+	if !ValidateSpanningForest(g, res) {
+		t.Fatal("invalid forest")
+	}
+}
+
+func TestMSTKruskalMatchesPrim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int32(2 + rng.Intn(40))
+		b := graph.NewBuilder(n).Undirected().Weighted().DedupEdges()
+		m := rng.Intn(4 * int(n))
+		for i := 0; i < m; i++ {
+			u, v := rng.Int31n(n), rng.Int31n(n)
+			if u != v {
+				// Distinct weights make the MST unique, so total weights
+				// must match exactly.
+				b.AddWeighted(u, v, float32(i)+rng.Float32())
+			}
+		}
+		g := b.Build()
+		k := MSTKruskal(g)
+		p := MSTPrim(g)
+		if math.Abs(k.TotalWeight-p.TotalWeight) > 1e-6 {
+			return false
+		}
+		if k.NumTrees != p.NumTrees || len(k.Edges) != len(p.Edges) {
+			return false
+		}
+		return ValidateSpanningForest(g, k) && ValidateSpanningForest(g, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSTUnweightedIsSpanningForest(t *testing.T) {
+	g := gen.RMAT(9, 8, gen.Graph500RMAT, 3, false)
+	res := MSTKruskal(g)
+	cc := WCC(g)
+	if res.NumTrees != cc.NumComponents {
+		t.Fatalf("trees %d != components %d", res.NumTrees, cc.NumComponents)
+	}
+	if !ValidateSpanningForest(g, res) {
+		t.Fatal("invalid forest")
+	}
+	// Unweighted: total weight = edge count.
+	if res.TotalWeight != float64(len(res.Edges)) {
+		t.Fatal("unweighted weights should be 1")
+	}
+}
+
+func TestValidateSpanningForestRejects(t *testing.T) {
+	g := gen.Ring(4)
+	// A cycle is not a forest.
+	bad := &MSTResult{Edges: []MSTEdge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1}}, NumTrees: 1}
+	if ValidateSpanningForest(g, bad) {
+		t.Fatal("cycle accepted")
+	}
+	// Non-spanning set.
+	bad2 := &MSTResult{Edges: []MSTEdge{{0, 1, 1}}, NumTrees: 3}
+	if ValidateSpanningForest(g, bad2) {
+		t.Fatal("non-spanning set accepted")
+	}
+	// Nonexistent edge.
+	g2 := gen.Path(3)
+	bad3 := &MSTResult{Edges: []MSTEdge{{0, 2, 1}, {0, 1, 1}}, NumTrees: 1}
+	if ValidateSpanningForest(g2, bad3) {
+		t.Fatal("phantom edge accepted")
+	}
+}
+
+func TestDiameterEstimators(t *testing.T) {
+	// Path: exact diameter n-1; double sweep finds it from any start.
+	g := gen.Path(20)
+	d, a, b := DoubleSweepDiameter(g, 10)
+	if d != 19 {
+		t.Fatalf("double sweep = %d", d)
+	}
+	if !((a == 0 && b == 19) || (a == 19 && b == 0)) {
+		t.Fatalf("endpoints = %d,%d", a, b)
+	}
+	if ExactDiameter(g) != 19 {
+		t.Fatal("exact diameter wrong")
+	}
+	// Ring: exact n/2.
+	if ExactDiameter(gen.Ring(10)) != 5 {
+		t.Fatal("ring diameter wrong")
+	}
+	// Estimators are lower bounds on random graphs.
+	rg := gen.RMAT(9, 8, gen.Graph500RMAT, 5, false)
+	exact := ExactDiameter(rg)
+	ds, _, _ := DoubleSweepDiameter(rg, 0)
+	if ds > exact {
+		t.Fatalf("double sweep %d exceeds exact %d", ds, exact)
+	}
+	samp, eccs := EccentricitySample(rg, 16)
+	if samp > exact {
+		t.Fatalf("sample bound %d exceeds exact %d", samp, exact)
+	}
+	if len(eccs) != 16 {
+		t.Fatalf("eccs = %d", len(eccs))
+	}
+	// Double sweep is usually tight on small graphs; require within 1.
+	if exact-ds > 1 {
+		t.Fatalf("double sweep too loose: %d vs %d", ds, exact)
+	}
+}
+
+func TestEccentricitySampleEdgeCases(t *testing.T) {
+	if d, e := EccentricitySample(gen.Path(3), 0); d != 0 || e != nil {
+		t.Fatal("k=0 should be empty")
+	}
+	d, e := EccentricitySample(gen.Path(3), 10)
+	if len(e) != 3 || d != 2 {
+		t.Fatalf("clamped sample = %d %v", d, e)
+	}
+}
+
+func TestTemporallyCorrelated(t *testing.T) {
+	// Vertices 0,1 active at times {0,10}, vertex 2 only at {100}.
+	b := graph.NewBuilder(4).Undirected().Timestamped()
+	b.AddEdge(graph.Edge{Src: 0, Dst: 3, Time: 0})
+	b.AddEdge(graph.Edge{Src: 1, Dst: 3, Time: 1})
+	b.AddEdge(graph.Edge{Src: 0, Dst: 3, Time: 10})
+	// Builder dedups? no — DedupEdges not set, so parallel (0,3) kept.
+	b.AddEdge(graph.Edge{Src: 1, Dst: 3, Time: 11})
+	b.AddEdge(graph.Edge{Src: 2, Dst: 3, Time: 100})
+	g := b.Build()
+	out := TemporallyCorrelated(g, 5, 2, 0.5)
+	// Pair (0,1): both active in buckets {0,2}; either = 2 -> score 1.0.
+	found := false
+	for _, c := range out {
+		if c.U == 0 && c.V == 1 {
+			found = true
+			if c.Both != 2 || c.Score != 1.0 {
+				t.Fatalf("correlation = %+v", c)
+			}
+		}
+		if c.U == 2 || c.V == 2 {
+			t.Fatal("vertex 2 should not correlate with threshold 2")
+		}
+	}
+	if !found {
+		t.Fatal("missing (0,1) correlation")
+	}
+	// Untimestamped graph returns nil.
+	if TemporallyCorrelated(gen.Ring(4), 5, 1, 0) != nil {
+		t.Fatal("untimestamped should return nil")
+	}
+}
+
+func TestTemporalReachable(t *testing.T) {
+	// 0 -(t=1)-> 1 -(t=2)-> 2, and 0 -(t=5)-> 3 -(t=3)-> 4:
+	// 4 is NOT reachable because its edge departs before arrival at 3.
+	b := graph.NewBuilder(5).Timestamped()
+	b.AddEdge(graph.Edge{Src: 0, Dst: 1, Time: 1})
+	b.AddEdge(graph.Edge{Src: 1, Dst: 2, Time: 2})
+	b.AddEdge(graph.Edge{Src: 0, Dst: 3, Time: 5})
+	b.AddEdge(graph.Edge{Src: 3, Dst: 4, Time: 3})
+	g := b.Build()
+	arr := TemporalReachable(g, 0, 0)
+	if arr[1] != 1 || arr[2] != 2 || arr[3] != 5 {
+		t.Fatalf("arrivals = %v", arr)
+	}
+	if arr[4] != -1 {
+		t.Fatal("time-respecting path to 4 should not exist")
+	}
+	// Starting too late blocks everything.
+	arr2 := TemporalReachable(g, 0, 10)
+	if arr2[1] != -1 || arr2[3] != -1 {
+		t.Fatalf("late start arrivals = %v", arr2)
+	}
+	// Equal-timestamp chains settle via the fixpoint loop.
+	b2 := graph.NewBuilder(3).Timestamped()
+	b2.AddEdge(graph.Edge{Src: 1, Dst: 2, Time: 7}) // stored before (0,1) by ID
+	b2.AddEdge(graph.Edge{Src: 0, Dst: 1, Time: 7})
+	g2 := b2.Build()
+	arr3 := TemporalReachable(g2, 0, 0)
+	if arr3[2] != 7 {
+		t.Fatalf("equal-timestamp chain arrivals = %v", arr3)
+	}
+}

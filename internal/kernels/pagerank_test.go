@@ -1,0 +1,94 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := gen.RMAT(9, 8, gen.Graph500RMAT, 5, true)
+	pr, iters := PageRank(g, DefaultPageRankOptions())
+	if iters == 0 {
+		t.Fatal("no iterations run")
+	}
+	sum := 0.0
+	for _, r := range pr {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankUniformOnRing(t *testing.T) {
+	g := gen.Ring(10)
+	pr, _ := PageRank(g, DefaultPageRankOptions())
+	for _, r := range pr {
+		if math.Abs(r-0.1) > 1e-6 {
+			t.Fatalf("ring rank %v != 0.1", r)
+		}
+	}
+}
+
+func TestPageRankStarCenterHighest(t *testing.T) {
+	g := gen.Star(10)
+	pr, _ := PageRank(g, DefaultPageRankOptions())
+	for v := 1; v < 10; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatal("star center should outrank leaves")
+		}
+	}
+}
+
+func TestPageRankDanglingMass(t *testing.T) {
+	// Vertex 2 is a sink; total mass must still be 1.
+	g := graph.FromEdges(3, true, [][2]int32{{0, 1}, {1, 2}, {0, 2}})
+	pr, _ := PageRank(g, DefaultPageRankOptions())
+	sum := pr[0] + pr[1] + pr[2]
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("sum = %v", sum)
+	}
+	if !(pr[2] > pr[1] && pr[1] > pr[0]) {
+		t.Fatalf("expected rank ordering 2>1>0, got %v", pr)
+	}
+}
+
+func TestPageRankPushMatchesPower(t *testing.T) {
+	g := gen.RMAT(8, 8, gen.Graph500RMAT, 9, true)
+	opt := DefaultPageRankOptions()
+	power, _ := PageRank(g, opt)
+	push, pushes := PageRankPush(g, opt)
+	if pushes == 0 {
+		t.Fatal("no pushes executed")
+	}
+	for v := range power {
+		if math.Abs(power[v]-push[v]) > 5e-3 {
+			t.Fatalf("rank[%d]: power %v vs push %v", v, power[v], push[v])
+		}
+	}
+}
+
+func TestPageRankEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	if pr, _ := PageRank(g, DefaultPageRankOptions()); pr != nil {
+		t.Fatal("empty graph should return nil ranks")
+	}
+	if pr, _ := PageRankPush(g, DefaultPageRankOptions()); pr != nil {
+		t.Fatal("empty graph should return nil ranks (push)")
+	}
+}
+
+func TestPageRankMaxIters(t *testing.T) {
+	g := gen.RMAT(8, 8, gen.Graph500RMAT, 9, true)
+	opt := PageRankOptions{Damping: 0.85, Tolerance: 0, MaxIters: 3}
+	_, iters := PageRank(g, opt)
+	if iters != 3 {
+		t.Fatalf("iters = %d, want capped at 3", iters)
+	}
+}

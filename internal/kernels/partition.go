@@ -1,0 +1,133 @@
+package kernels
+
+import "repro/internal/graph"
+
+// PartitionResult assigns each vertex to one of k parts and reports the
+// edge cut (number of edges crossing parts) and the part sizes.
+type PartitionResult struct {
+	Part      []int32
+	K         int32
+	EdgeCut   int64
+	PartSizes []int32
+}
+
+// Partition splits the graph into k balanced parts with BFS-region growing
+// followed by boundary refinement (a Kernighan–Lin-flavored pass that moves
+// boundary vertices to the neighboring part with the largest cut gain while
+// respecting a 10% balance slack). This is the Fig. 1 "GP" kernel.
+func Partition(g *graph.Graph, k int32, refineRounds int) *PartitionResult {
+	n := g.NumVertices()
+	part := make([]int32, n)
+	for i := range part {
+		part[i] = -1
+	}
+	targetSize := (n + k - 1) / k
+	// BFS-grow parts from spread-out seeds.
+	cur := int32(0)
+	var frontier []int32
+	assignedInPart := int32(0)
+	for seedScan := int32(0); seedScan < n; seedScan++ {
+		if part[seedScan] != -1 {
+			continue
+		}
+		frontier = append(frontier[:0], seedScan)
+		part[seedScan] = cur
+		assignedInPart++
+		for len(frontier) > 0 && assignedInPart < targetSize {
+			v := frontier[0]
+			frontier = frontier[1:]
+			for _, w := range g.Neighbors(v) {
+				if part[w] == -1 && assignedInPart < targetSize {
+					part[w] = cur
+					assignedInPart++
+					frontier = append(frontier, w)
+				}
+			}
+		}
+		if assignedInPart >= targetSize && cur < k-1 {
+			cur++
+			assignedInPart = 0
+		}
+	}
+	res := &PartitionResult{Part: part, K: k}
+	res.recount(g)
+	// Refinement: greedy gain moves.
+	slack := targetSize + targetSize/10 + 1
+	for round := 0; round < refineRounds; round++ {
+		moved := 0
+		for v := int32(0); v < n; v++ {
+			pv := part[v]
+			// Count neighbor parts.
+			var gain [64]int64 // supports k<=64; larger k falls back to map
+			var gainMap map[int32]int64
+			if k > 64 {
+				gainMap = make(map[int32]int64)
+			}
+			for _, w := range g.Neighbors(v) {
+				pw := part[w]
+				if gainMap != nil {
+					gainMap[pw]++
+				} else {
+					gain[pw]++
+				}
+			}
+			get := func(p int32) int64 {
+				if gainMap != nil {
+					return gainMap[p]
+				}
+				return gain[p]
+			}
+			bestPart, bestGain := pv, int64(0)
+			for p := int32(0); p < k; p++ {
+				if p == pv || res.PartSizes[p] >= slack {
+					continue
+				}
+				if d := get(p) - get(pv); d > bestGain {
+					bestGain, bestPart = d, p
+				}
+			}
+			if bestPart != pv {
+				res.PartSizes[pv]--
+				res.PartSizes[bestPart]++
+				part[v] = bestPart
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	res.recount(g)
+	return res
+}
+
+func (r *PartitionResult) recount(g *graph.Graph) {
+	r.PartSizes = make([]int32, r.K)
+	for _, p := range r.Part {
+		r.PartSizes[p]++
+	}
+	r.EdgeCut = EdgeCut(g, r.Part)
+}
+
+// EdgeCut counts undirected edges whose endpoints lie in different parts.
+func EdgeCut(g *graph.Graph, part []int32) int64 {
+	var cut int64
+	for v := int32(0); v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if w > v && part[v] != part[w] {
+				cut++
+			}
+		}
+	}
+	if g.Directed() {
+		cut = 0
+		for v := int32(0); v < g.NumVertices(); v++ {
+			for _, w := range g.Neighbors(v) {
+				if part[v] != part[w] {
+					cut++
+				}
+			}
+		}
+	}
+	return cut
+}

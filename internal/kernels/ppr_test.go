@@ -1,0 +1,87 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestPersonalizedPageRankLocality(t *testing.T) {
+	// On a long path seeded at one end, PPR decays geometrically from the
+	// seed's neighbor outward. (The neighbor itself can outscore the
+	// degree-1 seed at damping 0.85: solving the walk recurrence gives
+	// π(1) ≈ 1.11·π(0), decay ratio r ≈ 0.556 beyond it.)
+	g := gen.Path(30)
+	pr := PersonalizedPageRank(g, []int32{0}, 0.85, 1e-12)
+	for v := 2; v < 30; v++ {
+		if pr[v] >= pr[v-1] {
+			t.Fatalf("PPR not decaying at %d: %v >= %v", v, pr[v], pr[v-1])
+		}
+	}
+	if pr[1] < pr[0] || pr[1]/pr[0] > 1.2 {
+		t.Fatalf("π(1)/π(0) = %v, want ≈1.11", pr[1]/pr[0])
+	}
+	sum := 0.0
+	for _, x := range pr {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestPersonalizedPageRankSeedBias(t *testing.T) {
+	g := gen.RMAT(9, 8, gen.Graph500RMAT, 3, false)
+	seeds := []int32{5}
+	pr := PersonalizedPageRank(g, seeds, 0.85, 1e-9)
+	// The seed should hold the single largest score.
+	top := TopKByScore(pr, 1)
+	if top[0].V != 5 {
+		t.Fatalf("top PPR vertex = %d, want seed 5", top[0].V)
+	}
+	// Global PageRank should rank differently (seed 5 is not the global top).
+	global, _ := PageRank(g, DefaultPageRankOptions())
+	if TopKByScore(global, 1)[0].V == 5 {
+		t.Skip("seed happens to be the global top; pick of R-MAT")
+	}
+}
+
+func TestPersonalizedPageRankMultiSeed(t *testing.T) {
+	g := gen.Ring(12)
+	pr := PersonalizedPageRank(g, []int32{0, 6}, 0.85, 1e-12)
+	// Symmetry: opposite seeds on a ring give symmetric scores.
+	if math.Abs(pr[0]-pr[6]) > 1e-9 || math.Abs(pr[3]-pr[9]) > 1e-9 {
+		t.Fatalf("asymmetric multi-seed PPR: %v", pr)
+	}
+}
+
+func TestPersonalizedPageRankEdgeCases(t *testing.T) {
+	g := gen.Path(4)
+	if pr := PersonalizedPageRank(g, nil, 0.85, 1e-9); pr[0] != 0 {
+		t.Fatal("no seeds should give zero scores")
+	}
+	// Isolated seed (dangling) teleports back to itself; all mass at seed.
+	g2 := gen.Star(4) // vertex 0 center
+	pr := PersonalizedPageRank(g2, []int32{0}, 0.85, 1e-12)
+	if pr[0] <= pr[1] {
+		t.Fatal("center seed should dominate")
+	}
+}
+
+func TestPPRSeeds(t *testing.T) {
+	g := gen.RMAT(9, 8, gen.Graph500RMAT, 9, false)
+	seeds := []int32{1, 2}
+	expansion := PPRSeeds(g, seeds, 5)
+	if len(expansion) == 0 {
+		t.Fatal("no expansion")
+	}
+	for _, sv := range expansion {
+		if sv.V == 1 || sv.V == 2 {
+			t.Fatal("seed returned in expansion")
+		}
+		if sv.Score <= 0 {
+			t.Fatal("zero-score expansion vertex")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestLabelPropagationFindsPlantedCommunities(t *testing.T) {
+	g, truth := gen.CommunityGraph(4, 25, 0.4, 0.005, 11)
+	res := LabelPropagation(g, 30, 7)
+	acc := CommunityAccuracy(res.Label, truth, 3)
+	if acc < 0.9 {
+		t.Fatalf("community accuracy = %.3f", acc)
+	}
+	if res.Modularity < 0.4 {
+		t.Fatalf("modularity = %.3f", res.Modularity)
+	}
+}
+
+func TestModularityBounds(t *testing.T) {
+	g, _ := gen.CommunityGraph(2, 10, 0.8, 0.05, 3)
+	// All-in-one labeling has modularity 0 (e/m=1, (d/2m)^2=1).
+	all := make([]int32, g.NumVertices())
+	if q := Modularity(g, all); math.Abs(q) > 1e-9 {
+		t.Fatalf("single-community modularity = %v", q)
+	}
+	// Singletons: Q = -Σ(d/2m)^2 < 0.
+	single := make([]int32, g.NumVertices())
+	for i := range single {
+		single[i] = int32(i)
+	}
+	if q := Modularity(g, single); q >= 0 {
+		t.Fatalf("singleton modularity = %v", q)
+	}
+	// Empty graph.
+	if q := Modularity(graph.NewBuilder(3).Build(), []int32{0, 1, 2}); q != 0 {
+		t.Fatalf("empty graph modularity = %v", q)
+	}
+}
+
+func TestCommunityAccuracyPerfectAndRandom(t *testing.T) {
+	truth := []int32{0, 0, 1, 1}
+	if acc := CommunityAccuracy(truth, truth, 1); acc != 1 {
+		t.Fatalf("self accuracy = %v", acc)
+	}
+	opposite := []int32{0, 1, 0, 1}
+	if acc := CommunityAccuracy(opposite, truth, 1); acc > 0.5 {
+		t.Fatalf("anti accuracy = %v", acc)
+	}
+}
+
+func TestContractByComponents(t *testing.T) {
+	g := graph.FromEdges(6, false, [][2]int32{{0, 1}, {1, 2}, {3, 4}, {2, 3}})
+	label := []int32{0, 0, 0, 1, 1, 2}
+	cg, mapping := Contract(g, label)
+	if cg.NumVertices() != 3 {
+		t.Fatalf("contracted n = %d", cg.NumVertices())
+	}
+	// Only the (2,3) edge crosses groups 0 and 1.
+	if cg.NumEdges() != 2 { // both directions of one merged edge
+		t.Fatalf("contracted arcs = %d", cg.NumEdges())
+	}
+	if w, ok := cg.Weight(mapping[2], mapping[3]); !ok || w != 1 {
+		t.Fatalf("merged weight = %v,%v", w, ok)
+	}
+	// Parallel edges merge with summed weight.
+	g2 := graph.FromEdges(4, false, [][2]int32{{0, 2}, {0, 3}, {1, 2}, {1, 3}})
+	cg2, m2 := Contract(g2, []int32{7, 7, 9, 9})
+	if cg2.NumVertices() != 2 {
+		t.Fatalf("contracted n = %d", cg2.NumVertices())
+	}
+	if w, _ := cg2.Weight(m2[0], m2[2]); w != 4 {
+		t.Fatalf("merged weight = %v, want 4", w)
+	}
+}
+
+func TestContractionChain(t *testing.T) {
+	g := gen.RMAT(8, 8, gen.Graph500RMAT, 19, false)
+	chain := ContractionChain(g, 32)
+	if len(chain) < 2 {
+		t.Fatal("no coarsening happened")
+	}
+	for i := 1; i < len(chain); i++ {
+		if chain[i].NumVertices() >= chain[i-1].NumVertices() {
+			t.Fatal("chain not strictly coarsening")
+		}
+	}
+	last := chain[len(chain)-1]
+	if last.NumVertices() > 64 { // target 32, matching halves per level
+		t.Fatalf("final size = %d", last.NumVertices())
+	}
+}
+
+func TestPartitionBalanceAndCut(t *testing.T) {
+	g := gen.Grid(16, 16)
+	res := Partition(g, 4, 6)
+	if res.K != 4 || len(res.PartSizes) != 4 {
+		t.Fatal("wrong part count")
+	}
+	total := int32(0)
+	for _, s := range res.PartSizes {
+		total += s
+		if s == 0 {
+			t.Fatal("empty part")
+		}
+	}
+	if total != 256 {
+		t.Fatalf("sizes sum to %d", total)
+	}
+	// Balance: no part above 1.25x ideal.
+	for _, s := range res.PartSizes {
+		if float64(s) > 1.25*64 {
+			t.Fatalf("imbalanced part %d", s)
+		}
+	}
+	// A 4-way grid cut should be far below total edges.
+	if res.EdgeCut >= g.NumUndirectedEdges()/2 {
+		t.Fatalf("cut %d too large", res.EdgeCut)
+	}
+	// Cut consistency.
+	if res.EdgeCut != EdgeCut(g, res.Part) {
+		t.Fatal("reported cut mismatch")
+	}
+}
+
+func TestPartitionRefinementImproves(t *testing.T) {
+	g := gen.RMAT(9, 8, gen.Graph500RMAT, 23, false)
+	raw := Partition(g, 8, 0)
+	refined := Partition(g, 8, 8)
+	if refined.EdgeCut > raw.EdgeCut {
+		t.Fatalf("refinement worsened cut: %d -> %d", raw.EdgeCut, refined.EdgeCut)
+	}
+}
+
+func TestPartitionManyParts(t *testing.T) {
+	// k > 64 exercises the map-based gain path.
+	g := gen.Grid(20, 20)
+	res := Partition(g, 80, 2)
+	total := int32(0)
+	for _, s := range res.PartSizes {
+		total += s
+	}
+	if total != 400 {
+		t.Fatalf("sizes sum to %d", total)
+	}
+}
+
+func TestSubgraphIsoTriangles(t *testing.T) {
+	target := gen.CompleteGraph(4)
+	pattern := gen.CompleteGraph(3)
+	m := SubgraphIsomorphism(pattern, target, 0)
+	// 4 triangles × 3! orderings = 24 embeddings.
+	if len(m) != 24 {
+		t.Fatalf("K3 in K4 embeddings = %d, want 24", len(m))
+	}
+	if CountSubgraphIsomorphisms(pattern, target) != 24 {
+		t.Fatal("count mismatch")
+	}
+}
+
+func TestSubgraphIsoPathInRing(t *testing.T) {
+	target := gen.Ring(6)
+	pattern := gen.Path(3)
+	m := SubgraphIsomorphism(pattern, target, 0)
+	// Each of 6 center vertices, path can run 2 directions: 12 embeddings.
+	if len(m) != 12 {
+		t.Fatalf("P3 in C6 embeddings = %d, want 12", len(m))
+	}
+	for _, emb := range m {
+		if !target.HasEdge(emb[0], emb[1]) || !target.HasEdge(emb[1], emb[2]) {
+			t.Fatalf("invalid embedding %v", emb)
+		}
+		if emb[0] == emb[2] {
+			t.Fatal("non-injective embedding")
+		}
+	}
+}
+
+func TestSubgraphIsoNoMatch(t *testing.T) {
+	target := gen.Star(5) // no triangles
+	pattern := gen.CompleteGraph(3)
+	if m := SubgraphIsomorphism(pattern, target, 0); len(m) != 0 {
+		t.Fatalf("found %d impossible embeddings", len(m))
+	}
+}
+
+func TestSubgraphIsoMaxMatches(t *testing.T) {
+	target := gen.CompleteGraph(6)
+	pattern := gen.CompleteGraph(3)
+	m := SubgraphIsomorphism(pattern, target, 5)
+	if len(m) != 5 {
+		t.Fatalf("cap ignored: %d", len(m))
+	}
+}
+
+func TestSubgraphIsoEmptyPattern(t *testing.T) {
+	if m := SubgraphIsomorphism(graph.NewBuilder(0).Build(), gen.Ring(4), 0); m != nil {
+		t.Fatal("empty pattern should return nil")
+	}
+}
+
+func TestSubgraphIsoSquareCountsMatchTriangleFree(t *testing.T) {
+	// In the 4-cycle itself there are 8 automorphisms.
+	sq := graph.FromEdges(4, false, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	m := SubgraphIsomorphism(sq, sq, 0)
+	if len(m) != 8 {
+		t.Fatalf("C4 automorphisms = %d, want 8", len(m))
+	}
+}

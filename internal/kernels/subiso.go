@@ -1,0 +1,124 @@
+package kernels
+
+import "repro/internal/graph"
+
+// SubgraphIsomorphism finds embeddings of a pattern graph inside a target
+// graph (the Fig. 1 "SI" kernel; triangle counting is its 3-clique special
+// case). It is a VF2-flavored backtracking search over undirected graphs:
+// pattern vertices are matched in a connectivity-respecting static order,
+// candidates are drawn from the target neighborhood of already-matched
+// pattern neighbors, and degree pruning discards impossible candidates.
+//
+// maxMatches>0 stops after that many embeddings (the "top k" escape hatch
+// for the O(|V|^k) output class); 0 means enumerate all. Each returned slice
+// maps pattern vertex i to its target vertex.
+func SubgraphIsomorphism(pattern, target *graph.Graph, maxMatches int) [][]int32 {
+	p := pattern.NumVertices()
+	if p == 0 {
+		return nil
+	}
+	order := matchOrder(pattern)
+	// For each position, the earlier-ordered pattern neighbors that pin
+	// candidates.
+	pos := make([]int32, p) // pattern vertex -> its position in order
+	for i, v := range order {
+		pos[v] = int32(i)
+	}
+	anchors := make([][]int32, p)
+	for i, v := range order {
+		for _, w := range pattern.Neighbors(v) {
+			if pos[w] < int32(i) {
+				anchors[i] = append(anchors[i], w)
+			}
+		}
+	}
+
+	assign := make([]int32, p) // pattern vertex -> target vertex
+	used := make(map[int32]bool, p)
+	var out [][]int32
+
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if depth == len(order) {
+			m := make([]int32, p)
+			copy(m, assign)
+			out = append(out, m)
+			return maxMatches > 0 && len(out) >= maxMatches
+		}
+		pv := order[depth]
+		var candidates []int32
+		if len(anchors[depth]) == 0 {
+			// Unanchored (first vertex of a pattern component): all target
+			// vertices with sufficient degree.
+			for t := int32(0); t < target.NumVertices(); t++ {
+				candidates = append(candidates, t)
+			}
+		} else {
+			candidates = target.Neighbors(assign[anchors[depth][0]])
+		}
+		needDeg := pattern.Degree(pv)
+		for _, cand := range candidates {
+			if used[cand] || target.Degree(cand) < needDeg {
+				continue
+			}
+			ok := true
+			for _, a := range anchors[depth] {
+				if !target.HasEdge(assign[a], cand) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			assign[pv] = cand
+			used[cand] = true
+			stop := rec(depth + 1)
+			used[cand] = false
+			if stop {
+				return true
+			}
+		}
+		return false
+	}
+	rec(0)
+	return out
+}
+
+// matchOrder returns a pattern vertex ordering that starts at the
+// highest-degree vertex and extends by connectivity (BFS), so every later
+// vertex (within a component) has an already-matched neighbor.
+func matchOrder(pattern *graph.Graph) []int32 {
+	p := pattern.NumVertices()
+	visited := make([]bool, p)
+	var order []int32
+	for len(order) < int(p) {
+		// Pick the highest-degree unvisited vertex as the next root.
+		root, rootDeg := int32(-1), int32(-1)
+		for v := int32(0); v < p; v++ {
+			if !visited[v] && pattern.Degree(v) > rootDeg {
+				root, rootDeg = v, pattern.Degree(v)
+			}
+		}
+		visited[root] = true
+		queue := []int32{root}
+		order = append(order, root)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range pattern.Neighbors(v) {
+				if !visited[w] {
+					visited[w] = true
+					order = append(order, w)
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// CountSubgraphIsomorphisms returns just the embedding count.
+func CountSubgraphIsomorphisms(pattern, target *graph.Graph) int64 {
+	return int64(len(SubgraphIsomorphism(pattern, target, 0)))
+}

@@ -1,0 +1,240 @@
+package kernels
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Triangle is one triangle with vertices in increasing order.
+type Triangle struct{ A, B, C int32 }
+
+// GlobalTriangleCount counts triangles in an undirected graph using the
+// degree-ordered merge-intersection algorithm (the MiniTri / Graph Challenge
+// GTC kernel): each triangle is counted exactly once at its lowest-rank
+// vertex. Runs in parallel over vertices.
+func GlobalTriangleCount(g *graph.Graph) int64 {
+	n := g.NumVertices()
+	// rank orders vertices by (degree, id) so high-degree hubs come last;
+	// intersecting only "forward" neighbors bounds work by arboricity.
+	rank := degreeRank(g)
+	// forward[v] = neighbors with higher rank, sorted by id.
+	forward := make([][]int32, n)
+	for v := int32(0); v < n; v++ {
+		var f []int32
+		for _, w := range g.Neighbors(v) {
+			if rank[w] > rank[v] {
+				f = append(f, w)
+			}
+		}
+		forward[v] = f
+	}
+	var total int64
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (int(n) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := int32(w * chunk)
+		hi := lo + int32(chunk)
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int32) {
+			defer wg.Done()
+			var local int64
+			for v := lo; v < hi; v++ {
+				fv := forward[v]
+				for _, w := range fv {
+					local += int64(intersectCount(fv, forward[w]))
+				}
+			}
+			atomic.AddInt64(&total, local)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return total
+}
+
+// TriangleList enumerates all triangles (the Fig. 1 "TL" kernel, an
+// O(|V|^k) output class). Each triangle appears once with A<B<C.
+func TriangleList(g *graph.Graph) []Triangle {
+	n := g.NumVertices()
+	var out []Triangle
+	for v := int32(0); v < n; v++ {
+		nv := g.Neighbors(v)
+		// forward neighbors by ID only — guarantees A<B<C ordering.
+		var fv []int32
+		for _, w := range nv {
+			if w > v {
+				fv = append(fv, w)
+			}
+		}
+		for i, w := range fv {
+			fw := g.Neighbors(w)
+			// intersect fv[i+1:] with fw∩(>w)
+			a, b := fv[i+1:], fw
+			ai, bi := 0, 0
+			for ai < len(a) && bi < len(b) {
+				switch {
+				case a[ai] < b[bi]:
+					ai++
+				case a[ai] > b[bi]:
+					bi++
+				default:
+					if a[ai] > w {
+						out = append(out, Triangle{A: v, B: w, C: a[ai]})
+					}
+					ai++
+					bi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PerVertexTriangles returns each vertex's triangle participation count
+// (every triangle contributes 1 to each of its three corners).
+func PerVertexTriangles(g *graph.Graph) []int64 {
+	n := g.NumVertices()
+	counts := make([]int64, n)
+	for _, t := range TriangleList(g) {
+		counts[t.A]++
+		counts[t.B]++
+		counts[t.C]++
+	}
+	return counts
+}
+
+// ClusteringCoefficients computes the local clustering coefficient of every
+// vertex: triangles(v) / (deg(v) choose 2). Vertices of degree < 2 get 0.
+func ClusteringCoefficients(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	tri := PerVertexTriangles(g)
+	cc := make([]float64, n)
+	for v := int32(0); v < n; v++ {
+		d := int64(g.Degree(v))
+		if d < 2 {
+			continue
+		}
+		cc[v] = float64(tri[v]) / float64(d*(d-1)/2)
+	}
+	return cc
+}
+
+// GlobalClusteringCoefficient returns 3*triangles / open+closed wedges
+// (transitivity).
+func GlobalClusteringCoefficient(g *graph.Graph) float64 {
+	tris := GlobalTriangleCount(g)
+	var wedges int64
+	for v := int32(0); v < g.NumVertices(); v++ {
+		d := int64(g.Degree(v))
+		wedges += d * (d - 1) / 2
+	}
+	if wedges == 0 {
+		return 0
+	}
+	return 3 * float64(tris) / float64(wedges)
+}
+
+// degreeRank returns a ranking where rank[v] < rank[w] iff
+// (deg(v), v) < (deg(w), w).
+func degreeRank(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	deg := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	// counting-sort free: simple sort
+	sortInt32s(order, func(a, b int32) bool {
+		if deg[a] != deg[b] {
+			return deg[a] < deg[b]
+		}
+		return a < b
+	})
+	rank := make([]int32, n)
+	for r, v := range order {
+		rank[v] = int32(r)
+	}
+	return rank
+}
+
+func sortInt32s(s []int32, less func(a, b int32) bool) {
+	// simple introspective-free quicksort via sort.Slice equivalent without
+	// allocation of interface closures per element
+	quicksortInt32(s, less)
+}
+
+func quicksortInt32(s []int32, less func(a, b int32) bool) {
+	for len(s) > 12 {
+		p := partitionInt32(s, less)
+		if p < len(s)-p {
+			quicksortInt32(s[:p], less)
+			s = s[p+1:]
+		} else {
+			quicksortInt32(s[p+1:], less)
+			s = s[:p]
+		}
+	}
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func partitionInt32(s []int32, less func(a, b int32) bool) int {
+	mid := len(s) / 2
+	if less(s[mid], s[0]) {
+		s[mid], s[0] = s[0], s[mid]
+	}
+	if less(s[len(s)-1], s[mid]) {
+		s[len(s)-1], s[mid] = s[mid], s[len(s)-1]
+		if less(s[mid], s[0]) {
+			s[mid], s[0] = s[0], s[mid]
+		}
+	}
+	pivot := s[mid]
+	s[mid], s[len(s)-2] = s[len(s)-2], s[mid]
+	i, j := 0, len(s)-2
+	for {
+		for i++; less(s[i], pivot); i++ {
+		}
+		for j--; less(pivot, s[j]); j-- {
+		}
+		if i >= j {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+	}
+	s[i], s[len(s)-2] = s[len(s)-2], s[i]
+	return i
+}
+
+// intersectCount counts common elements of two sorted slices.
+func intersectCount(a, b []int32) int {
+	count, ai, bi := 0, 0, 0
+	for ai < len(a) && bi < len(b) {
+		switch {
+		case a[ai] < b[bi]:
+			ai++
+		case a[ai] > b[bi]:
+			bi++
+		default:
+			count++
+			ai++
+			bi++
+		}
+	}
+	return count
+}

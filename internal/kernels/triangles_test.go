@@ -1,0 +1,166 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// bruteTriangles is the O(n^3) oracle.
+func bruteTriangles(g *graph.Graph) int64 {
+	n := g.NumVertices()
+	var count int64
+	for a := int32(0); a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !g.HasEdge(a, b) {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if g.HasEdge(a, c) && g.HasEdge(b, c) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestTriangleCountKnown(t *testing.T) {
+	if got := GlobalTriangleCount(gen.CompleteGraph(5)); got != 10 {
+		t.Fatalf("K5 triangles = %d, want 10", got)
+	}
+	if got := GlobalTriangleCount(gen.Ring(6)); got != 0 {
+		t.Fatalf("C6 triangles = %d, want 0", got)
+	}
+	if got := GlobalTriangleCount(gen.CompleteGraph(3)); got != 1 {
+		t.Fatalf("K3 triangles = %d", got)
+	}
+	if got := GlobalTriangleCount(gen.Star(8)); got != 0 {
+		t.Fatalf("star triangles = %d", got)
+	}
+}
+
+func TestTriangleCountMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int32(3 + rng.Intn(40))
+		g := gen.ErdosRenyi(n, rng.Intn(200), seed, false)
+		return GlobalTriangleCount(g) == bruteTriangles(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleListMatchesCount(t *testing.T) {
+	g := gen.RMAT(9, 8, gen.Graph500RMAT, 2, false)
+	list := TriangleList(g)
+	if int64(len(list)) != GlobalTriangleCount(g) {
+		t.Fatalf("list %d != count %d", len(list), GlobalTriangleCount(g))
+	}
+	seen := make(map[Triangle]bool)
+	for _, tri := range list {
+		if !(tri.A < tri.B && tri.B < tri.C) {
+			t.Fatalf("unordered triangle %v", tri)
+		}
+		if seen[tri] {
+			t.Fatalf("duplicate triangle %v", tri)
+		}
+		seen[tri] = true
+		if !g.HasEdge(tri.A, tri.B) || !g.HasEdge(tri.B, tri.C) || !g.HasEdge(tri.A, tri.C) {
+			t.Fatalf("listed non-triangle %v", tri)
+		}
+	}
+}
+
+func TestPerVertexTriangles(t *testing.T) {
+	g := gen.CompleteGraph(4) // each vertex in C(3,2)=3 triangles
+	counts := PerVertexTriangles(g)
+	for v, c := range counts {
+		if c != 3 {
+			t.Fatalf("vertex %d count %d", v, c)
+		}
+	}
+	// Sum = 3 * #triangles.
+	var sum int64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 3*4 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestClusteringCoefficients(t *testing.T) {
+	cc := ClusteringCoefficients(gen.CompleteGraph(5))
+	for _, c := range cc {
+		if c != 1 {
+			t.Fatalf("K5 clustering = %v", c)
+		}
+	}
+	cc = ClusteringCoefficients(gen.Star(6))
+	if cc[0] != 0 {
+		t.Fatal("star center clustering should be 0")
+	}
+	// Degree-1 leaves get 0.
+	if cc[1] != 0 {
+		t.Fatal("leaf clustering should be 0")
+	}
+	// Triangle with a pendant: vertex 0 in triangle {0,1,2} plus pendant 3.
+	g := graph.FromEdges(4, false, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {0, 3}})
+	cc = ClusteringCoefficients(g)
+	if cc[0] != 1.0/3.0 {
+		t.Fatalf("cc[0] = %v, want 1/3", cc[0])
+	}
+	if cc[1] != 1 {
+		t.Fatalf("cc[1] = %v, want 1", cc[1])
+	}
+}
+
+func TestGlobalClusteringCoefficient(t *testing.T) {
+	if c := GlobalClusteringCoefficient(gen.CompleteGraph(6)); c != 1 {
+		t.Fatalf("K6 transitivity = %v", c)
+	}
+	if c := GlobalClusteringCoefficient(gen.Ring(8)); c != 0 {
+		t.Fatalf("ring transitivity = %v", c)
+	}
+	if c := GlobalClusteringCoefficient(gen.Path(2)); c != 0 {
+		t.Fatalf("tiny path transitivity = %v", c)
+	}
+}
+
+func TestIntersectCount(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want int
+	}{
+		{[]int32{1, 2, 3}, []int32{2, 3, 4}, 2},
+		{[]int32{}, []int32{1}, 0},
+		{[]int32{1, 5, 9}, []int32{2, 6, 10}, 0},
+		{[]int32{1, 2, 3}, []int32{1, 2, 3}, 3},
+	}
+	for _, c := range cases {
+		if got := intersectCount(c.a, c.b); got != c.want {
+			t.Fatalf("intersect(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSortInt32sProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		s := append([]int32(nil), vals...)
+		sortInt32s(s, func(a, b int32) bool { return a < b })
+		for i := 1; i < len(s); i++ {
+			if s[i-1] > s[i] {
+				return false
+			}
+		}
+		return len(s) == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

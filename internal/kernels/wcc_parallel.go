@@ -1,0 +1,94 @@
+package kernels
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// WCCParallel computes weakly connected components with a lock-free
+// Liu–Tarjan/Afforest-style algorithm: parallel edge-hooking onto a shared
+// atomic parent array with path compression, followed by a final
+// compression sweep. It produces the same canonical min-member labels as
+// WCC and exists both as a performance variant and as a third independent
+// implementation for cross-checking.
+func WCCParallel(g *graph.Graph) *CCResult {
+	n := g.NumVertices()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+
+	find := func(v int32) int32 {
+		for {
+			p := atomic.LoadInt32(&parent[v])
+			if p == v {
+				return v
+			}
+			gp := atomic.LoadInt32(&parent[p])
+			if gp == p {
+				return p
+			}
+			// Path halving; benign race — any stored value is a valid
+			// ancestor.
+			atomic.CompareAndSwapInt32(&parent[v], p, gp)
+			v = gp
+		}
+	}
+
+	// hook links the larger root under the smaller so labels converge to
+	// component minima without a separate canonicalization pass over roots.
+	hook := func(a, b int32) {
+		for {
+			ra, rb := find(a), find(b)
+			if ra == rb {
+				return
+			}
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			// Try to make the larger root point at the smaller.
+			if atomic.CompareAndSwapInt32(&parent[rb], rb, ra) {
+				return
+			}
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (int(n) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := int32(w * chunk)
+		hi := lo + int32(chunk)
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int32) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				for _, u := range g.Neighbors(v) {
+					hook(v, u)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Final sweep: full compression; roots are component minima because
+	// hooking always directed larger roots at smaller ones.
+	label := make([]int32, n)
+	var numComp int32
+	for v := int32(0); v < n; v++ {
+		label[v] = find(v)
+		if label[v] == v {
+			numComp++
+		}
+	}
+	return &CCResult{Label: label, NumComponents: numComp}
+}

@@ -1,0 +1,47 @@
+package kernels
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+func TestWCCParallelMatchesSerial(t *testing.T) {
+	for _, scale := range []int{6, 9, 12} {
+		g := gen.RMAT(scale, 8, gen.Graph500RMAT, int64(scale), false)
+		a := WCC(g)
+		b := WCCParallel(g)
+		if a.NumComponents != b.NumComponents {
+			t.Fatalf("scale %d: %d vs %d components", scale, a.NumComponents, b.NumComponents)
+		}
+		if !reflect.DeepEqual(a.Label, b.Label) {
+			t.Fatalf("scale %d: labels differ", scale)
+		}
+	}
+}
+
+func TestWCCParallelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int32(2 + rng.Intn(80))
+		g := gen.ErdosRenyi(n, rng.Intn(200), seed, rng.Intn(2) == 0)
+		return reflect.DeepEqual(WCC(g).Label, WCCParallel(g).Label)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWCCParallelRepeatedDeterministic(t *testing.T) {
+	// Concurrency must not change the result across runs.
+	g := gen.RMAT(11, 8, gen.Graph500RMAT, 3, false)
+	first := WCCParallel(g)
+	for i := 0; i < 5; i++ {
+		if !reflect.DeepEqual(first.Label, WCCParallel(g).Label) {
+			t.Fatal("nondeterministic parallel WCC")
+		}
+	}
+}

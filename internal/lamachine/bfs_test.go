@@ -1,0 +1,57 @@
+package lamachine
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+)
+
+func TestSimulateBFSCorrectLevels(t *testing.T) {
+	g := gen.RMAT(9, 8, gen.Graph500RMAT, 4, false)
+	a := matrix.AdjacencyMatrix(g)
+	at := a.Transpose()
+	res := SimulateBFS(FPGANode, at, 0)
+	ref := kernels.BFS(g, 0)
+	for v := int32(0); v < g.NumVertices(); v++ {
+		if res.Levels[v] != ref.Depth[v] {
+			t.Fatalf("level[%d] = %d, kernel %d", v, res.Levels[v], ref.Depth[v])
+		}
+	}
+	if res.Rounds == 0 || res.Seconds <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestSimulateBFSAccounting(t *testing.T) {
+	g := gen.Path(8) // deterministic structure
+	a := matrix.AdjacencyMatrix(g)
+	at := a.Transpose()
+	res := SimulateBFS(FPGANode, at, 0)
+	// Path from an endpoint: 7 productive rounds plus the terminal empty
+	// expansion.
+	if res.Rounds != 8 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+	if res.Counts.OutElems != 7 {
+		t.Fatalf("out elems = %d", res.Counts.OutElems)
+	}
+	// Every arc is fetched exactly once per endpoint expansion.
+	if res.Counts.MACs != res.Counts.SorterOps {
+		t.Fatal("sorter/MAC mismatch")
+	}
+	if res.Energy <= 0 || res.Bound == "" {
+		t.Fatalf("energy/bound = %v/%s", res.Energy, res.Bound)
+	}
+}
+
+func TestSimulateBFSASICFaster(t *testing.T) {
+	g := gen.RMAT(10, 8, gen.Graph500RMAT, 6, false)
+	at := matrix.AdjacencyMatrix(g).Transpose()
+	f := SimulateBFS(FPGANode, at, 0)
+	a := SimulateBFS(ASICNode, at, 0)
+	if a.Seconds >= f.Seconds {
+		t.Fatal("ASIC not faster on BFS")
+	}
+}

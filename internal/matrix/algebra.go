@@ -1,0 +1,160 @@
+package matrix
+
+import (
+	"repro/internal/graph"
+)
+
+// This file expresses graph kernels "after translation into sparse matrix
+// operations" (the paper's characterization of the Fig. 4 machine's
+// execution model), following Kepner & Gilbert's GraphBLAS formulations.
+// Each has a direct counterpart in internal/kernels that tests cross-check
+// against.
+
+// BFSLevels computes BFS levels from src by repeated masked SpMSpV over the
+// boolean semiring: frontier_{k+1} = (A ⊕.⊗ frontier_k) masked by
+// not-yet-visited. Level of unreachable vertices is -1.
+//
+// a must be the adjacency matrix in the paper's convention (A[i][j]=1 for
+// edge j->i), so y = A x propagates from sources to destinations.
+func BFSLevels(a *CSR, src int32) []int32 {
+	n := a.Rows
+	level := make([]int32, n)
+	visited := make([]bool, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	visited[src] = true
+	at := a.Transpose()
+	frontier := &SparseVec{Idx: []int32{src}, Vals: []float64{1}}
+	for d := int32(1); frontier.NNZ() > 0; d++ {
+		frontier = SpMSpV(OrAnd, at, frontier, visited)
+		for _, i := range frontier.Idx {
+			visited[i] = true
+			level[i] = d
+		}
+	}
+	return level
+}
+
+// SSSPBellmanFord computes single-source distances by n-1 rounds of
+// min.plus SpMV with early exit: d ← d ⊕ (A ⊗ d).
+func SSSPBellmanFord(a *CSR, src int32) []float64 {
+	n := a.Rows
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = MinPlus.Zero
+	}
+	d[src] = 0
+	for round := int32(0); round < n; round++ {
+		nd := SpMV(MinPlus, a, d)
+		changed := false
+		for i := range nd {
+			if nd[i] < d[i] {
+				d[i] = nd[i]
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return d
+}
+
+// TriangleCountLA counts triangles in an undirected graph via the masked
+// product C = (A·A).*A; the triangle count is ΣC / 6 (each triangle is
+// counted at each of its 6 directed wedge closures).
+func TriangleCountLA(a *CSR) int64 {
+	c := SpGEMMMasked(PlusTimes, a, a, a)
+	var sum float64
+	for _, v := range c.Vals {
+		sum += v
+	}
+	return int64(sum) / 6
+}
+
+// PageRankLA runs power iteration expressed as SpMV over plus.times:
+// r ← (1-d)/n + d·(Â r) where Â is the column-normalized adjacency matrix.
+// Returns the rank vector and iterations used.
+func PageRankLA(g *graph.Graph, damping, tol float64, maxIters int) ([]float64, int) {
+	n := g.NumVertices()
+	// Â[i][j] = 1/outdeg(j) for edge j->i.
+	entries := make([]Entry, 0, g.NumEdges())
+	for src := int32(0); src < n; src++ {
+		d := float64(g.Degree(src))
+		for _, dst := range g.Neighbors(src) {
+			entries = append(entries, Entry{Row: dst, Col: src, Val: 1 / d})
+		}
+	}
+	ah := NewCSRFromEntries(n, n, entries)
+	r := make([]float64, n)
+	invN := 1.0 / float64(n)
+	for i := range r {
+		r[i] = invN
+	}
+	dangling := make([]bool, n)
+	for v := int32(0); v < n; v++ {
+		dangling[v] = g.Degree(v) == 0
+	}
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		dmass := 0.0
+		for v := int32(0); v < n; v++ {
+			if dangling[v] {
+				dmass += r[v]
+			}
+		}
+		y := SpMV(PlusTimes, ah, r)
+		base := (1-damping)*invN + damping*dmass*invN
+		delta := 0.0
+		for i := range y {
+			ny := base + damping*y[i]
+			delta += abs(ny - r[i])
+			r[i] = ny
+		}
+		if delta < tol {
+			iters++
+			break
+		}
+	}
+	return r, iters
+}
+
+// ConnectedComponentsLA finds weakly connected components by min-label
+// propagation as repeated min.min SpMV-style updates. Returns canonical
+// min-member labels.
+func ConnectedComponentsLA(a *CSR) []int32 {
+	n := a.Rows
+	label := make([]float64, n)
+	for i := range label {
+		label[i] = float64(i)
+	}
+	at := a.Transpose()
+	minMin := Semiring{
+		Name: "min.min", Zero: MinPlus.Zero, One: MinPlus.Zero,
+		Plus:  MinPlus.Plus,
+		Times: func(x, y float64) float64 { return y }, // select source label
+	}
+	for {
+		changed := false
+		for _, m := range []*CSR{a, at} {
+			y := SpMV(minMin, m, label)
+			for i := range y {
+				if y[i] < label[i] {
+					label[i] = y[i]
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make([]int32, n)
+	for i, l := range label {
+		out[i] = int32(l)
+	}
+	// Canonicalize: labels propagate to fixpoint already (min over component).
+	return out
+}

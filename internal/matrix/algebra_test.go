@@ -1,0 +1,98 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/kernels"
+)
+
+func TestBFSLevelsMatchKernel(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := gen.RMAT(8, 8, gen.Graph500RMAT, seed, false)
+		a := AdjacencyMatrix(g)
+		la := BFSLevels(a, 0)
+		ref := kernels.BFS(g, 0)
+		for v := int32(0); v < g.NumVertices(); v++ {
+			if la[v] != ref.Depth[v] {
+				t.Fatalf("seed %d: level[%d] = %d, kernel %d", seed, v, la[v], ref.Depth[v])
+			}
+		}
+	}
+}
+
+func TestBFSLevelsDirected(t *testing.T) {
+	g := gen.RMAT(7, 4, gen.Graph500RMAT, 9, true)
+	a := AdjacencyMatrix(g)
+	la := BFSLevels(a, 1)
+	ref := kernels.BFS(g, 1)
+	for v := int32(0); v < g.NumVertices(); v++ {
+		if la[v] != ref.Depth[v] {
+			t.Fatalf("level[%d] = %d, kernel %d", v, la[v], ref.Depth[v])
+		}
+	}
+}
+
+func TestSSSPBellmanFordLAMatchesDijkstra(t *testing.T) {
+	g := gen.RMATWeighted(7, 6, gen.Graph500RMAT, 5, false)
+	// Build min-plus matrix: A[i][j] = w(j->i).
+	n := g.NumVertices()
+	entries := make([]Entry, 0, g.NumEdges())
+	for src := int32(0); src < n; src++ {
+		ns := g.Neighbors(src)
+		ws := g.NeighborWeights(src)
+		for k, dst := range ns {
+			entries = append(entries, Entry{Row: dst, Col: src, Val: float64(ws[k])})
+		}
+	}
+	a := NewCSRFromEntries(n, n, entries)
+	la := SSSPBellmanFord(a, 0)
+	ref := kernels.Dijkstra(g, 0)
+	for v := int32(0); v < n; v++ {
+		if math.IsInf(la[v], 1) != math.IsInf(ref.Dist[v], 1) {
+			t.Fatalf("reach mismatch at %d", v)
+		}
+		if !math.IsInf(la[v], 1) && math.Abs(la[v]-ref.Dist[v]) > 1e-6 {
+			t.Fatalf("dist[%d] = %v, kernel %v", v, la[v], ref.Dist[v])
+		}
+	}
+}
+
+func TestTriangleCountLAMatchesKernel(t *testing.T) {
+	for _, seed := range []int64{3, 7} {
+		g := gen.RMAT(8, 6, gen.Graph500RMAT, seed, false)
+		a := AdjacencyMatrix(g)
+		la := TriangleCountLA(a)
+		ref := kernels.GlobalTriangleCount(g)
+		if la != ref {
+			t.Fatalf("seed %d: LA triangles %d != kernel %d", seed, la, ref)
+		}
+	}
+	if got := TriangleCountLA(AdjacencyMatrix(gen.CompleteGraph(5))); got != 10 {
+		t.Fatalf("K5 = %d", got)
+	}
+}
+
+func TestPageRankLAMatchesKernel(t *testing.T) {
+	g := gen.RMAT(8, 8, gen.Graph500RMAT, 11, true)
+	la, _ := PageRankLA(g, 0.85, 1e-9, 200)
+	ref, _ := kernels.PageRank(g, kernels.PageRankOptions{Damping: 0.85, Tolerance: 1e-9, MaxIters: 200})
+	for v := range ref {
+		if math.Abs(la[v]-ref[v]) > 1e-6 {
+			t.Fatalf("rank[%d]: LA %v vs kernel %v", v, la[v], ref[v])
+		}
+	}
+}
+
+func TestConnectedComponentsLAMatchesKernel(t *testing.T) {
+	g := gen.ErdosRenyi(200, 220, 13, false)
+	a := AdjacencyMatrix(g)
+	la := ConnectedComponentsLA(a)
+	ref := kernels.WCC(g)
+	for v := range ref.Label {
+		if la[v] != ref.Label[v] {
+			t.Fatalf("label[%d] = %d, kernel %d", v, la[v], ref.Label[v])
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package matrix
+
+// Element-wise and structural GraphBLAS-style operations rounding out the
+// algebra the Fig. 4 machine accelerates: eWiseAdd (union), eWiseMult
+// (intersection / masking), Apply, Reduce, and the Kronecker product that
+// the Graph500 generator is defined by.
+
+// EWiseAdd computes C = A ⊕ B element-wise over the union of patterns:
+// entries present in one operand pass through, entries present in both are
+// combined with sr.Plus.
+func EWiseAdd(sr Semiring, a, b *CSR) *CSR {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("matrix: EWiseAdd shape mismatch")
+	}
+	c := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int64, a.Rows+1)}
+	for i := int32(0); i < a.Rows; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		ai, bi := 0, 0
+		for ai < len(ac) || bi < len(bc) {
+			switch {
+			case bi >= len(bc) || (ai < len(ac) && ac[ai] < bc[bi]):
+				c.ColIdx = append(c.ColIdx, ac[ai])
+				c.Vals = append(c.Vals, av[ai])
+				ai++
+			case ai >= len(ac) || bc[bi] < ac[ai]:
+				c.ColIdx = append(c.ColIdx, bc[bi])
+				c.Vals = append(c.Vals, bv[bi])
+				bi++
+			default:
+				c.ColIdx = append(c.ColIdx, ac[ai])
+				c.Vals = append(c.Vals, sr.Plus(av[ai], bv[bi]))
+				ai++
+				bi++
+			}
+		}
+		c.RowPtr[i+1] = int64(len(c.ColIdx))
+	}
+	return c
+}
+
+// EWiseMult computes C = A ⊗ B element-wise over the intersection of
+// patterns (the GraphBLAS mask/Hadamard operation).
+func EWiseMult(sr Semiring, a, b *CSR) *CSR {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("matrix: EWiseMult shape mismatch")
+	}
+	c := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int64, a.Rows+1)}
+	for i := int32(0); i < a.Rows; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		ai, bi := 0, 0
+		for ai < len(ac) && bi < len(bc) {
+			switch {
+			case ac[ai] < bc[bi]:
+				ai++
+			case ac[ai] > bc[bi]:
+				bi++
+			default:
+				c.ColIdx = append(c.ColIdx, ac[ai])
+				c.Vals = append(c.Vals, sr.Times(av[ai], bv[bi]))
+				ai++
+				bi++
+			}
+		}
+		c.RowPtr[i+1] = int64(len(c.ColIdx))
+	}
+	return c
+}
+
+// Apply maps fn over every stored value, returning a new matrix with the
+// same pattern (entries mapping to exactly 0 are kept — GraphBLAS keeps
+// explicit zeros).
+func Apply(a *CSR, fn func(float64) float64) *CSR {
+	c := &CSR{Rows: a.Rows, Cols: a.Cols}
+	c.RowPtr = append([]int64(nil), a.RowPtr...)
+	c.ColIdx = append([]int32(nil), a.ColIdx...)
+	c.Vals = make([]float64, len(a.Vals))
+	for i, v := range a.Vals {
+		c.Vals[i] = fn(v)
+	}
+	return c
+}
+
+// ReduceRows folds each row with sr.Plus, returning a dense vector of row
+// aggregates (sr.Zero for empty rows).
+func ReduceRows(sr Semiring, a *CSR) []float64 {
+	out := make([]float64, a.Rows)
+	for i := int32(0); i < a.Rows; i++ {
+		acc := sr.Zero
+		_, vals := a.Row(i)
+		for _, v := range vals {
+			acc = sr.Plus(acc, v)
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// ReduceAll folds every stored value with sr.Plus.
+func ReduceAll(sr Semiring, a *CSR) float64 {
+	acc := sr.Zero
+	for _, v := range a.Vals {
+		acc = sr.Plus(acc, v)
+	}
+	return acc
+}
+
+// Kronecker computes the Kronecker product C = A ⊗k B with
+// C[(ia*Brows+ib),(ja*Bcols+jb)] = A[ia][ja] * B[ib][jb] (plus.times).
+// Graph500's generator is the repeated Kronecker power of a 2×2 seed; the
+// test suite uses this to cross-check the R-MAT generator's expected
+// density.
+func Kronecker(a, b *CSR) *CSR {
+	entries := make([]Entry, 0, a.NNZ()*b.NNZ())
+	for ia := int32(0); ia < a.Rows; ia++ {
+		ac, av := a.Row(ia)
+		for k, ja := range ac {
+			for ib := int32(0); ib < b.Rows; ib++ {
+				bc, bv := b.Row(ib)
+				for t, jb := range bc {
+					entries = append(entries, Entry{
+						Row: ia*b.Rows + ib,
+						Col: ja*b.Cols + jb,
+						Val: av[k] * bv[t],
+					})
+				}
+			}
+		}
+	}
+	return NewCSRFromEntries(a.Rows*b.Rows, a.Cols*b.Cols, entries)
+}
+
+// KroneckerPower returns the n-th Kronecker power of the seed matrix.
+func KroneckerPower(seed *CSR, n int) *CSR {
+	out := seed
+	for i := 1; i < n; i++ {
+		out = Kronecker(out, seed)
+	}
+	return out
+}

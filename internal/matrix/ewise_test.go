@@ -1,0 +1,147 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWiseAddKnown(t *testing.T) {
+	a := NewCSRFromEntries(2, 2, []Entry{{0, 0, 1}, {0, 1, 2}})
+	b := NewCSRFromEntries(2, 2, []Entry{{0, 1, 3}, {1, 0, 4}})
+	c := EWiseAdd(PlusTimes, a, b)
+	if c.At(0, 0) != 1 || c.At(0, 1) != 5 || c.At(1, 0) != 4 {
+		t.Fatalf("sum wrong: %v", c.Entries())
+	}
+	if c.NNZ() != 3 {
+		t.Fatalf("nnz = %d", c.NNZ())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWiseMultKnown(t *testing.T) {
+	a := NewCSRFromEntries(2, 2, []Entry{{0, 0, 2}, {0, 1, 3}})
+	b := NewCSRFromEntries(2, 2, []Entry{{0, 1, 4}, {1, 1, 5}})
+	c := EWiseMult(PlusTimes, a, b)
+	if c.NNZ() != 1 || c.At(0, 1) != 12 {
+		t.Fatalf("product wrong: %v", c.Entries())
+	}
+}
+
+func TestEWiseShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	EWiseAdd(PlusTimes, NewCSRFromEntries(2, 2, nil), NewCSRFromEntries(3, 2, nil))
+}
+
+func TestEWiseProperties(t *testing.T) {
+	// A ⊕ B == B ⊕ A and A ⊗ B == B ⊗ A for commutative semirings.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int32(3 + rng.Intn(15))
+		a := randomCSR(rng, n, n, 30)
+		b := randomCSR(rng, n, n, 30)
+		return EWiseAdd(PlusTimes, a, b).Equal(EWiseAdd(PlusTimes, b, a), 1e-12) &&
+			EWiseMult(PlusTimes, a, b).Equal(EWiseMult(PlusTimes, b, a), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWiseAddMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := int32(12)
+	a := randomCSR(rng, n, n, 40)
+	b := randomCSR(rng, n, n, 40)
+	c := EWiseAdd(PlusTimes, a, b)
+	for i := int32(0); i < n; i++ {
+		for j := int32(0); j < n; j++ {
+			if math.Abs(c.At(i, j)-(a.At(i, j)+b.At(i, j))) > 1e-12 {
+				t.Fatalf("(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestApplyAndReduce(t *testing.T) {
+	a := NewCSRFromEntries(2, 3, []Entry{{0, 0, 1}, {0, 2, 2}, {1, 1, 3}})
+	sq := Apply(a, func(x float64) float64 { return x * x })
+	if sq.At(0, 2) != 4 || sq.At(1, 1) != 9 {
+		t.Fatal("apply wrong")
+	}
+	rows := ReduceRows(PlusTimes, a)
+	if rows[0] != 3 || rows[1] != 3 {
+		t.Fatalf("row reduce = %v", rows)
+	}
+	if ReduceAll(PlusTimes, a) != 6 {
+		t.Fatal("reduce-all wrong")
+	}
+	// Min-reduce over min.plus semiring.
+	if got := ReduceRows(MinPlus, a)[0]; got != 1 {
+		t.Fatalf("min row reduce = %v", got)
+	}
+	// Empty rows reduce to Zero.
+	empty := NewCSRFromEntries(2, 2, []Entry{{0, 0, 1}})
+	if got := ReduceRows(MinPlus, empty)[1]; !math.IsInf(got, 1) {
+		t.Fatalf("empty min reduce = %v", got)
+	}
+}
+
+func TestKroneckerKnown(t *testing.T) {
+	// [[1,1],[0,1]] ⊗ itself: 4x4 with known pattern.
+	seed := NewCSRFromEntries(2, 2, []Entry{{0, 0, 1}, {0, 1, 1}, {1, 1, 1}})
+	k2 := Kronecker(seed, seed)
+	if k2.Rows != 4 || k2.Cols != 4 {
+		t.Fatal("shape wrong")
+	}
+	if k2.NNZ() != 9 { // 3*3
+		t.Fatalf("nnz = %d", k2.NNZ())
+	}
+	// C[(ia*2+ib),(ja*2+jb)] nonzero iff seed[ia][ja] and seed[ib][jb].
+	for ia := int32(0); ia < 2; ia++ {
+		for ja := int32(0); ja < 2; ja++ {
+			for ib := int32(0); ib < 2; ib++ {
+				for jb := int32(0); jb < 2; jb++ {
+					want := seed.At(ia, ja) * seed.At(ib, jb)
+					if got := k2.At(ia*2+ib, ja*2+jb); got != want {
+						t.Fatalf("kron (%d,%d,%d,%d) = %v want %v", ia, ja, ib, jb, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKroneckerPowerDensity(t *testing.T) {
+	// nnz(seed^⊗n) = nnz(seed)^n — the Graph500 edge-count identity.
+	seed := NewCSRFromEntries(2, 2, []Entry{{0, 0, 1}, {0, 1, 1}, {1, 0, 1}})
+	k3 := KroneckerPower(seed, 3)
+	if k3.Rows != 8 || k3.NNZ() != 27 {
+		t.Fatalf("power: rows=%d nnz=%d", k3.Rows, k3.NNZ())
+	}
+	if err := k3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if KroneckerPower(seed, 1) != seed {
+		t.Fatal("power 1 should be the seed itself")
+	}
+}
+
+func TestKroneckerMixedShapes(t *testing.T) {
+	a := NewCSRFromEntries(1, 2, []Entry{{0, 1, 2}})
+	b := NewCSRFromEntries(3, 1, []Entry{{2, 0, 5}})
+	k := Kronecker(a, b)
+	if k.Rows != 3 || k.Cols != 2 {
+		t.Fatal("mixed shape wrong")
+	}
+	if k.At(2, 1) != 10 {
+		t.Fatalf("value = %v", k.At(2, 1))
+	}
+}

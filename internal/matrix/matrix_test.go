@@ -1,0 +1,220 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func randomCSR(rng *rand.Rand, rows, cols int32, nnz int) *CSR {
+	entries := make([]Entry, nnz)
+	for i := range entries {
+		entries[i] = Entry{
+			Row: rng.Int31n(rows), Col: rng.Int31n(cols),
+			Val: float64(rng.Intn(9) + 1),
+		}
+	}
+	return NewCSRFromEntries(rows, cols, entries)
+}
+
+func TestCSRBasics(t *testing.T) {
+	m := NewCSRFromEntries(3, 3, []Entry{
+		{0, 1, 2}, {0, 2, 3}, {2, 0, 4}, {0, 1, 5}, // duplicate (0,1) sums
+	})
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz = %d", m.NNZ())
+	}
+	if m.At(0, 1) != 7 {
+		t.Fatalf("duplicate sum = %v", m.At(0, 1))
+	}
+	if m.At(1, 1) != 0 {
+		t.Fatal("absent should read 0")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cols, vals := m.Row(0)
+	if len(cols) != 2 || cols[0] != 1 || vals[1] != 3 {
+		t.Fatalf("row 0 = %v %v", cols, vals)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 10+rng.Int31n(20), 10+rng.Int31n(20), 80)
+		return m.Equal(m.Transpose().Transpose(), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeElement(t *testing.T) {
+	m := NewCSRFromEntries(2, 3, []Entry{{0, 2, 5}, {1, 0, 7}})
+	mt := m.Transpose()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatal("transpose shape wrong")
+	}
+	if mt.At(2, 0) != 5 || mt.At(0, 1) != 7 {
+		t.Fatal("transpose values wrong")
+	}
+	if err := mt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpMVPlusTimes(t *testing.T) {
+	// [[1,2],[0,3]] * [4,5] = [14,15]
+	m := NewCSRFromEntries(2, 2, []Entry{{0, 0, 1}, {0, 1, 2}, {1, 1, 3}})
+	y := SpMV(PlusTimes, m, []float64{4, 5})
+	if y[0] != 14 || y[1] != 15 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestSpMVMinPlus(t *testing.T) {
+	// One relaxation step of min-plus from a distance vector.
+	m := NewCSRFromEntries(2, 2, []Entry{{1, 0, 5}})
+	y := SpMV(MinPlus, m, []float64{0, math.Inf(1)})
+	if y[1] != 5 {
+		t.Fatalf("min-plus y[1] = %v", y[1])
+	}
+	if !math.IsInf(y[0], 1) {
+		t.Fatalf("empty row should be Zero (Inf), got %v", y[0])
+	}
+}
+
+func TestSemiringIdentities(t *testing.T) {
+	for _, sr := range []Semiring{PlusTimes, MinPlus, OrAnd, MaxMin} {
+		domain := []float64{0, 1, 3.5}
+		if sr.Name == "or.and" {
+			domain = []float64{0, 1} // boolean semiring normalizes to {0,1}
+		}
+		for _, x := range domain {
+			if got := sr.Plus(sr.Zero, x); got != x {
+				t.Fatalf("%s: Zero not additive identity for %v: %v", sr.Name, x, got)
+			}
+			if got := sr.Times(sr.One, x); got != x && !(math.IsInf(sr.One, 1) && got != x) {
+				// MaxMin: One=+Inf, Times=min → min(Inf,x)=x ✓
+				t.Fatalf("%s: One not multiplicative identity for %v: %v", sr.Name, x, got)
+			}
+		}
+	}
+}
+
+func TestSpMSpVMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int32(5 + rng.Intn(20))
+		a := randomCSR(rng, n, n, 60)
+		at := a.Transpose()
+		// Sparse x with a few nonzeros.
+		dense := make([]float64, n)
+		var x SparseVec
+		for k := 0; k < 4; k++ {
+			i := rng.Int31n(n)
+			if dense[i] == 0 {
+				v := float64(rng.Intn(5) + 1)
+				dense[i] = v
+				x.Idx = append(x.Idx, i)
+				x.Vals = append(x.Vals, v)
+			}
+		}
+		sortIdx(x.Idx)
+		// Rebuild vals in sorted order.
+		for k, i := range x.Idx {
+			x.Vals[k] = dense[i]
+		}
+		want := SpMV(PlusTimes, a, dense)
+		got := SpMSpV(PlusTimes, at, &x, nil)
+		out := make([]float64, n)
+		for k, i := range got.Idx {
+			out[i] = got.Vals[k]
+		}
+		for i := range want {
+			// SpMSpV omits rows with no contribution; they must be 0 in the
+			// plus.times case.
+			if math.Abs(want[i]-out[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpMSpVMask(t *testing.T) {
+	a := NewCSRFromEntries(3, 3, []Entry{{0, 1, 1}, {2, 1, 1}})
+	at := a.Transpose()
+	x := &SparseVec{Idx: []int32{1}, Vals: []float64{1}}
+	mask := []bool{true, false, false} // suppress row 0
+	y := SpMSpV(OrAnd, at, x, mask)
+	if y.NNZ() != 1 || y.Idx[0] != 2 {
+		t.Fatalf("masked result = %+v", y)
+	}
+}
+
+func TestSpGEMMAlgorithmsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int32(4 + rng.Intn(24))
+		a := randomCSR(rng, n, n, 3*int(n))
+		b := randomCSR(rng, n, n, 3*int(n))
+		c1 := SpGEMMGustavson(PlusTimes, a, b)
+		c2 := SpGEMMHeapMerge(PlusTimes, a, b)
+		return c1.Equal(c2, 1e-9) && c1.Validate() == nil && c2.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpGEMMKnownProduct(t *testing.T) {
+	// [[1,2],[3,4]]^2 = [[7,10],[15,22]]
+	a := NewCSRFromEntries(2, 2, []Entry{{0, 0, 1}, {0, 1, 2}, {1, 0, 3}, {1, 1, 4}})
+	c := SpGEMMGustavson(PlusTimes, a, a)
+	want := [][]float64{{7, 10}, {15, 22}}
+	for i := int32(0); i < 2; i++ {
+		for j := int32(0); j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("c[%d][%d] = %v", i, j, c.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSpGEMMMaskedMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := int32(20)
+	a := randomCSR(rng, n, n, 80)
+	mask := randomCSR(rng, n, n, 60)
+	full := SpGEMMGustavson(PlusTimes, a, a)
+	masked := SpGEMMMasked(PlusTimes, a, a, mask)
+	for i := int32(0); i < n; i++ {
+		cols, vals := masked.Row(i)
+		for k, j := range cols {
+			if math.Abs(vals[k]-full.At(i, j)) > 1e-9 {
+				t.Fatalf("masked (%d,%d) = %v, full %v", i, j, vals[k], full.At(i, j))
+			}
+			if mask.At(i, j) == 0 {
+				t.Fatalf("unmasked entry (%d,%d) leaked", i, j)
+			}
+		}
+	}
+}
+
+func TestAdjacencyMatrixConvention(t *testing.T) {
+	// Edge 0->1 must set A[1][0] (row = destination, per the paper's
+	// footnote 3).
+	g := graph.FromEdges(2, true, [][2]int32{{0, 1}})
+	a := AdjacencyMatrix(g)
+	if a.At(1, 0) != 1 || a.At(0, 1) != 0 {
+		t.Fatal("adjacency convention wrong")
+	}
+}

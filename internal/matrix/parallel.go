@@ -1,0 +1,100 @@
+package matrix
+
+import (
+	"runtime"
+	"sync"
+)
+
+// SpGEMMParallel computes C = A ⊕.⊗ B with row-parallel Gustavson: each
+// worker owns a contiguous block of A's rows with its own dense
+// accumulator, and the per-block results are stitched into one CSR. Same
+// output as SpGEMMGustavson; used by the scaling ablation and anywhere a
+// whole-machine SpGEMM is wanted.
+func SpGEMMParallel(sr Semiring, a, b *CSR) *CSR {
+	workers := runtime.GOMAXPROCS(0)
+	if int32(workers) > a.Rows {
+		workers = int(a.Rows)
+	}
+	if workers <= 1 {
+		return SpGEMMGustavson(sr, a, b)
+	}
+	type blockOut struct {
+		rowPtr []int64 // local offsets, len = rows in block + 1
+		colIdx []int32
+		vals   []float64
+	}
+	outs := make([]blockOut, workers)
+	chunk := (int(a.Rows) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := int32(w * chunk)
+		hi := lo + int32(chunk)
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, lo, hi int32) {
+			defer wg.Done()
+			accVal := make([]float64, b.Cols)
+			accSet := make([]bool, b.Cols)
+			var touched []int32
+			out := blockOut{rowPtr: make([]int64, hi-lo+1)}
+			for i := lo; i < hi; i++ {
+				touched = touched[:0]
+				aCols, aVals := a.Row(i)
+				for k, j := range aCols {
+					av := aVals[k]
+					bCols, bVals := b.Row(j)
+					for t, col := range bCols {
+						prod := sr.Times(av, bVals[t])
+						if !accSet[col] {
+							accSet[col] = true
+							accVal[col] = prod
+							touched = append(touched, col)
+						} else {
+							accVal[col] = sr.Plus(accVal[col], prod)
+						}
+					}
+				}
+				sortIdx(touched)
+				for _, col := range touched {
+					out.colIdx = append(out.colIdx, col)
+					out.vals = append(out.vals, accVal[col])
+					accSet[col] = false
+				}
+				out.rowPtr[i-lo+1] = int64(len(out.colIdx))
+			}
+			outs[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Stitch.
+	c := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int64, a.Rows+1)}
+	var total int64
+	for _, o := range outs {
+		total += int64(len(o.colIdx))
+	}
+	c.ColIdx = make([]int32, 0, total)
+	c.Vals = make([]float64, 0, total)
+	for w := 0; w < workers; w++ {
+		lo := int32(w * chunk)
+		hi := lo + int32(chunk)
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			continue
+		}
+		o := outs[w]
+		base := int64(len(c.ColIdx))
+		c.ColIdx = append(c.ColIdx, o.colIdx...)
+		c.Vals = append(c.Vals, o.vals...)
+		for i := lo; i < hi; i++ {
+			c.RowPtr[i+1] = base + o.rowPtr[i-lo+1]
+		}
+	}
+	return c
+}

@@ -1,0 +1,41 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpGEMMParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int32(4 + rng.Intn(40))
+		a := randomCSR(rng, n, n, 5*int(n))
+		b := randomCSR(rng, n, n, 5*int(n))
+		return SpGEMMParallel(PlusTimes, a, b).Equal(SpGEMMGustavson(PlusTimes, a, b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpGEMMParallelValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomCSR(rng, 200, 200, 2000)
+	c := SpGEMMParallel(PlusTimes, a, a)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() == 0 {
+		t.Fatal("empty product")
+	}
+}
+
+func TestSpGEMMParallelTinyInput(t *testing.T) {
+	// Fewer rows than workers must not break stitching.
+	a := NewCSRFromEntries(2, 2, []Entry{{0, 0, 1}, {1, 1, 2}})
+	c := SpGEMMParallel(PlusTimes, a, a)
+	if c.At(0, 0) != 1 || c.At(1, 1) != 4 {
+		t.Fatalf("tiny product = %v", c.Entries())
+	}
+}

@@ -1,0 +1,156 @@
+package matrix
+
+import "math"
+
+// Semiring defines the (⊕, ⊗) algebra matrix kernels operate over. The
+// GraphBLAS formulation the paper references (Kepner & Gilbert) expresses
+// graph algorithms as matrix products over different semirings.
+type Semiring struct {
+	Name string
+	// Zero is the additive identity (annihilator under Plus folding).
+	Zero float64
+	// One is the multiplicative identity.
+	One   float64
+	Plus  func(a, b float64) float64
+	Times func(a, b float64) float64
+}
+
+// PlusTimes is standard arithmetic (+, ×) over float64.
+var PlusTimes = Semiring{
+	Name: "plus.times", Zero: 0, One: 1,
+	Plus:  func(a, b float64) float64 { return a + b },
+	Times: func(a, b float64) float64 { return a * b },
+}
+
+// MinPlus is the tropical semiring (min, +) used for shortest paths.
+var MinPlus = Semiring{
+	Name: "min.plus", Zero: math.Inf(1), One: 0,
+	Plus: func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	},
+	Times: func(a, b float64) float64 { return a + b },
+}
+
+// OrAnd is the boolean semiring (∨, ∧) over {0,1} used for reachability.
+var OrAnd = Semiring{
+	Name: "or.and", Zero: 0, One: 1,
+	Plus: func(a, b float64) float64 {
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	},
+	Times: func(a, b float64) float64 {
+		if a != 0 && b != 0 {
+			return 1
+		}
+		return 0
+	},
+}
+
+// MaxMin is the (max, min) bottleneck-path semiring.
+var MaxMin = Semiring{
+	Name: "max.min", Zero: math.Inf(-1), One: math.Inf(1),
+	Plus: func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	},
+	Times: func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	},
+}
+
+// SpMV computes y = A ⊕.⊗ x over the semiring: y[i] = ⊕_j A(i,j) ⊗ x[j].
+// Rows with no contributing entries get sr.Zero.
+func SpMV(sr Semiring, a *CSR, x []float64) []float64 {
+	y := make([]float64, a.Rows)
+	for i := int32(0); i < a.Rows; i++ {
+		acc := sr.Zero
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			acc = sr.Plus(acc, sr.Times(vals[k], x[j]))
+		}
+		y[i] = acc
+	}
+	return y
+}
+
+// SparseVec is a sparse vector: sorted indexes with parallel values.
+type SparseVec struct {
+	Idx  []int32
+	Vals []float64
+}
+
+// NNZ returns the stored-element count.
+func (v *SparseVec) NNZ() int { return len(v.Idx) }
+
+// SpMSpV computes y = A ⊕.⊗ x for sparse x, touching only the columns of A
+// that x selects (via the transpose/CSC view at), optionally masked: when
+// mask is non-nil, output index i is dropped if mask[i] is true ("masked
+// complement" semantics used by direction-optimizing BFS in GraphBLAS).
+// at must be the transpose of the logical A so column access is contiguous.
+func SpMSpV(sr Semiring, at *CSR, x *SparseVec, mask []bool) *SparseVec {
+	acc := make(map[int32]float64)
+	for k, j := range x.Idx {
+		xv := x.Vals[k]
+		rows, vals := at.Row(j) // column j of A
+		for t, i := range rows {
+			if mask != nil && mask[i] {
+				continue
+			}
+			prod := sr.Times(vals[t], xv)
+			if cur, ok := acc[i]; ok {
+				acc[i] = sr.Plus(cur, prod)
+			} else {
+				acc[i] = prod
+			}
+		}
+	}
+	out := &SparseVec{Idx: make([]int32, 0, len(acc)), Vals: make([]float64, 0, len(acc))}
+	for i := range acc {
+		out.Idx = append(out.Idx, i)
+	}
+	sortIdx(out.Idx)
+	for _, i := range out.Idx {
+		out.Vals = append(out.Vals, acc[i])
+	}
+	return out
+}
+
+func sortIdx(s []int32) {
+	// insertion sort for small, quicksort for large
+	if len(s) < 24 {
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return
+	}
+	pivot := s[len(s)/2]
+	lt, gt := 0, len(s)-1
+	i := 0
+	for i <= gt {
+		switch {
+		case s[i] < pivot:
+			s[i], s[lt] = s[lt], s[i]
+			lt++
+			i++
+		case s[i] > pivot:
+			s[i], s[gt] = s[gt], s[i]
+			gt--
+		default:
+			i++
+		}
+	}
+	sortIdx(s[:lt])
+	sortIdx(s[gt+1:])
+}

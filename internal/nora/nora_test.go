@@ -1,0 +1,186 @@
+package nora
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func smallBoil(t *testing.T) (*Result, gen.NORAParams) {
+	t.Helper()
+	p := gen.DefaultNORAParams()
+	p.NumPeople = 1500
+	p.NumAddresses = 500
+	recs := gen.GenerateNORARecords(p)
+	return Boil(recs, p.NumAddresses, 2), p
+}
+
+func TestBoilStepsComplete(t *testing.T) {
+	res, _ := smallBoil(t)
+	if len(res.Steps) != 9 {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	wantNames := []string{"1-ingest", "2-parse", "3-shuffle", "4-dedup",
+		"5-build", "6-index", "7-search", "8-score", "9-store"}
+	for i, st := range res.Steps {
+		if st.Name != wantNames[i] {
+			t.Fatalf("step %d = %s", i, st.Name)
+		}
+		if st.Items < 0 {
+			t.Fatalf("step %s negative items", st.Name)
+		}
+	}
+}
+
+func TestBoilGraphStructure(t *testing.T) {
+	res, p := smallBoil(t)
+	if res.NumEntities <= 0 || res.NumEntities > int32(len(res.Dedup.EntityOf)) {
+		t.Fatalf("entities = %d", res.NumEntities)
+	}
+	g := res.Graph
+	if g.NumVertices() != res.NumEntities+p.NumAddresses {
+		t.Fatal("bipartite size wrong")
+	}
+	// Bipartite: person vertices only connect to address vertices.
+	for v := int32(0); v < res.NumEntities; v++ {
+		for _, w := range g.Neighbors(v) {
+			if w < res.NumEntities {
+				t.Fatal("person-person edge in bipartite graph")
+			}
+		}
+	}
+	for a := res.NumEntities; a < g.NumVertices(); a++ {
+		for _, w := range g.Neighbors(a) {
+			if w >= res.NumEntities {
+				t.Fatal("address-address edge in bipartite graph")
+			}
+		}
+	}
+}
+
+func TestRelationshipsValid(t *testing.T) {
+	res, _ := smallBoil(t)
+	if len(res.Relationships) == 0 {
+		t.Fatal("no relationships mined from shared-address data")
+	}
+	prev := res.Relationships[0].Score + 1
+	for _, r := range res.Relationships {
+		if r.SharedAddrs < 2 {
+			t.Fatalf("relationship below minShared: %+v", r)
+		}
+		if r.A == r.B {
+			t.Fatal("self relationship")
+		}
+		if r.Jaccard <= 0 || r.Jaccard > 1 {
+			t.Fatalf("jaccard out of range: %v", r.Jaccard)
+		}
+		if r.SameLastName && r.Score != 2*r.Jaccard {
+			t.Fatal("same-name boost not applied")
+		}
+		if !r.SameLastName && r.Score != r.Jaccard {
+			t.Fatal("score without boost should equal jaccard")
+		}
+		if r.Score > prev+1e-12 {
+			t.Fatal("relationships not sorted by score")
+		}
+		prev = r.Score
+		// Verify shared count against the graph.
+		common := 0
+		na := res.Graph.Neighbors(r.A)
+		for _, x := range na {
+			if res.Graph.HasEdge(r.B, x) {
+				common++
+			}
+		}
+		if int32(common) != r.SharedAddrs {
+			t.Fatalf("shared count %d != graph %d", r.SharedAddrs, common)
+		}
+	}
+}
+
+func TestQueryMatchesBatch(t *testing.T) {
+	res, _ := smallBoil(t)
+	// Every batch relationship involving entity e must appear in Query(e).
+	batchOf := make(map[int32][]Relationship)
+	for _, r := range res.Relationships {
+		batchOf[r.A] = append(batchOf[r.A], r)
+		batchOf[r.B] = append(batchOf[r.B], r)
+	}
+	checked := 0
+	for e := int32(0); e < res.NumEntities && checked < 50; e++ {
+		want := batchOf[e]
+		if len(want) == 0 {
+			continue
+		}
+		checked++
+		got := Query(res, e, 2)
+		gotSet := make(map[int32]float64)
+		for _, r := range got {
+			gotSet[r.B] = r.Jaccard
+		}
+		for _, w := range want {
+			other := w.A
+			if other == e {
+				other = w.B
+			}
+			j, ok := gotSet[other]
+			if !ok {
+				// The batch mine skips mega-addresses (cap 256); queries do
+				// not, so query results are a superset — missing means bug.
+				t.Fatalf("query(%d) missing batch partner %d", e, other)
+			}
+			if j != w.Jaccard {
+				t.Fatalf("query(%d,%d) jaccard %v != batch %v", e, other, j, w.Jaccard)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no entities with relationships to check")
+	}
+}
+
+func TestQueryThresholdAndSort(t *testing.T) {
+	res, _ := smallBoil(t)
+	var probe int32 = -1
+	for e := int32(0); e < res.NumEntities; e++ {
+		if len(Query(res, e, 1)) > 1 {
+			probe = e
+			break
+		}
+	}
+	if probe < 0 {
+		t.Skip("no multi-partner entity in this sample")
+	}
+	rs := Query(res, probe, 1)
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Score > rs[i-1].Score {
+			t.Fatal("query results not sorted")
+		}
+	}
+	// Higher minShared can only shrink the result.
+	if len(Query(res, probe, 3)) > len(rs) {
+		t.Fatal("minShared filter grew results")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if normalize("  John  ") != "john" {
+		t.Fatalf("normalize = %q", normalize("  John  "))
+	}
+	if normalize("o'brien") != "o'brien" {
+		t.Fatal("punctuation should survive")
+	}
+}
+
+func TestDedupQualityWithinBoil(t *testing.T) {
+	res, p := smallBoil(t)
+	// Entities should be far fewer than records and not fewer than people/2
+	// (aggressive over-merging would break NORA precision).
+	nRec := len(res.Dedup.EntityOf)
+	if int(res.NumEntities) >= nRec {
+		t.Fatal("dedup merged nothing")
+	}
+	if res.NumEntities < p.NumPeople/2 {
+		t.Fatalf("dedup over-merged: %d entities for %d people", res.NumEntities, p.NumPeople)
+	}
+}

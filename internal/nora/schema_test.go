@@ -1,0 +1,44 @@
+package nora
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestBipartiteSchemaClassesMatchGraph(t *testing.T) {
+	p := gen.DefaultNORAParams()
+	p.NumPeople = 400
+	p.NumAddresses = 150
+	recs := gen.GenerateNORARecords(p)
+	res := Boil(recs, p.NumAddresses, 2)
+	s, person, _ := BipartiteSchema(res.NumEntities, p.NumAddresses)
+	// All person vertices are class person; every edge crosses classes.
+	people := s.VerticesOfClass(person)
+	if int32(len(people)) != res.NumEntities {
+		t.Fatalf("person class has %d vertices, want %d", len(people), res.NumEntities)
+	}
+	g := res.Graph
+	for v := int32(0); v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if s.ClassOf(v) == s.ClassOf(w) {
+				t.Fatalf("same-class edge %d(%s)-%d(%s)",
+					v, s.ClassName(s.ClassOf(v)), w, s.ClassName(s.ClassOf(w)))
+			}
+		}
+	}
+}
+
+func TestBipartiteSchemaEdgeClassDirectional(t *testing.T) {
+	s := graph.NewSchema(4)
+	person := s.AddVertexClass("person")
+	address := s.AddVertexClass("address")
+	s.SetClassRange(0, 2, person)
+	s.SetClassRange(2, 4, address)
+	livedAt := s.AddEdgeClass("lived-at", person, address)
+	g := graph.FromEdges(4, true, [][2]int32{{0, 2}, {1, 3}})
+	if err := s.ValidateGraph(g, livedAt); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package perfmodel
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// The paper's conclusion: "a reference implementation, with explicit
+// instrumentation, of a combined benchmark would allow calibration of the
+// model." This file closes that loop: it takes the *measured* step timings
+// of the real NORA implementation (internal/nora.Boil) and compares their
+// per-step time distribution against the model's projection for a chosen
+// configuration, reporting where the implementation and the model disagree.
+
+// MeasuredStep is one instrumented step of a real run.
+type MeasuredStep struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// CalibrationReport compares measured and modeled step-time shares.
+type CalibrationReport struct {
+	Config string
+	Rows   []CalibrationRow
+	// MeanAbsShareError is the mean |measured share − modeled share| over
+	// steps (0 = identical shape, 1 = totally different).
+	MeanAbsShareError float64
+}
+
+// CalibrationRow is one step's comparison.
+type CalibrationRow struct {
+	Step          string
+	MeasuredShare float64
+	ModeledShare  float64
+	Bound         Resource
+}
+
+// Calibrate compares measured step times against the model's projection
+// for cfg, matching steps by name. Steps present in only one side are
+// ignored (and reduce the denominator), so partial measurements work.
+func Calibrate(cfg Config, measured []MeasuredStep) *CalibrationReport {
+	ev := EvaluateNORA(cfg)
+	modeled := make(map[string]*StepTime, len(ev.Steps))
+	for i := range ev.Steps {
+		modeled[ev.Steps[i].Step] = &ev.Steps[i]
+	}
+	var measTotal, modelTotal float64
+	for _, m := range measured {
+		if _, ok := modeled[m.Name]; ok {
+			measTotal += m.Elapsed.Seconds()
+			modelTotal += modeled[m.Name].Seconds
+		}
+	}
+	rep := &CalibrationReport{Config: cfg.Name}
+	if measTotal == 0 || modelTotal == 0 {
+		return rep
+	}
+	var errSum float64
+	for _, m := range measured {
+		mt, ok := modeled[m.Name]
+		if !ok {
+			continue
+		}
+		row := CalibrationRow{
+			Step:          m.Name,
+			MeasuredShare: m.Elapsed.Seconds() / measTotal,
+			ModeledShare:  mt.Seconds / modelTotal,
+			Bound:         mt.Bound,
+		}
+		errSum += absf(row.MeasuredShare - row.ModeledShare)
+		rep.Rows = append(rep.Rows, row)
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool { return rep.Rows[i].Step < rep.Rows[j].Step })
+	rep.MeanAbsShareError = errSum / float64(len(rep.Rows))
+	return rep
+}
+
+// DeriveConfig builds a Config whose per-rack rates make the model's step
+// *shares* match the measurement exactly on the compute axis: it assumes
+// the measured machine is compute-bound everywhere (true for a
+// single-process Go run, which has no real disk or network stages) and
+// solves for one effective ops rate per step group. The result lets the
+// model family be extended with a "Measured" point for side-by-side
+// rendering in Fig. 6-style output.
+func DeriveConfig(name string, measured []MeasuredStep) Config {
+	// Effective total ops of the model's steps divided by measured time.
+	demand := make(map[string]float64, len(NORASteps))
+	for _, d := range NORASteps {
+		demand[d.Name] = d.Ops
+	}
+	var ops, secs float64
+	for _, m := range measured {
+		if d, ok := demand[m.Name]; ok {
+			ops += d
+			secs += m.Elapsed.Seconds()
+		}
+	}
+	rate := 1.0
+	if secs > 0 {
+		rate = ops / secs
+	}
+	return Config{
+		Name:  name,
+		Racks: 1,
+		// All non-compute resources effectively infinite on a laptop run
+		// (in-memory, no network), leaving compute as the bound everywhere.
+		PerRack: RackRates{Ops: rate, DiskGBs: 1e12, NetGBs: 1e12, MemGBs: 1e12},
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Render writes the calibration table.
+func (r *CalibrationReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "calibration vs %s (mean |Δshare| = %.3f)\n", r.Config, r.MeanAbsShareError)
+	fmt.Fprintf(w, "%-10s %10s %10s %8s\n", "step", "measured%", "modeled%", "bound")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %9.1f%% %9.1f%% %8s\n",
+			row.Step, 100*row.MeasuredShare, 100*row.ModeledShare, row.Bound)
+	}
+}

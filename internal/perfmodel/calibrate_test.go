@@ -1,0 +1,91 @@
+package perfmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func modelAsMeasurement(cfg Config) []MeasuredStep {
+	ev := EvaluateNORA(cfg)
+	out := make([]MeasuredStep, 0, len(ev.Steps))
+	for _, st := range ev.Steps {
+		out = append(out, MeasuredStep{
+			Name:    st.Step,
+			Elapsed: time.Duration(st.Seconds * float64(time.Second)),
+		})
+	}
+	return out
+}
+
+func TestCalibrateSelfIsExact(t *testing.T) {
+	// Feeding the model its own projection back must give ~zero error.
+	rep := Calibrate(Base2012, modelAsMeasurement(Base2012))
+	if len(rep.Rows) != 9 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if rep.MeanAbsShareError > 1e-9 {
+		t.Fatalf("self-calibration error = %v", rep.MeanAbsShareError)
+	}
+}
+
+func TestCalibrateDetectsShapeDifference(t *testing.T) {
+	// The Lightweight profile differs from the baseline's; calibrating one
+	// against the other must report a larger error than self-calibration.
+	cross := Calibrate(Base2012, modelAsMeasurement(Lightweight))
+	if cross.MeanAbsShareError < 0.01 {
+		t.Fatalf("cross error = %v, too small", cross.MeanAbsShareError)
+	}
+}
+
+func TestCalibratePartialMeasurement(t *testing.T) {
+	m := modelAsMeasurement(Base2012)[:4]
+	m = append(m, MeasuredStep{Name: "not-a-step", Elapsed: time.Hour})
+	rep := Calibrate(Base2012, m)
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if rep.MeanAbsShareError > 1e-9 {
+		t.Fatalf("partial self-calibration error = %v", rep.MeanAbsShareError)
+	}
+}
+
+func TestCalibrateEmpty(t *testing.T) {
+	rep := Calibrate(Base2012, nil)
+	if len(rep.Rows) != 0 || rep.MeanAbsShareError != 0 {
+		t.Fatalf("empty calibration = %+v", rep)
+	}
+}
+
+func TestDeriveConfig(t *testing.T) {
+	measured := []MeasuredStep{
+		{Name: "4-dedup", Elapsed: 2 * time.Second},
+		{Name: "7-search", Elapsed: 2 * time.Second},
+	}
+	cfg := DeriveConfig("Measured", measured)
+	if cfg.Name != "Measured" || cfg.Racks != 1 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	// Effective rate = (2*12.67e6 Gops) / 4 s.
+	want := (12670e3 + 12670e3) / 4.0
+	if cfg.PerRack.Ops < want*0.99 || cfg.PerRack.Ops > want*1.01 {
+		t.Fatalf("ops rate = %v, want %v", cfg.PerRack.Ops, want)
+	}
+	// The derived config is compute-bound on every step.
+	ev := EvaluateNORA(cfg)
+	for _, st := range ev.Steps {
+		if st.Bound != Compute {
+			t.Fatalf("step %s bound by %v", st.Step, st.Bound)
+		}
+	}
+}
+
+func TestCalibrationRender(t *testing.T) {
+	rep := Calibrate(Base2012, modelAsMeasurement(Base2012))
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if !strings.Contains(buf.String(), "4-dedup") {
+		t.Fatal("render missing steps")
+	}
+}

@@ -1,0 +1,283 @@
+// Package perfmodel reimplements the analytical performance model behind
+// the paper's Figs. 3 and 6: the nine-step NORA (Non-Obvious Relationship
+// Analysis) application is characterized by four resource demands per step —
+// compute operations, disk traffic, network traffic, and memory traffic —
+// and a machine configuration supplies sustained per-rack rates for the
+// same four resources. Each step's execution time is the demand/capacity
+// maximum over the four resources ("at each step the highest bar represents
+// the bounding execution time for that step"), and the application time is
+// the sum over steps.
+//
+// Capacities are *effective* rates on this irregular workload, not peaks;
+// the emerging-architecture entries (X-Caliber, 3D stack, Emu1-3) are
+// projections calibrated to the factors the paper quotes, exactly as the
+// paper's own model was. See EXPERIMENTS.md for the calibration targets.
+package perfmodel
+
+import "fmt"
+
+// Resource identifies one of the four modeled resources.
+type Resource int
+
+// The four resources of the model.
+const (
+	Compute Resource = iota // instruction processing
+	Disk                    // disk bandwidth
+	Net                     // network bandwidth
+	Mem                     // memory bandwidth
+	numResources
+)
+
+func (r Resource) String() string {
+	switch r {
+	case Compute:
+		return "compute"
+	case Disk:
+		return "disk"
+	case Net:
+		return "net"
+	case Mem:
+		return "mem"
+	}
+	return "?"
+}
+
+// Demand is one step's total requirement: Ops in Gops, traffic in GB.
+type Demand struct {
+	Name   string
+	Ops    float64 // compute operations, Gops
+	DiskGB float64
+	NetGB  float64
+	MemGB  float64
+}
+
+// resource returns the demand along r.
+func (d Demand) resource(r Resource) float64 {
+	switch r {
+	case Compute:
+		return d.Ops
+	case Disk:
+		return d.DiskGB
+	case Net:
+		return d.NetGB
+	default:
+		return d.MemGB
+	}
+}
+
+// NORASteps are the nine steps of the modeled weekly NORA "boil":
+// ingest, parse/normalize, shuffle/sort for blocking, dedup matching, graph
+// (linkage) build, index build, NORA relationship search, scoring, and
+// result store. Demands are problem-wide totals for the ~40 TB input /
+// ~5 TB persistent set described in the paper, scaled so the 2012 baseline
+// completes in about an hour of model time.
+var NORASteps = []Demand{
+	{Name: "1-ingest", Ops: 300e3, DiskGB: 44800, NetGB: 2000, MemGB: 2880e3},
+	{Name: "2-parse", Ops: 1100e3, DiskGB: 12800, NetGB: 400, MemGB: 1080e3},
+	{Name: "3-shuffle", Ops: 350e3, DiskGB: 9600, NetGB: 36000, MemGB: 3240e3},
+	{Name: "4-dedup", Ops: 12670e3, DiskGB: 1280, NetGB: 1200, MemGB: 720e3},
+	{Name: "5-build", Ops: 250e3, DiskGB: 1920, NetGB: 12000, MemGB: 2160e3},
+	{Name: "6-index", Ops: 500e3, DiskGB: 2560, NetGB: 1000, MemGB: 6000e3},
+	{Name: "7-search", Ops: 12670e3, DiskGB: 640, NetGB: 2400, MemGB: 720e3},
+	{Name: "8-score", Ops: 900e3, DiskGB: 640, NetGB: 6000, MemGB: 1100e3},
+	{Name: "9-store", Ops: 100e3, DiskGB: 32000, NetGB: 1600, MemGB: 1440e3},
+}
+
+// RackRates are sustained per-rack rates: Gops/s and GB/s.
+type RackRates struct {
+	Ops, DiskGBs, NetGBs, MemGBs float64
+}
+
+func (rr RackRates) resource(r Resource) float64 {
+	switch r {
+	case Compute:
+		return rr.Ops
+	case Disk:
+		return rr.DiskGBs
+	case Net:
+		return rr.NetGBs
+	default:
+		return rr.MemGBs
+	}
+}
+
+// Config is one machine configuration: a rack count and per-rack rates.
+type Config struct {
+	Name    string
+	Racks   float64
+	PerRack RackRates
+}
+
+// capacity returns the system-wide rate along r.
+func (c Config) capacity(r Resource) float64 {
+	return c.Racks * c.PerRack.resource(r)
+}
+
+// The 2012 baseline: 10 racks of 40 dual-socket 6-core 2.4 GHz blades with
+// 0.16 GB/s local disks and 0.1 GB/s network injection per blade.
+// Per-blade effective compute on this irregular workload: 12 cores × 2.4 GHz
+// × 2 ops/cycle = 57.6 Gops/s.
+var Base2012 = Config{
+	Name: "Base2012", Racks: 10,
+	PerRack: RackRates{Ops: 2304, DiskGBs: 6.4, NetGBs: 4.0, MemGBs: 1200},
+}
+
+// Upgrade factors (Section IV): modern 24-core 3 GHz parts with wider SIMD
+// (≈10× effective ops), 3× memory bandwidth, SSDs (0.16→2 GB/s per blade),
+// and InfiniBand (0.1→2.4 GB/s effective injection per blade).
+const (
+	cpuFactor  = 10.0
+	memFactor  = 3.0
+	diskFactor = 12.5
+	netFactor  = 24.0
+)
+
+func derive(name string, cpu, disk, net, mem bool) Config {
+	c := Base2012
+	c.Name = name
+	if cpu {
+		c.PerRack.Ops *= cpuFactor
+	}
+	if disk {
+		c.PerRack.DiskGBs *= diskFactor
+	}
+	if net {
+		c.PerRack.NetGBs *= netFactor
+	}
+	if mem {
+		c.PerRack.MemGBs *= memFactor
+	}
+	return c
+}
+
+// The single-resource upgrade configurations and their combinations.
+var (
+	UpgradeCPU  = derive("UpgradeCPU", true, false, false, false)
+	UpgradeDisk = derive("UpgradeDisk", false, true, false, false)
+	UpgradeNet  = derive("UpgradeNet", false, false, true, false)
+	UpgradeMem  = derive("UpgradeMem", false, false, false, true)
+	AllButCPU   = derive("AllButCPU", false, true, true, true)
+	AllUpgrades = derive("AllUpgrades", true, true, true, true)
+)
+
+// Lightweight models an ARM/Moonshot-class dense rack (paper: near-equal
+// performance to the baseline in 2 racks, with compute binding 4 of the 9
+// steps).
+var Lightweight = Config{
+	Name: "Lightweight", Racks: 2,
+	PerRack: RackRates{Ops: 5500, DiskGBs: 130, NetGBs: 50, MemGBs: 9000},
+}
+
+// XCaliber models the Sandia two-level-memory design (3D stacks close-in;
+// paper: equal performance to the fully upgraded cluster in 3 racks).
+var XCaliber = Config{
+	Name: "XCaliber", Racks: 3,
+	PerRack: RackRates{Ops: 25000, DiskGBs: 500, NetGBs: 300, MemGBs: 40000},
+}
+
+// Stack3D is the "sea of memory stacks" with all processing in the stack
+// bases (paper: "possibly up to 200X performance in 1/10th the hardware").
+var Stack3D = Config{
+	Name: "Stack3D", Racks: 1,
+	PerRack: RackRates{Ops: 2.5e6, DiskGBs: 20000, NetGBs: 10000, MemGBs: 2e6},
+}
+
+// Emu1-3 are the three migrating-thread generations of Fig. 6 (rack-scale
+// FPGA system, ASIC, and 3D-stack implementation), with effective rates on
+// irregular access calibrated to the paper's "up to 60X the best upgraded
+// cluster in 1/10th the hardware" projection for Emu3.
+var (
+	Emu1 = Config{Name: "Emu1", Racks: 1,
+		PerRack: RackRates{Ops: 180e3, DiskGBs: 2000, NetGBs: 4000, MemGBs: 1e6}}
+	Emu2 = Config{Name: "Emu2", Racks: 1,
+		PerRack: RackRates{Ops: 1.1e6, DiskGBs: 8000, NetGBs: 20000, MemGBs: 5e6}}
+	Emu3 = Config{Name: "Emu3", Racks: 1,
+		PerRack: RackRates{Ops: 4.5e6, DiskGBs: 40000, NetGBs: 100000, MemGBs: 25e6}}
+)
+
+// Fig3Configs is the configuration set of Fig. 3.
+var Fig3Configs = []Config{
+	Base2012, UpgradeCPU, UpgradeDisk, UpgradeNet, UpgradeMem,
+	AllButCPU, AllUpgrades, Lightweight, XCaliber, Stack3D,
+}
+
+// Fig6Configs is the configuration set of Fig. 6 (size vs performance).
+var Fig6Configs = []Config{
+	Base2012, UpgradeCPU, AllButCPU, AllUpgrades, Lightweight, XCaliber,
+	Stack3D, Emu1, Emu2, Emu3,
+}
+
+// StepTime is the evaluation of one step on one configuration.
+type StepTime struct {
+	Step    string
+	Times   [numResources]float64 // seconds by resource
+	Bound   Resource
+	Seconds float64 // max over resources
+}
+
+// Evaluation is a full model run for one configuration.
+type Evaluation struct {
+	Config  Config
+	Steps   []StepTime
+	Total   float64
+	BoundBy map[Resource]int // how many steps each resource bounds
+}
+
+// Evaluate runs the model for cfg over the given steps.
+func Evaluate(cfg Config, steps []Demand) *Evaluation {
+	ev := &Evaluation{Config: cfg, BoundBy: make(map[Resource]int)}
+	for _, d := range steps {
+		st := StepTime{Step: d.Name}
+		for r := Resource(0); r < numResources; r++ {
+			t := d.resource(r) / cfg.capacity(r)
+			st.Times[r] = t
+			if t > st.Seconds {
+				st.Seconds = t
+				st.Bound = r
+			}
+		}
+		ev.Steps = append(ev.Steps, st)
+		ev.Total += st.Seconds
+		ev.BoundBy[st.Bound]++
+	}
+	return ev
+}
+
+// EvaluateNORA evaluates cfg on the canonical nine NORA steps.
+func EvaluateNORA(cfg Config) *Evaluation { return Evaluate(cfg, NORASteps) }
+
+// Speedup returns the total-time ratio base/this.
+func (ev *Evaluation) Speedup(base *Evaluation) float64 {
+	if ev.Total == 0 {
+		return 0
+	}
+	return base.Total / ev.Total
+}
+
+// Fig6Point is one point of the size-performance scatter.
+type Fig6Point struct {
+	Name    string
+	Racks   float64
+	Total   float64
+	Speedup float64 // vs Base2012
+}
+
+// Fig6 evaluates all Fig. 6 configurations against the baseline.
+func Fig6() []Fig6Point {
+	base := EvaluateNORA(Base2012)
+	out := make([]Fig6Point, 0, len(Fig6Configs))
+	for _, cfg := range Fig6Configs {
+		ev := EvaluateNORA(cfg)
+		out = append(out, Fig6Point{
+			Name: cfg.Name, Racks: cfg.Racks, Total: ev.Total, Speedup: ev.Speedup(base),
+		})
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (ev *Evaluation) String() string {
+	return fmt.Sprintf("%-12s racks=%4.1f total=%8.1fs bound{cpu:%d disk:%d net:%d mem:%d}",
+		ev.Config.Name, ev.Config.Racks, ev.Total,
+		ev.BoundBy[Compute], ev.BoundBy[Disk], ev.BoundBy[Net], ev.BoundBy[Mem])
+}

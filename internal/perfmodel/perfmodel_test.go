@@ -1,0 +1,215 @@
+package perfmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEvaluateBasics(t *testing.T) {
+	ev := EvaluateNORA(Base2012)
+	if len(ev.Steps) != 9 {
+		t.Fatalf("steps = %d", len(ev.Steps))
+	}
+	if ev.Total <= 0 {
+		t.Fatal("no time")
+	}
+	sum := 0.0
+	for _, st := range ev.Steps {
+		if st.Seconds != st.Times[st.Bound] {
+			t.Fatal("bound time mismatch")
+		}
+		for r := Resource(0); r < numResources; r++ {
+			if st.Times[r] > st.Seconds {
+				t.Fatal("bound is not the max")
+			}
+		}
+		sum += st.Seconds
+	}
+	if sum != ev.Total {
+		t.Fatal("total is not sum of steps")
+	}
+}
+
+// TestPaperClaims checks the modeled Fig. 3 / Section IV narrative shape
+// against the paper's quoted factors. The bands are deliberately loose: the
+// paper's exact triple (45% CPU-only, >3x all-but-CPU, 8x all) is mutually
+// unreachable under a pure bounding-resource model (see EXPERIMENTS.md),
+// so we assert the qualitative shape at the closest consistent point.
+func TestPaperClaims(t *testing.T) {
+	base := EvaluateNORA(Base2012)
+	sp := func(cfg Config) float64 { return EvaluateNORA(cfg).Speedup(base) }
+
+	cpuOnly := sp(UpgradeCPU)
+	diskOnly := sp(UpgradeDisk)
+	netOnly := sp(UpgradeNet)
+	memOnly := sp(UpgradeMem)
+	allBut := sp(AllButCPU)
+	all := sp(AllUpgrades)
+
+	// Single-resource upgrades each give modest gains, CPU the largest
+	// ("upgrading the microprocessor alone provided only a 45% increase,
+	// with the other options individually providing less").
+	if cpuOnly < 1.2 || cpuOnly > 1.6 {
+		t.Fatalf("CPU-only speedup %.2f outside [1.2,1.6]", cpuOnly)
+	}
+	for name, s := range map[string]float64{"disk": diskOnly, "net": netOnly, "mem": memOnly} {
+		if s >= cpuOnly {
+			t.Fatalf("%s-only %.2f should be below CPU-only %.2f", name, s, cpuOnly)
+		}
+		if s < 1.0 {
+			t.Fatalf("%s-only %.2f below 1", name, s)
+		}
+	}
+
+	// All-but-CPU: "over a 3X growth ... far more than the product of the
+	// individual factors". We land ~2.7x; assert well above the product.
+	product := diskOnly * netOnly * memOnly
+	if allBut < 2.4 || allBut > 3.6 {
+		t.Fatalf("all-but-CPU speedup %.2f outside [2.4,3.6]", allBut)
+	}
+	if allBut < 1.4*product {
+		t.Fatalf("all-but-CPU %.2f not far above product %.2f", allBut, product)
+	}
+
+	// Full upgrade: "8X growth" — band [6,9].
+	if all < 6 || all > 9 {
+		t.Fatalf("all-upgrades speedup %.2f outside [6,9]", all)
+	}
+}
+
+func TestBaselineProfile(t *testing.T) {
+	// "disk and network bandwidth represent the tall poles for the baseline
+	// ... no one type of resource is uniformly the bounding peak".
+	ev := EvaluateNORA(Base2012)
+	if ev.BoundBy[Disk] == 0 || ev.BoundBy[Net] == 0 || ev.BoundBy[Compute] == 0 || ev.BoundBy[Mem] == 0 {
+		t.Fatalf("baseline bound distribution = %v (want all four present)", ev.BoundBy)
+	}
+	// Tallest single bars are disk or net.
+	worst, worstRes := 0.0, Compute
+	for _, st := range ev.Steps {
+		if st.Seconds > worst {
+			worst, worstRes = st.Seconds, st.Bound
+		}
+	}
+	if worstRes != Disk && worstRes != Net {
+		t.Fatalf("tallest pole is %v, want disk or net", worstRes)
+	}
+}
+
+func TestLightweightClaims(t *testing.T) {
+	base := EvaluateNORA(Base2012)
+	lw := EvaluateNORA(Lightweight)
+	// "near equal performance in 1/5th the hardware".
+	ratio := lw.Speedup(base)
+	if ratio < 0.8 || ratio > 1.4 {
+		t.Fatalf("lightweight speedup %.2f not near-equal", ratio)
+	}
+	if Lightweight.Racks != 2 {
+		t.Fatal("lightweight should use 2 racks")
+	}
+	// "its lower processing capability causes computational rate to
+	// dominate for 4 of the 9 steps".
+	if lw.BoundBy[Compute] != 4 {
+		t.Fatalf("lightweight compute-bound steps = %d, want 4", lw.BoundBy[Compute])
+	}
+}
+
+func TestXCaliberClaim(t *testing.T) {
+	// "achieving equal performance in only 3 racks" (vs the fully upgraded
+	// 10-rack cluster).
+	all := EvaluateNORA(AllUpgrades)
+	xc := EvaluateNORA(XCaliber)
+	ratio := all.Total / xc.Total
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("xcaliber/allupgrades ratio %.2f not near-equal", ratio)
+	}
+	if XCaliber.Racks != 3 {
+		t.Fatal("xcaliber should use 3 racks")
+	}
+}
+
+func TestStack3DClaim(t *testing.T) {
+	// "possibly up to 200X performance in 1/10th the hardware".
+	base := EvaluateNORA(Base2012)
+	sd := EvaluateNORA(Stack3D)
+	sp := sd.Speedup(base)
+	if sp < 150 || sp > 250 {
+		t.Fatalf("3D-stack speedup %.0fx outside [150,250]", sp)
+	}
+	if Stack3D.Racks != 1 {
+		t.Fatal("stack3d should use 1 rack")
+	}
+}
+
+func TestEmuClaims(t *testing.T) {
+	// Fig. 6: "In 1/10th the hardware, projected performance for the Emu
+	// system are up to 60X that of the best of the upgraded clusters."
+	all := EvaluateNORA(AllUpgrades)
+	e1 := EvaluateNORA(Emu1)
+	e2 := EvaluateNORA(Emu2)
+	e3 := EvaluateNORA(Emu3)
+	if !(e1.Total > e2.Total && e2.Total > e3.Total) {
+		t.Fatal("Emu generations not monotone")
+	}
+	top := all.Total / e3.Total
+	if top < 40 || top > 90 {
+		t.Fatalf("Emu3 vs AllUpgrades = %.0fx outside [40,90]", top)
+	}
+	if Emu1.Racks != 1 || Emu3.Racks != 1 {
+		t.Fatal("Emu configs should be single-rack")
+	}
+}
+
+func TestFig6PointsComplete(t *testing.T) {
+	pts := Fig6()
+	if len(pts) != len(Fig6Configs) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Total <= 0 || p.Speedup <= 0 || p.Racks <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	if pts[0].Name != "Base2012" || pts[0].Speedup != 1 {
+		t.Fatalf("baseline point = %+v", pts[0])
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	RenderFig3(&buf, []Config{Base2012})
+	out := buf.String()
+	if !strings.Contains(out, "Base2012") || !strings.Contains(out, "1-ingest") {
+		t.Fatal("fig3 render missing content")
+	}
+	buf.Reset()
+	RenderFig3Table(&buf, []Config{Base2012, AllUpgrades})
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatal("fig3 table missing speedup row")
+	}
+	buf.Reset()
+	RenderFig6(&buf)
+	if !strings.Contains(buf.String(), "Emu3") {
+		t.Fatal("fig6 render missing Emu3")
+	}
+}
+
+func TestEvaluationString(t *testing.T) {
+	s := EvaluateNORA(Base2012).String()
+	if !strings.Contains(s, "Base2012") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	names := map[Resource]string{Compute: "compute", Disk: "disk", Net: "net", Mem: "mem"}
+	for r, want := range names {
+		if r.String() != want {
+			t.Fatalf("%d -> %q", r, r.String())
+		}
+	}
+	if Resource(99).String() != "?" {
+		t.Fatal("unknown resource should render ?")
+	}
+}

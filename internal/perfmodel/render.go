@@ -1,0 +1,81 @@
+package perfmodel
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderFig3 writes ASCII per-step resource-usage bar charts for each
+// configuration, the textual analog of the paper's Fig. 3: four bars per
+// step (compute, disk, net, mem), the tallest being the bounding time.
+func RenderFig3(w io.Writer, configs []Config) {
+	base := EvaluateNORA(Base2012)
+	for _, cfg := range configs {
+		ev := EvaluateNORA(cfg)
+		fmt.Fprintf(w, "\n=== %s  (%.0f racks, total %.1fs, %.2fx vs Base2012) ===\n",
+			cfg.Name, cfg.Racks, ev.Total, ev.Speedup(base))
+		// Scale bars to the configuration's largest step time.
+		maxT := 0.0
+		for _, st := range ev.Steps {
+			if st.Seconds > maxT {
+				maxT = st.Seconds
+			}
+		}
+		for _, st := range ev.Steps {
+			fmt.Fprintf(w, "%-10s bound=%-7s %8.1fs\n", st.Step, st.Bound, st.Seconds)
+			for r := Resource(0); r < numResources; r++ {
+				barLen := 0
+				if maxT > 0 {
+					barLen = int(st.Times[r] / maxT * 50)
+				}
+				mark := " "
+				if r == st.Bound {
+					mark = "*"
+				}
+				fmt.Fprintf(w, "  %s %-7s %8.1fs |%s\n", mark, r, st.Times[r], strings.Repeat("#", barLen))
+			}
+		}
+	}
+}
+
+// RenderFig3Table writes a compact table: rows = steps, columns = configs,
+// cells = bounding resource and step time.
+func RenderFig3Table(w io.Writer, configs []Config) {
+	evals := make([]*Evaluation, len(configs))
+	for i, cfg := range configs {
+		evals[i] = EvaluateNORA(cfg)
+	}
+	fmt.Fprintf(w, "%-10s", "step")
+	for _, cfg := range configs {
+		fmt.Fprintf(w, " %16s", cfg.Name)
+	}
+	fmt.Fprintln(w)
+	for si := range NORASteps {
+		fmt.Fprintf(w, "%-10s", NORASteps[si].Name)
+		for _, ev := range evals {
+			st := ev.Steps[si]
+			fmt.Fprintf(w, " %8.1f(%-7s", st.Seconds, st.Bound.String()+")")
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s", "TOTAL")
+	for _, ev := range evals {
+		fmt.Fprintf(w, " %8.1f%9s", ev.Total, "")
+	}
+	fmt.Fprintln(w)
+	base := EvaluateNORA(Base2012)
+	fmt.Fprintf(w, "%-10s", "speedup")
+	for _, ev := range evals {
+		fmt.Fprintf(w, " %8.2fx%8s", ev.Speedup(base), "")
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderFig6 writes the size-performance comparison: racks vs speedup.
+func RenderFig6(w io.Writer) {
+	fmt.Fprintf(w, "%-12s %6s %10s %10s\n", "config", "racks", "total(s)", "speedup")
+	for _, p := range Fig6() {
+		fmt.Fprintf(w, "%-12s %6.1f %10.1f %9.1fx\n", p.Name, p.Racks, p.Total, p.Speedup)
+	}
+}

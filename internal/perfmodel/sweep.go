@@ -1,0 +1,100 @@
+package perfmodel
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file adds the "early parameterized model" exploration the paper's
+// conclusion proposes: sweeps over machine parameters to identify "the
+// most potentially valuable configurations."
+
+// SensitivityPoint reports the total-time effect of scaling one resource's
+// capacity by Factor while holding the rest fixed.
+type SensitivityPoint struct {
+	Resource Resource
+	Factor   float64
+	Total    float64
+	Speedup  float64 // vs the unscaled config
+}
+
+// Sensitivity sweeps each resource of cfg over the given factors.
+func Sensitivity(cfg Config, factors []float64) []SensitivityPoint {
+	base := EvaluateNORA(cfg)
+	var out []SensitivityPoint
+	for r := Resource(0); r < numResources; r++ {
+		for _, f := range factors {
+			scaled := cfg
+			switch r {
+			case Compute:
+				scaled.PerRack.Ops *= f
+			case Disk:
+				scaled.PerRack.DiskGBs *= f
+			case Net:
+				scaled.PerRack.NetGBs *= f
+			case Mem:
+				scaled.PerRack.MemGBs *= f
+			}
+			ev := EvaluateNORA(scaled)
+			out = append(out, SensitivityPoint{
+				Resource: r, Factor: f, Total: ev.Total, Speedup: base.Total / ev.Total,
+			})
+		}
+	}
+	return out
+}
+
+// MostValuableUpgrade returns the resource whose doubling most improves
+// cfg's total time, with the resulting speedup.
+func MostValuableUpgrade(cfg Config) (Resource, float64) {
+	best, bestSp := Compute, 0.0
+	for _, p := range Sensitivity(cfg, []float64{2}) {
+		if p.Speedup > bestSp {
+			best, bestSp = p.Resource, p.Speedup
+		}
+	}
+	return best, bestSp
+}
+
+// RackSweepPoint is one (racks, total time) sample for a configuration.
+type RackSweepPoint struct {
+	Racks   float64
+	Total   float64
+	Speedup float64 // vs Base2012 at its native 10 racks
+}
+
+// RackSweep evaluates cfg at each rack count — the paper's Fig. 6 axes as
+// full curves instead of single points. Strong scaling is perfect in this
+// model (all capacities scale with racks), so the value is in comparing
+// architectures at equal rack counts.
+func RackSweep(cfg Config, racks []float64) []RackSweepPoint {
+	base := EvaluateNORA(Base2012)
+	out := make([]RackSweepPoint, 0, len(racks))
+	for _, r := range racks {
+		c := cfg
+		c.Racks = r
+		ev := EvaluateNORA(c)
+		out = append(out, RackSweepPoint{Racks: r, Total: ev.Total, Speedup: base.Total / ev.Total})
+	}
+	return out
+}
+
+// RenderSensitivity writes the sensitivity sweep as a table.
+func RenderSensitivity(w io.Writer, cfg Config, factors []float64) {
+	fmt.Fprintf(w, "sensitivity of %s (total %.1fs):\n", cfg.Name, EvaluateNORA(cfg).Total)
+	fmt.Fprintf(w, "%-8s", "resource")
+	for _, f := range factors {
+		fmt.Fprintf(w, " x%-7.2g", f)
+	}
+	fmt.Fprintln(w)
+	pts := Sensitivity(cfg, factors)
+	i := 0
+	for r := Resource(0); r < numResources; r++ {
+		fmt.Fprintf(w, "%-8s", r)
+		for range factors {
+			fmt.Fprintf(w, " %-8.3f", pts[i].Speedup)
+			i++
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,70 @@
+package perfmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSensitivityShape(t *testing.T) {
+	pts := Sensitivity(Base2012, []float64{0.5, 1, 2})
+	if len(pts) != 12 { // 4 resources × 3 factors
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Factor == 1 && (p.Speedup < 0.999 || p.Speedup > 1.001) {
+			t.Fatalf("identity factor speedup = %v", p.Speedup)
+		}
+		if p.Factor == 2 && p.Speedup < 0.999 {
+			t.Fatalf("doubling %v slowed things down: %v", p.Resource, p.Speedup)
+		}
+		if p.Factor == 0.5 && p.Speedup > 1.001 {
+			t.Fatalf("halving %v sped things up: %v", p.Resource, p.Speedup)
+		}
+	}
+}
+
+func TestMostValuableUpgrade(t *testing.T) {
+	// For the baseline, doubling disk or net should beat doubling memory;
+	// per the Fig. 3 narrative the tall poles are disk and net.
+	r, sp := MostValuableUpgrade(Base2012)
+	if r != Disk && r != Net && r != Compute {
+		t.Fatalf("most valuable = %v", r)
+	}
+	if sp <= 1 {
+		t.Fatalf("speedup = %v", sp)
+	}
+	// For the all-but-CPU config, compute must be the most valuable
+	// upgrade (that is the Fig. 3 punchline).
+	r2, _ := MostValuableUpgrade(AllButCPU)
+	if r2 != Compute {
+		t.Fatalf("all-but-CPU most valuable = %v, want compute", r2)
+	}
+}
+
+func TestRackSweepMonotone(t *testing.T) {
+	pts := RackSweep(Base2012, []float64{5, 10, 20, 40})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Total >= pts[i-1].Total {
+			t.Fatal("more racks should be faster in this model")
+		}
+	}
+	// At its native 10 racks the sweep reproduces the baseline.
+	if pts[1].Speedup < 0.999 || pts[1].Speedup > 1.001 {
+		t.Fatalf("native point speedup = %v", pts[1].Speedup)
+	}
+	// Perfect strong scaling: 2x racks = 2x speedup.
+	ratio := pts[2].Speedup / pts[1].Speedup
+	if ratio < 1.999 || ratio > 2.001 {
+		t.Fatalf("scaling ratio = %v", ratio)
+	}
+}
+
+func TestRenderSensitivity(t *testing.T) {
+	var buf bytes.Buffer
+	RenderSensitivity(&buf, Base2012, []float64{0.5, 2})
+	out := buf.String()
+	if !strings.Contains(out, "compute") || !strings.Contains(out, "Base2012") {
+		t.Fatalf("render = %s", out)
+	}
+}

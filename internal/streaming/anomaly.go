@@ -1,0 +1,223 @@
+// Package streaming implements the paper's streaming graph analytics: the
+// three Firehose-style anomaly kernels (fixed key, unbounded key, two-level
+// key), incremental triangle counting, incremental connected components,
+// streaming Jaccard in both of the paper's forms (edge-update driven and
+// query-stream driven), top-k degree tracking, and the threshold-trigger
+// machinery that escalates local stream events into batch analytics
+// (Fig. 2's left-hand path).
+package streaming
+
+import (
+	"repro/internal/gen"
+)
+
+// AnomalyEvent reports a key flagged anomalous — the Fig. 1 "Output O(1)
+// events" class.
+type AnomalyEvent struct {
+	Key      uint64
+	Seen     int32
+	OddCount int32
+	Seq      int64 // stream position at which the decision fired
+}
+
+// Firehose-like decision parameters: a key is classified once observed
+// DecideAfter times; it is anomalous when at least OddThreshold of those
+// carried the odd "truth" bit. These mirror the Firehose analytic's 24/20
+// rule.
+const (
+	DecideAfter  = 24
+	OddThreshold = 20
+)
+
+type keyState struct {
+	seen int32
+	odd  int32
+}
+
+// FixedKeyAnomaly is the "Anomaly – Fixed Key" kernel: state lives in a
+// fixed-size table indexed by key hash, so colliding keys overwrite each
+// other — constant memory, approximate answers, exactly the Firehose
+// "anomaly1" structure.
+type FixedKeyAnomaly struct {
+	table   []keyStateK
+	mask    uint64
+	events  []AnomalyEvent
+	seq     int64
+	Decided int64
+	Evicted int64 // occupied slots overwritten by a different key
+}
+
+type keyStateK struct {
+	key  uint64
+	live bool
+	keyState
+}
+
+// NewFixedKeyAnomaly creates a detector with 2^logSize table slots.
+func NewFixedKeyAnomaly(logSize int) *FixedKeyAnomaly {
+	size := uint64(1) << logSize
+	return &FixedKeyAnomaly{table: make([]keyStateK, size), mask: size - 1}
+}
+
+// Ingest processes one stream item, returning a non-nil event if the item
+// completed a decision that flagged its key.
+func (a *FixedKeyAnomaly) Ingest(it gen.StreamItem) *AnomalyEvent {
+	a.seq++
+	slot := &a.table[splitmix(it.Key)&a.mask]
+	if !slot.live || slot.key != it.Key {
+		if slot.live {
+			a.Evicted++
+		}
+		*slot = keyStateK{key: it.Key, live: true}
+	}
+	slot.seen++
+	if it.Value&1 == 1 {
+		slot.odd++
+	}
+	if slot.seen == DecideAfter {
+		a.Decided++
+		ev := (*AnomalyEvent)(nil)
+		if slot.odd >= OddThreshold {
+			e := AnomalyEvent{Key: it.Key, Seen: slot.seen, OddCount: slot.odd, Seq: a.seq}
+			a.events = append(a.events, e)
+			ev = &a.events[len(a.events)-1]
+		}
+		*slot = keyStateK{} // retire the key
+		return ev
+	}
+	return nil
+}
+
+// Events returns all fired anomaly events.
+func (a *FixedKeyAnomaly) Events() []AnomalyEvent { return a.events }
+
+// UnboundedKeyAnomaly is the "Anomaly – Unbounded Key" kernel: exact state
+// per key in a growing map (Firehose "anomaly2"). Memory grows with the key
+// space but decisions are exact.
+type UnboundedKeyAnomaly struct {
+	state   map[uint64]*keyState
+	events  []AnomalyEvent
+	seq     int64
+	Decided int64
+}
+
+// NewUnboundedKeyAnomaly creates an exact detector.
+func NewUnboundedKeyAnomaly() *UnboundedKeyAnomaly {
+	return &UnboundedKeyAnomaly{state: make(map[uint64]*keyState)}
+}
+
+// Ingest processes one item; see FixedKeyAnomaly.Ingest.
+func (a *UnboundedKeyAnomaly) Ingest(it gen.StreamItem) *AnomalyEvent {
+	a.seq++
+	st, ok := a.state[it.Key]
+	if !ok {
+		st = &keyState{}
+		a.state[it.Key] = st
+	}
+	st.seen++
+	if it.Value&1 == 1 {
+		st.odd++
+	}
+	if st.seen == DecideAfter {
+		a.Decided++
+		delete(a.state, it.Key)
+		if st.odd >= OddThreshold {
+			e := AnomalyEvent{Key: it.Key, Seen: st.seen, OddCount: st.odd, Seq: a.seq}
+			a.events = append(a.events, e)
+			return &a.events[len(a.events)-1]
+		}
+	}
+	return nil
+}
+
+// Events returns all fired anomaly events.
+func (a *UnboundedKeyAnomaly) Events() []AnomalyEvent { return a.events }
+
+// ActiveKeys returns the number of keys currently holding state.
+func (a *UnboundedKeyAnomaly) ActiveKeys() int { return len(a.state) }
+
+// TwoLevelAnomaly is the "Anomaly – Two-level Key" kernel: items arrive
+// keyed by inner keys; state is aggregated at the outer key that each inner
+// key hashes to, and the anomaly decision is made per outer key (Firehose
+// "anomaly3"). Output is a global value per outer key rather than per item
+// (the Fig. 1 "Output Global Value" class).
+type TwoLevelAnomaly struct {
+	outerOf func(uint64) uint64
+	state   map[uint64]*twoLevelState
+	events  []AnomalyEvent
+	seq     int64
+	Decided int64
+}
+
+type twoLevelState struct {
+	keyState
+	inner map[uint64]struct{}
+}
+
+// MinDistinctInner is how many distinct inner keys an outer key must
+// accumulate before it becomes decidable.
+const MinDistinctInner = 8
+
+// NewTwoLevelAnomaly creates a detector; outerOf maps inner to outer keys.
+func NewTwoLevelAnomaly(outerOf func(uint64) uint64) *TwoLevelAnomaly {
+	return &TwoLevelAnomaly{outerOf: outerOf, state: make(map[uint64]*twoLevelState)}
+}
+
+// Ingest processes one item keyed by its inner key.
+func (a *TwoLevelAnomaly) Ingest(it gen.StreamItem) *AnomalyEvent {
+	a.seq++
+	outer := a.outerOf(it.Key)
+	st, ok := a.state[outer]
+	if !ok {
+		st = &twoLevelState{inner: make(map[uint64]struct{})}
+		a.state[outer] = st
+	}
+	st.inner[it.Key] = struct{}{}
+	st.seen++
+	if it.Value&1 == 1 {
+		st.odd++
+	}
+	if st.seen >= DecideAfter && len(st.inner) >= MinDistinctInner {
+		a.Decided++
+		delete(a.state, outer)
+		if st.odd >= (st.seen*OddThreshold)/DecideAfter {
+			e := AnomalyEvent{Key: outer, Seen: st.seen, OddCount: st.odd, Seq: a.seq}
+			a.events = append(a.events, e)
+			return &a.events[len(a.events)-1]
+		}
+	}
+	return nil
+}
+
+// Events returns all fired anomaly events.
+func (a *TwoLevelAnomaly) Events() []AnomalyEvent { return a.events }
+
+// DetectionStats compares fired events against generator ground truth over
+// a replayed stream: precision = flagged keys that are truly anomalous,
+// recall = truly anomalous decided keys that got flagged.
+type DetectionStats struct {
+	TruePos, FalsePos, FalseNeg int64
+}
+
+// Precision returns TP/(TP+FP), or 1 when nothing was flagged.
+func (d DetectionStats) Precision() float64 {
+	if d.TruePos+d.FalsePos == 0 {
+		return 1
+	}
+	return float64(d.TruePos) / float64(d.TruePos+d.FalsePos)
+}
+
+// Recall returns TP/(TP+FN), or 1 when nothing was anomalous.
+func (d DetectionStats) Recall() float64 {
+	if d.TruePos+d.FalseNeg == 0 {
+		return 1
+	}
+	return float64(d.TruePos) / float64(d.TruePos+d.FalseNeg)
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

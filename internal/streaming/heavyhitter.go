@@ -1,0 +1,146 @@
+package streaming
+
+import "sort"
+
+// HeavyHitters implements the Space-Saving algorithm (Metwally et al.):
+// track the top-k most frequent stream keys in O(k) memory with guaranteed
+// error bounds. This is the streaming form of the Fig. 1 "Search for
+// Largest" kernel — the fixed-memory answer to "what are the hottest keys
+// right now" that the Firehose-style pipelines need before they can decide
+// where to look closer.
+//
+// Entries live in an indexed min-heap on count, so both the hit path
+// (increment + sift down) and the replacement path (swap the root) are
+// O(log k).
+type HeavyHitters struct {
+	capacity int
+	heap     []hhEntry      // min-heap on (count, key)
+	index    map[uint64]int // key -> heap position
+	Total    int64          // items ingested
+}
+
+type hhEntry struct {
+	key   uint64
+	count int64
+	err   int64 // overestimation bound inherited on replacement
+}
+
+// HeavyHitter is one reported key with its count bounds: the true count is
+// within [Count-Err, Count].
+type HeavyHitter struct {
+	Key   uint64
+	Count int64
+	Err   int64
+}
+
+// NewHeavyHitters tracks up to capacity keys.
+func NewHeavyHitters(capacity int) *HeavyHitters {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &HeavyHitters{
+		capacity: capacity,
+		index:    make(map[uint64]int, capacity),
+	}
+}
+
+func (h *HeavyHitters) less(i, j int) bool {
+	if h.heap[i].count != h.heap[j].count {
+		return h.heap[i].count < h.heap[j].count
+	}
+	return h.heap[i].key < h.heap[j].key
+}
+
+func (h *HeavyHitters) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.index[h.heap[i].key] = i
+	h.index[h.heap[j].key] = j
+}
+
+func (h *HeavyHitters) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+func (h *HeavyHitters) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+// Ingest processes one key occurrence.
+func (h *HeavyHitters) Ingest(key uint64) {
+	h.Total++
+	if i, ok := h.index[key]; ok {
+		h.heap[i].count++
+		h.siftDown(i)
+		return
+	}
+	if len(h.heap) < h.capacity {
+		h.heap = append(h.heap, hhEntry{key: key, count: 1})
+		h.index[key] = len(h.heap) - 1
+		h.siftUp(len(h.heap) - 1)
+		return
+	}
+	// Replace the minimum entry (the root), inheriting its count as error.
+	old := h.heap[0]
+	delete(h.index, old.key)
+	h.heap[0] = hhEntry{key: key, count: old.count + 1, err: old.count}
+	h.index[key] = 0
+	h.siftDown(0)
+}
+
+// Top returns up to k entries by descending count (ties by key).
+func (h *HeavyHitters) Top(k int) []HeavyHitter {
+	out := make([]HeavyHitter, 0, len(h.heap))
+	for _, e := range h.heap {
+		out = append(out, HeavyHitter{Key: e.key, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// GuaranteedTop returns the entries whose lower bound (Count-Err) beats
+// the (k+1)-th entry's upper bound — keys that are *provably* in the true
+// top set regardless of the approximation.
+func (h *HeavyHitters) GuaranteedTop(k int) []HeavyHitter {
+	all := h.Top(0)
+	if len(all) <= k {
+		return all
+	}
+	bar := all[k].Count // upper bound of the first excluded entry
+	var out []HeavyHitter
+	for _, e := range all[:k] {
+		if e.Count-e.Err >= bar {
+			out = append(out, e)
+		}
+	}
+	return out
+}

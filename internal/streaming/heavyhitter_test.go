@@ -1,0 +1,111 @@
+package streaming
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestHeavyHittersExactWhenFits(t *testing.T) {
+	hh := NewHeavyHitters(10)
+	for i := 0; i < 5; i++ {
+		hh.Ingest(1)
+	}
+	for i := 0; i < 3; i++ {
+		hh.Ingest(2)
+	}
+	hh.Ingest(3)
+	top := hh.Top(2)
+	if top[0].Key != 1 || top[0].Count != 5 || top[0].Err != 0 {
+		t.Fatalf("top = %+v", top)
+	}
+	if top[1].Key != 2 || top[1].Count != 3 {
+		t.Fatalf("second = %+v", top[1])
+	}
+	if hh.Total != 9 {
+		t.Fatalf("total = %d", hh.Total)
+	}
+}
+
+func TestHeavyHittersFindsSkewedKeys(t *testing.T) {
+	// Zipf-ish stream via the biased generator. Space-Saving guarantees
+	// presence of every key with true count > N/capacity = 200000/256 ≈
+	// 781; the true top keys here are far above that.
+	s := gen.NewBiasedKeyStream(1<<16, 0, 0.5, 7)
+	exact := make(map[uint64]int64)
+	hh := NewHeavyHitters(256)
+	for i := 0; i < 200000; i++ {
+		it := s.Next()
+		exact[it.Key]++
+		hh.Ingest(it.Key)
+	}
+	// True top-5 by exact counts.
+	type kv struct {
+		k uint64
+		c int64
+	}
+	var all []kv
+	for k, c := range exact {
+		all = append(all, kv{k, c})
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].c > all[i].c {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	reported := make(map[uint64]bool)
+	for _, e := range hh.Top(0) {
+		reported[e.Key] = true
+	}
+	threshold := int64(200000 / 256)
+	for i := 0; i < 5 && i < len(all); i++ {
+		if all[i].c <= threshold {
+			break // below the algorithm's guarantee
+		}
+		if !reported[all[i].k] {
+			t.Fatalf("true top key %d (count %d) missing from sketch", all[i].k, all[i].c)
+		}
+	}
+	// Space-Saving invariant: reported count >= true count, and
+	// count - err <= true count.
+	for _, e := range hh.Top(0) {
+		truth := exact[e.Key]
+		if e.Count < truth {
+			t.Fatalf("key %d undercounted: %d < %d", e.Key, e.Count, truth)
+		}
+		if e.Count-e.Err > truth {
+			t.Fatalf("key %d lower bound %d exceeds truth %d", e.Key, e.Count-e.Err, truth)
+		}
+	}
+}
+
+func TestHeavyHittersGuaranteedTop(t *testing.T) {
+	hh := NewHeavyHitters(4)
+	rng := rand.New(rand.NewSource(3))
+	// One overwhelming key plus noise.
+	for i := 0; i < 5000; i++ {
+		if i%2 == 0 {
+			hh.Ingest(42)
+		} else {
+			hh.Ingest(uint64(rng.Intn(1000)) + 100)
+		}
+	}
+	g := hh.GuaranteedTop(1)
+	if len(g) != 1 || g[0].Key != 42 {
+		t.Fatalf("guaranteed top = %+v", g)
+	}
+}
+
+func TestHeavyHittersCapacityOne(t *testing.T) {
+	hh := NewHeavyHitters(0) // clamps to 1
+	hh.Ingest(1)
+	hh.Ingest(2)
+	hh.Ingest(2)
+	top := hh.Top(0)
+	if len(top) != 1 {
+		t.Fatalf("entries = %d", len(top))
+	}
+}

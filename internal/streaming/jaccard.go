@@ -1,0 +1,96 @@
+package streaming
+
+import (
+	"sort"
+
+	"repro/internal/dyngraph"
+	"repro/internal/gen"
+)
+
+// JaccardScore mirrors kernels.JaccardPairScore for the dynamic graph.
+type JaccardScore struct {
+	U, V  int32
+	Inter int32
+	Score float64
+}
+
+// StreamingJaccard implements both streaming forms the paper describes for
+// Jaccard coefficients:
+//
+//  1. Edge-update driven: ApplyUpdate ingests an edge and reports the new
+//     maximum Jaccard coefficient either endpoint attains with any other
+//     vertex, so a caller can watch for threshold crossings.
+//  2. Query driven: Query(v) returns all vertices with a nonzero (or
+//     above-threshold) coefficient with v, computed on demand from the
+//     current graph — "a sequence of vertices, where for each provided
+//     vertex the kernel should return what other vertices have a non-zero
+//     Jaccard coefficient".
+type StreamingJaccard struct {
+	g *dyngraph.DynGraph
+	// scratch map reused across queries to avoid per-query allocation
+	scratch map[int32]int32
+}
+
+// NewStreamingJaccard wraps a dynamic graph.
+func NewStreamingJaccard(g *dyngraph.DynGraph) *StreamingJaccard {
+	return &StreamingJaccard{g: g, scratch: make(map[int32]int32)}
+}
+
+// ApplyUpdate applies the edge update and returns the post-update maximum
+// coefficient over both endpoints (ok=false when neither endpoint has any
+// 2-hop partner).
+func (sj *StreamingJaccard) ApplyUpdate(u gen.EdgeUpdate) (JaccardScore, bool) {
+	if u.Delete {
+		sj.g.DeleteEdge(u.Src, u.Dst)
+	} else {
+		sj.g.InsertEdge(u.Src, u.Dst, 1, u.Time)
+	}
+	best, ok := sj.MaxFor(u.Src)
+	if b2, ok2 := sj.MaxFor(u.Dst); ok2 && (!ok || b2.Score > best.Score) {
+		best, ok = b2, true
+	}
+	return best, ok
+}
+
+// MaxFor returns v's best-scoring Jaccard partner.
+func (sj *StreamingJaccard) MaxFor(v int32) (JaccardScore, bool) {
+	all := sj.Query(v, 0)
+	if len(all) == 0 {
+		return JaccardScore{}, false
+	}
+	return all[0], true
+}
+
+// Query returns all partners of v with score >= threshold (and > 0),
+// descending by score. Cost is proportional to v's 2-hop neighborhood.
+func (sj *StreamingJaccard) Query(v int32, threshold float64) []JaccardScore {
+	for k := range sj.scratch {
+		delete(sj.scratch, k)
+	}
+	sj.g.ForEachNeighbor(v, func(x int32, _ float32, _ int64) {
+		sj.g.ForEachNeighbor(x, func(w int32, _ float32, _ int64) {
+			if w != v {
+				sj.scratch[w]++
+			}
+		})
+	})
+	dv := sj.g.Degree(v)
+	out := make([]JaccardScore, 0, len(sj.scratch))
+	for w, c := range sj.scratch {
+		union := dv + sj.g.Degree(w) - c
+		if union <= 0 {
+			continue
+		}
+		s := float64(c) / float64(union)
+		if s > 0 && s >= threshold {
+			out = append(out, JaccardScore{U: v, V: w, Inter: c, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}

@@ -1,0 +1,152 @@
+package streaming
+
+import (
+	"repro/internal/dyngraph"
+	"repro/internal/gen"
+)
+
+// IncrementalPageRank maintains approximate PageRank over a dynamic graph
+// using the residual-push formulation: an edge update perturbs only the
+// residuals of its endpoints, and pushes propagate the perturbation until
+// residuals fall below threshold. This is the streaming form of the Fig. 1
+// "PR" kernel — per-update work is proportional to the affected region,
+// not the graph.
+type IncrementalPageRank struct {
+	g         *dyngraph.DynGraph
+	Damping   float64
+	Threshold float64
+
+	rank     []float64
+	residual []float64
+	Pushes   int64
+}
+
+// NewIncrementalPageRank wraps an (empty or loaded) dynamic graph. The
+// threshold is the per-vertex residual mass below which pushes stop;
+// smaller = more accurate and more work.
+func NewIncrementalPageRank(g *dyngraph.DynGraph, damping, threshold float64) *IncrementalPageRank {
+	n := g.NumVertices()
+	pr := &IncrementalPageRank{
+		g: g, Damping: damping, Threshold: threshold,
+		rank:     make([]float64, n),
+		residual: make([]float64, n),
+	}
+	base := (1 - damping) / float64(n)
+	for v := int32(0); v < n; v++ {
+		pr.residual[v] = base
+	}
+	pr.drain(nil)
+	return pr
+}
+
+// Apply ingests one edge update and re-propagates around the touched
+// endpoints. For an inserted or deleted arc (u,v), u's out-degree changes,
+// so u's already-distributed mass is stale: BEFORE mutating the graph we
+// *recall* that mass — withdraw the shares u pushed to its old neighbors
+// (leaving negative residuals that propagate like positive ones) and
+// return u's settled mass to its residual — then mutate and re-push over
+// the new adjacency.
+func (pr *IncrementalPageRank) Apply(u gen.EdgeUpdate) {
+	if u.Delete {
+		if !pr.g.HasEdge(u.Src, u.Dst) {
+			return
+		}
+	} else if u.Src == u.Dst || pr.g.HasEdge(u.Src, u.Dst) {
+		return
+	}
+	pr.recall(u.Src)
+	if !pr.g.Directed() {
+		pr.recall(u.Dst)
+	}
+	if u.Delete {
+		pr.g.DeleteEdge(u.Src, u.Dst)
+	} else {
+		pr.g.InsertEdge(u.Src, u.Dst, 1, u.Time)
+	}
+	pr.drain([]int32{u.Src, u.Dst})
+}
+
+// recall undoes v's settled contribution: withdraws the damped shares v
+// distributed over its current out-neighbors and moves v's settled mass
+// back into its residual, as if v had never been processed.
+func (pr *IncrementalPageRank) recall(v int32) {
+	mass := pr.rank[v]
+	if mass == 0 {
+		return
+	}
+	if d := float64(pr.g.Degree(v)); d > 0 {
+		share := pr.Damping * mass / d
+		pr.g.ForEachNeighbor(v, func(w int32, _ float32, _ int64) {
+			pr.residual[w] -= share
+			pr.Pushes++
+		})
+	}
+	pr.residual[v] += mass
+	pr.rank[v] = 0
+}
+
+// drain pushes residuals (of either sign) until all magnitudes are below
+// threshold, starting from the given seeds (nil = scan all vertices).
+func (pr *IncrementalPageRank) drain(seeds []int32) {
+	var queue []int32
+	inQueue := make(map[int32]bool)
+	enqueue := func(v int32) {
+		if !inQueue[v] && abs(pr.residual[v]) >= pr.Threshold {
+			inQueue[v] = true
+			queue = append(queue, v)
+		}
+	}
+	if seeds == nil {
+		for v := int32(0); v < pr.g.NumVertices(); v++ {
+			enqueue(v)
+		}
+	} else {
+		for _, v := range seeds {
+			enqueue(v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		r := pr.residual[v]
+		if abs(r) < pr.Threshold {
+			continue
+		}
+		pr.residual[v] = 0
+		pr.rank[v] += r
+		deg := float64(pr.g.Degree(v))
+		if deg == 0 {
+			continue // dangling mass handled at read time by normalization
+		}
+		share := pr.Damping * r / deg
+		pr.g.ForEachNeighbor(v, func(w int32, _ float32, _ int64) {
+			pr.residual[w] += share
+			pr.Pushes++
+			enqueue(w)
+		})
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Ranks returns the current normalized rank estimates (sums to 1).
+func (pr *IncrementalPageRank) Ranks() []float64 {
+	out := make([]float64, len(pr.rank))
+	sum := 0.0
+	for i, r := range pr.rank {
+		out[i] = r + pr.residual[i]
+		sum += out[i]
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out
+}

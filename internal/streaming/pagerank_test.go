@@ -1,0 +1,162 @@
+package streaming
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dyngraph"
+	"repro/internal/gen"
+	"repro/internal/kernels"
+)
+
+func TestIncrementalPageRankMatchesBatch(t *testing.T) {
+	updates := gen.EdgeUpdateStream(8, 1500, 0, 5)
+	g := dyngraph.New(1<<8, true)
+	pr := NewIncrementalPageRank(g, 0.85, 1e-9)
+	for _, u := range updates {
+		pr.Apply(u)
+	}
+	got := pr.Ranks()
+	snap := g.Snapshot()
+	want, _ := kernels.PageRank(snap, kernels.PageRankOptions{Damping: 0.85, Tolerance: 1e-10, MaxIters: 500})
+	// Rank ordering and magnitudes should agree closely; dangling-mass
+	// treatment differs slightly, so allow a small tolerance.
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 0.01 {
+			t.Fatalf("rank[%d]: incremental %v vs batch %v", v, got[v], want[v])
+		}
+	}
+	// Top vertex must match.
+	bestGot := kernels.TopKByScore(got, 1)[0].V
+	bestWant := kernels.TopKByScore(want, 1)[0].V
+	if bestGot != bestWant {
+		t.Fatalf("top vertex %d != %d", bestGot, bestWant)
+	}
+	if pr.Pushes == 0 {
+		t.Fatal("no pushes recorded")
+	}
+}
+
+func TestIncrementalPageRankSumsToOne(t *testing.T) {
+	g := dyngraph.New(64, true)
+	pr := NewIncrementalPageRank(g, 0.85, 1e-8)
+	for _, u := range gen.EdgeUpdateStream(6, 300, 0.1, 9) {
+		pr.Apply(u)
+	}
+	sum := 0.0
+	for _, r := range pr.Ranks() {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+}
+
+func TestIncrementalPageRankDeleteShiftsRank(t *testing.T) {
+	// Star into vertex 0; deleting all spokes should drop 0's rank.
+	g := dyngraph.New(8, true)
+	pr := NewIncrementalPageRank(g, 0.85, 1e-10)
+	for v := int32(1); v < 8; v++ {
+		pr.Apply(gen.EdgeUpdate{Src: v, Dst: 0})
+	}
+	before := pr.Ranks()[0]
+	for v := int32(1); v < 8; v++ {
+		pr.Apply(gen.EdgeUpdate{Src: v, Dst: 0, Delete: true})
+	}
+	after := pr.Ranks()[0]
+	if after >= before {
+		t.Fatalf("rank[0] %v -> %v; expected drop after deletions", before, after)
+	}
+	// With no edges, all ranks are equal.
+	ranks := pr.Ranks()
+	for _, r := range ranks {
+		if math.Abs(r-ranks[0]) > 1e-9 {
+			t.Fatalf("edgeless ranks not uniform: %v", ranks)
+		}
+	}
+}
+
+func TestIncrementalPageRankRedundantUpdateNoop(t *testing.T) {
+	g := dyngraph.New(4, true)
+	pr := NewIncrementalPageRank(g, 0.85, 1e-10)
+	pr.Apply(gen.EdgeUpdate{Src: 0, Dst: 1})
+	r1 := pr.Ranks()
+	pushes := pr.Pushes
+	pr.Apply(gen.EdgeUpdate{Src: 0, Dst: 1}) // already present
+	if pr.Pushes != pushes {
+		t.Fatal("redundant insert pushed")
+	}
+	r2 := pr.Ranks()
+	for v := range r1 {
+		if r1[v] != r2[v] {
+			t.Fatal("redundant insert changed ranks")
+		}
+	}
+}
+
+func TestSlidingWindowExpiry(t *testing.T) {
+	w := NewSlidingWindowGraph(16, false, 10)
+	w.Apply(gen.EdgeUpdate{Src: 0, Dst: 1, Time: 0})
+	w.Apply(gen.EdgeUpdate{Src: 1, Dst: 2, Time: 5})
+	if !w.Graph().HasEdge(0, 1) {
+		t.Fatal("edge missing before expiry")
+	}
+	// Advance time past the window.
+	w.Apply(gen.EdgeUpdate{Src: 2, Dst: 3, Time: 11})
+	if w.Graph().HasEdge(0, 1) {
+		t.Fatal("edge (0,1) at t=0 should have expired at t=11 (window 10)")
+	}
+	if !w.Graph().HasEdge(1, 2) {
+		t.Fatal("edge (1,2) at t=5 should survive at t=11")
+	}
+	if w.Expired != 1 {
+		t.Fatalf("expired = %d", w.Expired)
+	}
+}
+
+func TestSlidingWindowRefresh(t *testing.T) {
+	w := NewSlidingWindowGraph(8, false, 10)
+	w.Apply(gen.EdgeUpdate{Src: 0, Dst: 1, Time: 0})
+	// Refresh the same edge later: it must survive past the original
+	// expiry horizon.
+	w.Apply(gen.EdgeUpdate{Src: 0, Dst: 1, Time: 8})
+	w.Apply(gen.EdgeUpdate{Src: 2, Dst: 3, Time: 12})
+	if !w.Graph().HasEdge(0, 1) {
+		t.Fatal("refreshed edge expired prematurely")
+	}
+	// And it does expire once the refreshed stamp ages out.
+	w.Apply(gen.EdgeUpdate{Src: 4, Dst: 5, Time: 19})
+	if w.Graph().HasEdge(0, 1) {
+		t.Fatal("refreshed edge should expire by t=19")
+	}
+}
+
+func TestSlidingWindowExplicitDelete(t *testing.T) {
+	w := NewSlidingWindowGraph(8, false, 100)
+	w.Apply(gen.EdgeUpdate{Src: 0, Dst: 1, Time: 1})
+	w.Apply(gen.EdgeUpdate{Src: 0, Dst: 1, Time: 2, Delete: true})
+	if w.Graph().HasEdge(0, 1) {
+		t.Fatal("explicit delete ignored")
+	}
+}
+
+func TestSlidingWindowStreamConsistency(t *testing.T) {
+	// After a long stream, every surviving edge's timestamp is within the
+	// window of the final clock.
+	w := NewSlidingWindowGraph(1<<6, false, 50)
+	for _, u := range gen.EdgeUpdateStream(6, 2000, 0.05, 3) {
+		w.Apply(u)
+	}
+	cutoff := w.Now() - w.Window
+	g := w.Graph()
+	for v := int32(0); v < g.NumVertices(); v++ {
+		g.ForEachNeighbor(v, func(dst int32, _ float32, tm int64) {
+			if tm < cutoff {
+				t.Fatalf("stale edge (%d,%d) at t=%d survives cutoff %d", v, dst, tm, cutoff)
+			}
+		})
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
