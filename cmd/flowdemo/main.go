@@ -2,34 +2,69 @@
 // end to end (experiment E2): batch build from an R-MAT edge set, a batch
 // analytic with property write-back, then a streaming update phase whose
 // threshold triggers escalate into subgraph extraction + analytics + alerts.
+// All stages report through the shared telemetry registry; use
+// -metrics-out/-trace-out to capture the run as a machine-readable artifact
+// or -listen to scrape it live.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/streaming"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	scale := flag.Int("scale", 12, "R-MAT scale for the persistent graph")
 	updates := flag.Int("updates", 20000, "streaming updates to apply")
 	trigger := flag.Int64("trigger", 150, "triangle-delta trigger threshold")
+	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
 	flag.Parse()
 
-	n := int32(1) << *scale
-	f := flow.New(n, false)
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "flowdemo: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *scale < 1 || *scale > 26 {
+		fmt.Fprintf(os.Stderr, "flowdemo: -scale %d out of range [1,26]\n", *scale)
+		os.Exit(2)
+	}
+	if *updates < 0 {
+		fmt.Fprintf(os.Stderr, "flowdemo: -updates must be non-negative, got %d\n", *updates)
+		os.Exit(2)
+	}
+	if err := run(*scale, *updates, *trigger, tel); err != nil {
+		fmt.Fprintln(os.Stderr, "flowdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale, updates int, trigger int64, tel *telemetry.CLI) (err error) {
+	if serr := tel.Start(); serr != nil {
+		return serr
+	}
+	defer func() {
+		if cerr := tel.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	n := int32(1) << scale
+	f := flow.NewWith(n, false, tel.Registry)
 	f.ExtractDepth = 1
 	f.RegisterAnalytic("pagerank", flow.PageRankAnalytic)
 	f.RegisterAnalytic("triangles", flow.TriangleAnalytic)
 	f.RegisterAnalytic("jaccard", flow.JaccardAnalytic)
 	f.StreamAnalytic = "triangles"
-	f.Engine().AddTrigger(streaming.NewTriangleDeltaTrigger(*trigger))
+	f.Engine().AddTrigger(streaming.NewTriangleDeltaTrigger(trigger))
 
 	// Batch build.
-	base := gen.RMAT(*scale, 8, gen.Graph500RMAT, 1, false)
+	base := gen.RMAT(scale, 8, gen.Graph500RMAT, 1, false)
 	var edges [][2]int32
 	for v := int32(0); v < base.NumVertices(); v++ {
 		for _, w := range base.Neighbors(v) {
@@ -44,22 +79,23 @@ func main() {
 	// Batch analytic around the top-degree seeds, with write-back.
 	ex, global, err := f.RunBatch(flow.SeedCriteria{K: 8}, 2, "pagerank", nil)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	fmt.Printf("batch: extracted %d vertices, pagerank iters %.0f, wrote back %d values\n",
 		ex.Sub.NumVertices(), global["pagerank_iters"], ex.Sub.NumVertices())
 
 	// Streaming phase.
-	ups := gen.EdgeUpdateStream(*scale, *updates, 0.05, 99)
+	ups := gen.EdgeUpdateStream(scale, updates, 0.05, 99)
 	applied, triggered, err := f.ProcessUpdates(ups)
 	if err != nil {
-		panic(err)
+		return err
 	}
+	alerts := f.Alerts()
 	fmt.Printf("stream: applied %d updates, %d trigger escalations, %d alerts\n",
-		applied, triggered, len(f.Alerts()))
-	for i, a := range f.Alerts() {
+		applied, triggered, len(alerts))
+	for i, a := range alerts {
 		if i >= 5 {
-			fmt.Printf("  ... and %d more\n", len(f.Alerts())-5)
+			fmt.Printf("  ... and %d more\n", len(alerts)-5)
 			break
 		}
 		fmt.Printf("  alert #%d from %s at seq %d: %s (global %v)\n",
@@ -79,4 +115,5 @@ func main() {
 		fmt.Printf("  %-10s invocations=%-6d items=%-8d elapsed=%v\n",
 			row.name, row.s.Invocations, row.s.Items, row.s.Elapsed)
 	}
+	return nil
 }

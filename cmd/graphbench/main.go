@@ -5,6 +5,7 @@
 // Usage:
 //
 //	graphbench [-scale N] [-ef N] [-seed N] [-coverage] [-kernel NAME]
+//	           [-metrics-out FILE] [-trace-out FILE] [-listen ADDR]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/graph500"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -27,64 +29,98 @@ func main() {
 	kernel := flag.String("kernel", "", "run a single kernel by taxonomy name")
 	g500 := flag.Bool("graph500", false, "run the Graph500-style BFS+SSSP harness and exit")
 	family := flag.String("gen", "rmat", "graph family: rmat, ba (preferential attachment), ws (small world), er")
+	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
 	flag.Parse()
 
-	if *coverage {
-		core.RenderCoverage(os.Stdout)
-		return
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "graphbench: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
 	}
-	if *g500 {
-		spec := graph500.DefaultSpec(*scale)
-		spec.EdgeFactor = *ef
-		spec.Seed = *seed
+	if *scale < 1 || *scale > 30 {
+		fmt.Fprintf(os.Stderr, "graphbench: -scale %d out of range [1,30]\n", *scale)
+		os.Exit(2)
+	}
+	if *ef < 1 {
+		fmt.Fprintf(os.Stderr, "graphbench: -ef must be positive, got %d\n", *ef)
+		os.Exit(2)
+	}
+	if err := run(*scale, *ef, *seed, *coverage, *kernel, *g500, *family, tel); err != nil {
+		fmt.Fprintln(os.Stderr, "graphbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale, ef int, seed int64, coverage bool, kernel string, g500 bool, family string, tel *telemetry.CLI) (err error) {
+	if serr := tel.Start(); serr != nil {
+		return serr
+	}
+	defer func() {
+		if cerr := tel.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	if coverage {
+		core.RenderCoverage(os.Stdout)
+		return nil
+	}
+	if g500 {
+		spec := graph500.DefaultSpec(scale)
+		spec.EdgeFactor = ef
+		spec.Seed = seed
 		bfs, err := graph500.RunBFS(spec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		bfs.Render(os.Stdout, "bfs")
 		fmt.Println()
 		sssp, err := graph500.RunSSSP(spec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		sssp.Render(os.Stdout, "sssp")
-		return
+		return nil
 	}
 
-	fmt.Printf("generating %s scale=%d edgefactor=%d seed=%d ...\n", *family, *scale, *ef, *seed)
+	reg := tel.Registry
+	fmt.Printf("generating %s scale=%d edgefactor=%d seed=%d ...\n", family, scale, ef, seed)
+	gsp := reg.Tracer().Start("graphbench.generate", telemetry.L("family", family))
 	var g *graph.Graph
-	switch *family {
+	switch family {
 	case "rmat":
-		g = gen.RMAT(*scale, *ef, gen.Graph500RMAT, *seed, false)
+		g = gen.RMAT(scale, ef, gen.Graph500RMAT, seed, false)
 	case "ba":
-		g = gen.BarabasiAlbert(1<<*scale, *ef/2+1, *seed)
+		g = gen.BarabasiAlbert(1<<scale, ef/2+1, seed)
 	case "ws":
-		g = gen.WattsStrogatz(1<<*scale, *ef, 0.1, *seed)
+		g = gen.WattsStrogatz(1<<scale, ef, 0.1, seed)
 	case "er":
-		g = gen.ErdosRenyi(1<<*scale, (1<<*scale)**ef/2, *seed, false)
+		g = gen.ErdosRenyi(1<<scale, (1<<scale)*ef/2, seed, false)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -gen %q (rmat|ba|ws|er)\n", *family)
-		os.Exit(1)
+		gsp.End()
+		return fmt.Errorf("unknown -gen %q (rmat|ba|ws|er)", family)
 	}
+	gsp.End()
 	st := graph.ComputeStats(g)
 	fmt.Printf("graph: %d vertices, %d arcs, degree mean %.1f max %d\n\n",
 		st.NumVertices, st.NumArcs, st.MeanDegree, st.MaxDegree)
+	reg.Gauge("graphbench_vertices").Set(float64(st.NumVertices))
+	reg.Gauge("graphbench_arcs").Set(float64(st.NumArcs))
+	reg.Gauge("graphbench_max_degree").Set(float64(st.MaxDegree))
 
-	if *kernel != "" {
-		res, err := core.Run(*kernel, g)
+	if kernel != "" {
+		res, err := core.RunWith(reg, kernel, g)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("%-14s %12v  %s\n", res.Kernel, res.Elapsed, res.Summary)
-		return
+		return nil
 	}
 
 	tb := bench.NewTable("kernel", "time", "result")
-	for _, res := range core.RunAll(g) {
+	for _, res := range core.RunAllWith(reg, g) {
 		tb.Add(res.Kernel, res.Elapsed.String(), res.Summary)
 	}
 	tb.Render(os.Stdout)
+	return nil
 }

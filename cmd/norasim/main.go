@@ -18,6 +18,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/nora"
 	"repro/internal/perfmodel"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -26,16 +27,39 @@ func main() {
 	fig6 := flag.Bool("fig6", false, "render Fig. 6 size-performance comparison")
 	sensitivity := flag.Bool("sensitivity", false, "render per-resource sensitivity sweeps")
 	calibrate := flag.Bool("calibrate", false, "run the real NORA pipeline and calibrate the model against it")
+	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
 	flag.Parse()
 
-	if !*fig3 && !*fig3table && !*fig6 && !*sensitivity && !*calibrate {
-		*fig6 = true
-		*fig3table = true
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "norasim: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
 	}
-	if *calibrate {
-		runCalibration()
+	if err := run(*fig3, *fig3table, *fig6, *sensitivity, *calibrate, tel); err != nil {
+		fmt.Fprintln(os.Stderr, "norasim:", err)
+		os.Exit(1)
 	}
-	if *sensitivity {
+}
+
+func run(fig3, fig3table, fig6, sensitivity, calibrate bool, tel *telemetry.CLI) (err error) {
+	if serr := tel.Start(); serr != nil {
+		return serr
+	}
+	defer func() {
+		if cerr := tel.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	reg := tel.Registry
+	if !fig3 && !fig3table && !fig6 && !sensitivity && !calibrate {
+		fig6 = true
+		fig3table = true
+	}
+	if calibrate {
+		runCalibration(reg)
+	}
+	if sensitivity {
 		factors := []float64{0.5, 1, 2, 4, 8}
 		for _, cfg := range []perfmodel.Config{perfmodel.Base2012, perfmodel.AllButCPU, perfmodel.AllUpgrades} {
 			perfmodel.RenderSensitivity(os.Stdout, cfg, factors)
@@ -43,31 +67,46 @@ func main() {
 			fmt.Printf("most valuable doubling: %s (%.2fx)\n\n", r, sp)
 		}
 	}
-	if *fig3 {
+	if fig3 || fig3table {
+		// Publish the per-step resource demands behind Fig. 3 so the
+		// -metrics-out artifact carries the model's numbers, not just ASCII.
+		for _, cfg := range perfmodel.Fig3Configs {
+			perfmodel.EvaluateNORA(cfg).Publish(reg)
+		}
+	}
+	if fig3 {
 		perfmodel.RenderFig3(os.Stdout, perfmodel.Fig3Configs)
 	}
-	if *fig3table {
+	if fig3table {
 		fmt.Println("== Fig. 3: NORA step times (bounding resource) across configurations ==")
 		perfmodel.RenderFig3Table(os.Stdout, perfmodel.Fig3Configs)
 		fmt.Println()
 	}
-	if *fig6 {
+	if fig6 {
 		fmt.Println("== Fig. 6: size-performance comparison for the NORA problem ==")
+		for _, cfg := range perfmodel.Fig6Configs {
+			perfmodel.EvaluateNORA(cfg).Publish(reg)
+		}
 		perfmodel.RenderFig6(os.Stdout)
 	}
+	return nil
 }
 
 // runCalibration executes the measured NORA pipeline (the "reference
 // implementation, with explicit instrumentation" the paper proposes) and
 // compares its per-step time shares with the model's projections.
-func runCalibration() {
+func runCalibration(reg *telemetry.Registry) {
 	p := gen.DefaultNORAParams()
 	fmt.Printf("running real NORA boil (%d people, %d addresses)...\n", p.NumPeople, p.NumAddresses)
+	sp := reg.Tracer().Start("norasim.boil")
 	records := gen.GenerateNORARecords(p)
 	res := nora.Boil(records, p.NumAddresses, 2)
+	sp.End()
 	measured := make([]perfmodel.MeasuredStep, 0, len(res.Steps))
 	for _, st := range res.Steps {
 		measured = append(measured, perfmodel.MeasuredStep{Name: st.Name, Elapsed: st.Elapsed})
+		reg.Gauge("norasim_measured_step_seconds",
+			telemetry.L("step", st.Name)).Set(st.Elapsed.Seconds())
 	}
 	for _, cfg := range []perfmodel.Config{perfmodel.Base2012, perfmodel.AllUpgrades, perfmodel.Emu1} {
 		rep := perfmodel.Calibrate(cfg, measured)
@@ -76,6 +115,7 @@ func runCalibration() {
 	}
 	derived := perfmodel.DeriveConfig("MeasuredGo", measured)
 	ev := perfmodel.EvaluateNORA(derived)
+	ev.Publish(reg)
 	fmt.Printf("derived single-box config: effective %.3g Gops/s -> modeled total %.1fs\n",
 		derived.PerRack.Ops, ev.Total)
 }

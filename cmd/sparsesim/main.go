@@ -14,28 +14,62 @@ import (
 	"repro/internal/gen"
 	"repro/internal/lamachine"
 	"repro/internal/matrix"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	scale := flag.Int("scale", 13, "R-MAT scale for A (SpGEMM computes A*A)")
 	ef := flag.Int("ef", 8, "edge factor")
 	seed := flag.Int64("seed", 7, "generator seed")
+	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
 	flag.Parse()
 
-	g := gen.RMAT(*scale, *ef, gen.Graph500RMAT, *seed, true)
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "sparsesim: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *scale < 1 || *scale > 22 {
+		fmt.Fprintf(os.Stderr, "sparsesim: -scale %d out of range [1,22]\n", *scale)
+		os.Exit(2)
+	}
+	if *ef < 1 {
+		fmt.Fprintf(os.Stderr, "sparsesim: -ef must be positive, got %d\n", *ef)
+		os.Exit(2)
+	}
+	if err := run(*scale, *ef, *seed, tel); err != nil {
+		fmt.Fprintln(os.Stderr, "sparsesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale, ef int, seed int64, tel *telemetry.CLI) (err error) {
+	if serr := tel.Start(); serr != nil {
+		return serr
+	}
+	defer func() {
+		if cerr := tel.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	reg := tel.Registry
+	g := gen.RMAT(scale, ef, gen.Graph500RMAT, seed, true)
 	a := matrix.AdjacencyMatrix(g)
-	fmt.Printf("A: %dx%d, nnz=%d (R-MAT scale %d)\n\n", a.Rows, a.Cols, a.NNZ(), *scale)
+	fmt.Printf("A: %dx%d, nnz=%d (R-MAT scale %d)\n\n", a.Rows, a.Cols, a.NNZ(), scale)
+	reg.Gauge("sparsesim_a_nnz").Set(float64(a.NNZ()))
 
 	// Real measured host baselines (algorithmic comparison).
 	start := time.Now()
 	cG := matrix.SpGEMMGustavson(matrix.PlusTimes, a, a)
 	tGust := time.Since(start)
+	reg.Histogram("sparsesim_host_spgemm_seconds", telemetry.L("algo", "gustavson")).Observe(tGust.Seconds())
 	start = time.Now()
 	cH := matrix.SpGEMMHeapMerge(matrix.PlusTimes, a, a)
 	tHeap := time.Since(start)
+	reg.Histogram("sparsesim_host_spgemm_seconds", telemetry.L("algo", "heap-merge")).Observe(tHeap.Seconds())
 	if !cG.Equal(cH, 1e-9) {
-		fmt.Fprintln(os.Stderr, "FATAL: SpGEMM algorithms disagree")
-		os.Exit(1)
+		return fmt.Errorf("SpGEMM algorithms disagree (gustavson nnz=%d, heap-merge nnz=%d)", cG.NNZ(), cH.NNZ())
 	}
 	fmt.Printf("host Go baseline: gustavson=%v heap-merge=%v  (C nnz=%d)\n\n", tGust, tHeap, cG.NNZ())
 
@@ -49,6 +83,10 @@ func main() {
 
 	tb := bench.NewTable("node", "time(s)", "GFLOPS", "joules", "vs-XT4", "perf/W vs XT4")
 	add := func(name string, secs, joules, gflops float64) {
+		nl := telemetry.L("node", name)
+		reg.Gauge("sparsesim_node_seconds", nl).Set(secs)
+		reg.Gauge("sparsesim_node_joules", nl).Set(joules)
+		reg.Gauge("sparsesim_node_gflops", nl).Set(gflops)
 		tb.Add(name, fmt.Sprintf("%.4g", secs), fmt.Sprintf("%.2f", gflops),
 			fmt.Sprintf("%.3g", joules),
 			fmt.Sprintf("%.1fx", xt4s/secs),
@@ -70,8 +108,12 @@ func main() {
 		if n == 1 {
 			base = r.Seconds
 		}
+		nl := telemetry.L("nodes", fmt.Sprint(n))
+		reg.Gauge("sparsesim_scaling_seconds", nl).Set(r.Seconds)
+		reg.Gauge("sparsesim_scaling_gflops", nl).Set(r.GFLOPS)
 		st.Add(n, fmt.Sprintf("%.4g", r.Seconds), fmt.Sprintf("%.2fx", base/r.Seconds),
 			fmt.Sprintf("%.2f", r.GFLOPS))
 	}
 	st.Render(os.Stdout)
+	return nil
 }

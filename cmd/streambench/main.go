@@ -15,18 +15,50 @@ import (
 	"repro/internal/dyngraph"
 	"repro/internal/gen"
 	"repro/internal/streaming"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	items := flag.Int("items", 1_000_000, "stream items per anomaly kernel")
 	updates := flag.Int("updates", 200_000, "edge updates for graph kernels")
+	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
 	flag.Parse()
 
-	anomalies(*items)
-	graphStreams(*updates)
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "streambench: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *items <= 0 {
+		fmt.Fprintf(os.Stderr, "streambench: -items must be positive, got %d\n", *items)
+		os.Exit(2)
+	}
+	if *updates <= 0 {
+		fmt.Fprintf(os.Stderr, "streambench: -updates must be positive, got %d\n", *updates)
+		os.Exit(2)
+	}
+	if err := run(*items, *updates, tel); err != nil {
+		fmt.Fprintln(os.Stderr, "streambench:", err)
+		os.Exit(1)
+	}
 }
 
-func anomalies(n int) {
+func run(items, updates int, tel *telemetry.CLI) (err error) {
+	if serr := tel.Start(); serr != nil {
+		return serr
+	}
+	defer func() {
+		if cerr := tel.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	anomalies(tel.Registry, items)
+	graphStreams(tel.Registry, updates)
+	return nil
+}
+
+func anomalies(reg *telemetry.Registry, n int) {
 	fmt.Println("== E9: Firehose-style anomaly kernels ==")
 	tb := bench.NewTable("kernel", "items", "time", "rate", "decided", "flagged", "precision")
 	truth := make(map[uint64]bool)
@@ -36,6 +68,10 @@ func anomalies(n int) {
 		for k := range truth {
 			delete(truth, k)
 		}
+		kl := telemetry.L("kernel", name)
+		sp := reg.Tracer().Start("streambench.anomaly", kl)
+		defer sp.End()
+		itemsC := reg.Counter("streambench_anomaly_items_total", kl)
 		ingest := mk()
 		start := time.Now()
 		for i := 0; i < n; i++ {
@@ -44,6 +80,8 @@ func anomalies(n int) {
 			ingest(it)
 		}
 		elapsed := time.Since(start)
+		itemsC.Add(int64(n))
+		reg.Histogram("streambench_anomaly_seconds", kl).Observe(elapsed.Seconds())
 		var tp, fp int64
 		for _, ev := range events() {
 			if truth[ev.Key] {
@@ -56,6 +94,9 @@ func anomalies(n int) {
 		if tp+fp > 0 {
 			prec = float64(tp) / float64(tp+fp)
 		}
+		reg.Gauge("streambench_anomaly_decided", kl).Set(float64(decided()))
+		reg.Gauge("streambench_anomaly_flagged", kl).Set(float64(tp + fp))
+		reg.Gauge("streambench_anomaly_precision", kl).Set(prec)
 		tb.Add(name, n, elapsed.Round(time.Millisecond).String(),
 			bench.Rate(int64(n), elapsed), decided(), tp+fp, fmt.Sprintf("%.3f", prec))
 	}
@@ -97,6 +138,8 @@ func anomalies(n int) {
 		hh.Ingest(s.Next().Key)
 	}
 	el := time.Since(start)
+	reg.Counter("streambench_anomaly_items_total", telemetry.L("kernel", "heavy-hitters")).Add(int64(n))
+	reg.Histogram("streambench_anomaly_seconds", telemetry.L("kernel", "heavy-hitters")).Observe(el.Seconds())
 	top := hh.Top(5)
 	fmt.Printf("heavy hitters (space-saving, 256 counters): %s; top-5:", bench.Rate(int64(n), el))
 	for _, e := range top {
@@ -105,10 +148,16 @@ func anomalies(n int) {
 	fmt.Printf("\nguaranteed-top-3: %d keys provable\n\n", len(hh.GuaranteedTop(3)))
 }
 
-func graphStreams(n int) {
+func graphStreams(reg *telemetry.Registry, n int) {
 	fmt.Println("== incremental graph kernels over edge-update streams ==")
 	ups := gen.EdgeUpdateStream(16, n, 0.1, 77)
 	tb := bench.NewTable("kernel", "updates", "time", "rate", "result")
+
+	record := func(kernel string, updates int, el time.Duration) {
+		kl := telemetry.L("kernel", kernel)
+		reg.Counter("streambench_graph_updates_total", kl).Add(int64(updates))
+		reg.Histogram("streambench_graph_seconds", kl).Observe(el.Seconds())
+	}
 
 	g1 := dyngraph.New(1<<16, false)
 	tc := streaming.NewTriangleCounter(g1)
@@ -117,6 +166,7 @@ func graphStreams(n int) {
 		tc.Apply(u)
 	}
 	el := time.Since(start)
+	record("inc-triangles", n, el)
 	tb.Add("inc-triangles", n, el.Round(time.Millisecond).String(), bench.Rate(int64(n), el),
 		fmt.Sprintf("triangles=%d", tc.Count))
 
@@ -128,19 +178,22 @@ func graphStreams(n int) {
 	}
 	comp := cc.ComponentCount()
 	el = time.Since(start)
+	record("inc-wcc", n, el)
 	tb.Add("inc-wcc", n, el.Round(time.Millisecond).String(), bench.Rate(int64(n), el),
 		fmt.Sprintf("components=%d recomputes=%d", comp, cc.Recomputes))
 
 	// Streaming Jaccard evaluates both endpoints' 2-hop neighborhoods per
-	// update — the paper's "near quadratic" caveat — so run a prefix.
+	// update — the paper's "near quadratic" caveat — so run a prefix. Its
+	// per-update latencies land in streaming_jaccard_update_seconds.
 	jn := n / 5
 	g3 := dyngraph.New(1<<16, false)
-	sj := streaming.NewStreamingJaccard(g3)
+	sj := streaming.NewStreamingJaccard(g3).Instrument(reg)
 	start = time.Now()
 	for _, u := range ups[:jn] {
 		sj.ApplyUpdate(u)
 	}
 	el = time.Since(start)
+	record("stream-jaccard", jn, el)
 	tb.Add("stream-jaccard", jn, el.Round(time.Millisecond).String(), bench.Rate(int64(jn), el),
 		"max-coefficient tracking per update")
 

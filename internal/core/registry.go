@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/kernels"
+	"repro/internal/telemetry"
 )
 
 // RunResult is one kernel execution's outcome on a workload graph.
@@ -14,6 +15,10 @@ type RunResult struct {
 	Kernel  string
 	Elapsed time.Duration
 	Summary string
+	// Latency is the cumulative per-kernel latency histogram from the
+	// registry the run reported through (all executions of this kernel so
+	// far, not just this one).
+	Latency telemetry.HistogramSnapshot
 }
 
 // Runner executes a batch kernel against a graph and summarizes its output.
@@ -147,22 +152,45 @@ func RunnableKernels() []string {
 	return names
 }
 
-// Run executes one kernel by taxonomy name.
+// Run executes one kernel by taxonomy name, reporting through the
+// process-wide telemetry registry.
 func Run(name string, g *graph.Graph) (RunResult, error) {
+	return RunWith(telemetry.Default(), name, g)
+}
+
+// RunWith executes one kernel by taxonomy name. Each execution is recorded
+// in reg as a core_kernel_seconds{kernel=...} histogram observation plus a
+// core_kernel_runs_total counter, and runs under a traced span.
+func RunWith(reg *telemetry.Registry, name string, g *graph.Graph) (RunResult, error) {
 	r, ok := runners[name]
 	if !ok {
 		return RunResult{}, fmt.Errorf("core: kernel %q has no batch runner", name)
 	}
+	l := telemetry.L("kernel", name)
+	hist := reg.Histogram("core_kernel_seconds", l)
+	reg.Counter("core_kernel_runs_total", l).Inc()
+	sp := reg.Tracer().Start("core.Run", l)
 	start := time.Now()
 	summary := r(g)
-	return RunResult{Kernel: name, Elapsed: time.Since(start), Summary: summary}, nil
+	elapsed := time.Since(start)
+	sp.End()
+	hist.ObserveDuration(elapsed)
+	return RunResult{
+		Kernel: name, Elapsed: elapsed, Summary: summary,
+		Latency: hist.Snapshot(),
+	}, nil
 }
 
-// RunAll executes every runnable kernel on g, in name order.
-func RunAll(g *graph.Graph) []RunResult {
+// RunAll executes every runnable kernel on g, in name order, reporting
+// through the process-wide telemetry registry.
+func RunAll(g *graph.Graph) []RunResult { return RunAllWith(telemetry.Default(), g) }
+
+// RunAllWith executes every runnable kernel on g, in name order, reporting
+// through reg.
+func RunAllWith(reg *telemetry.Registry, g *graph.Graph) []RunResult {
 	var out []RunResult
 	for _, name := range RunnableKernels() {
-		res, err := Run(name, g)
+		res, err := RunWith(reg, name, g)
 		if err != nil {
 			continue
 		}

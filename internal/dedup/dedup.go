@@ -13,9 +13,11 @@ package dedup
 
 import (
 	"strings"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/kernels"
+	"repro/internal/telemetry"
 )
 
 // Entity is one resolved person: the cluster of record IDs judged to be the
@@ -134,8 +136,21 @@ func editDistanceAtMost(a, b string, k int) bool {
 	return prev[len(a)] <= k
 }
 
-// Batch performs post-process deduplication over the full record set.
+// Batch performs post-process deduplication over the full record set,
+// reporting through the process-wide telemetry registry.
 func Batch(records []gen.PersonRecord) *Result {
+	return BatchWith(telemetry.Default(), records)
+}
+
+// BatchWith performs post-process deduplication, recording blocking-key
+// collisions (candidate comparisons), merges, and the resulting entity
+// count into reg.
+func BatchWith(reg *telemetry.Registry, records []gen.PersonRecord) *Result {
+	sp := reg.Tracer().Start("dedup.Batch")
+	defer sp.End()
+	comparisonsC := reg.Counter("dedup_comparisons_total")
+	mergesC := reg.Counter("dedup_merges_total")
+
 	// Blocking.
 	blocks := make(map[string][]int32)
 	for i, r := range records {
@@ -143,18 +158,27 @@ func Batch(records []gen.PersonRecord) *Result {
 		blocks[k] = append(blocks[k], int32(i))
 	}
 	uf := kernels.NewUnionFind(int32(len(records)))
-	var comparisons int64
+	var comparisons, merges int64
+	start := time.Now()
 	for _, block := range blocks {
 		for i := 0; i < len(block); i++ {
 			for j := i + 1; j < len(block); j++ {
 				comparisons++
 				if similar(records[block[i]], records[block[j]]) {
-					uf.Union(block[i], block[j])
+					if uf.Union(block[i], block[j]) {
+						merges++
+					}
 				}
 			}
 		}
 	}
-	return buildResult(records, uf, comparisons)
+	reg.Histogram("dedup_batch_seconds").ObserveSince(start)
+	comparisonsC.Add(comparisons)
+	mergesC.Add(merges)
+	res := buildResult(records, uf, comparisons)
+	reg.Gauge("dedup_entities").Set(float64(len(res.Entities)))
+	reg.Counter("dedup_records_total").Add(int64(len(records)))
+	return res
 }
 
 func buildResult(records []gen.PersonRecord, uf *kernels.UnionFind, comparisons int64) *Result {
@@ -246,30 +270,56 @@ type Inline struct {
 	// Resolved[i] is the entity ID assigned to the i-th ingested record.
 	Resolved    []int32
 	Comparisons int64
+
+	comparisonsC *telemetry.Counter
+	mergedC      *telemetry.Counter
+	newC         *telemetry.Counter
+	ingestHist   *telemetry.Histogram
 }
 
-// NewInline creates an empty streaming deduper.
+// NewInline creates an empty streaming deduper reporting through the
+// process-wide telemetry registry.
 func NewInline() *Inline {
-	return &Inline{byKey: make(map[string][]int32)}
+	return NewInlineWith(telemetry.Default())
+}
+
+// NewInlineWith creates an empty streaming deduper recording comparisons,
+// merged-vs-new resolutions, and per-record ingest latency into reg.
+func NewInlineWith(reg *telemetry.Registry) *Inline {
+	return &Inline{
+		byKey:        make(map[string][]int32),
+		comparisonsC: reg.Counter("dedup_comparisons_total"),
+		mergedC:      reg.Counter("dedup_inline_resolved_total", telemetry.L("outcome", "merged")),
+		newC:         reg.Counter("dedup_inline_resolved_total", telemetry.L("outcome", "new")),
+		ingestHist:   reg.Histogram("dedup_inline_ingest_seconds"),
+	}
 }
 
 // Ingest resolves one record, either attaching it to an existing entity or
 // minting a new one, and returns the entity ID plus whether it was new.
 func (d *Inline) Ingest(r gen.PersonRecord) (int32, bool) {
+	var start time.Time
+	if d.ingestHist.Live() {
+		start = time.Now()
+		defer func() { d.ingestHist.ObserveSince(start) }()
+	}
 	idx := int32(len(d.records))
 	d.records = append(d.records, r)
 	key := matchKey(r)
 	for _, eid := range d.byKey[key] {
 		e := &d.entities[eid]
 		d.Comparisons++
+		d.comparisonsC.Inc()
 		probe := gen.PersonRecord{FirstName: e.FirstName, LastName: e.LastName, SSNLast4: e.SSNLast4}
 		if similar(probe, r) {
 			e.Records = append(e.Records, idx)
 			addAddress(e, r.AddressID)
 			d.Resolved = append(d.Resolved, eid)
+			d.mergedC.Inc()
 			return eid, false
 		}
 	}
+	d.newC.Inc()
 	eid := int32(len(d.entities))
 	d.entities = append(d.entities, Entity{
 		ID: eid, Records: []int32{idx},

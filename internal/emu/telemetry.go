@@ -1,0 +1,55 @@
+package emu
+
+import "repro/internal/telemetry"
+
+// Publish snapshots the machine's counters and resource occupancies into
+// reg as gauges (gauges, not counters, because simulator runs are
+// republished per workload/model combination). The labels distinguish
+// workload and execution model.
+func (m *Machine) Publish(reg *telemetry.Registry, labels ...telemetry.Label) {
+	set := func(name string, v float64) {
+		reg.Gauge(name, labels...).Set(v)
+	}
+	set("emu_migrations", float64(m.Migrations))
+	set("emu_remote_reads", float64(m.RemoteReads))
+	set("emu_remote_writes", float64(m.RemoteWrites))
+	set("emu_remote_ops", float64(m.RemoteOps))
+	set("emu_local_accesses", float64(m.LocalAccesses))
+	set("emu_spawns", float64(m.Spawns))
+	set("emu_traffic_bytes", float64(m.TrafficBytes))
+	set("emu_busiest_nodelet_ns", m.BusiestNodeletNs())
+	set("emu_net_busy_ns", m.NetBusyNs())
+}
+
+// Publish records one workload run's headline numbers into reg as gauges,
+// including the makespan — the max-over-resources bound the paper's model
+// shares with Fig. 3/6.
+func (st WorkloadStats) Publish(reg *telemetry.Registry, labels ...telemetry.Label) {
+	ls := append([]telemetry.Label{telemetry.L("model", st.Model.String())}, labels...)
+	set := func(name string, v float64) {
+		reg.Gauge(name, ls...).Set(v)
+	}
+	set("emu_workload_makespan_ns", st.MakespanNs)
+	set("emu_workload_mean_op_ns", st.MeanOpNs)
+	set("emu_workload_ops", float64(st.Ops))
+	set("emu_workload_threads", float64(st.Threads))
+	set("emu_workload_traffic_bytes", float64(st.TrafficBytes))
+	set("emu_workload_migrations", float64(st.Migrations))
+	set("emu_workload_remote_refs", float64(st.RemoteRefs))
+	set("emu_workload_remote_ops", float64(st.RemoteOps))
+}
+
+// Publish records the mixed update+query streaming run into reg as gauges.
+func (st MixedStreamStats) Publish(reg *telemetry.Registry, labels ...telemetry.Label) {
+	ls := append([]telemetry.Label{telemetry.L("model", st.Model.String())}, labels...)
+	set := func(name string, v float64) {
+		reg.Gauge(name, ls...).Set(v)
+	}
+	set("emu_mixed_makespan_ns", st.MakespanNs)
+	set("emu_mixed_update_mean_ns", st.UpdateMeanNs)
+	set("emu_mixed_query_mean_ns", st.QueryMeanNs)
+	set("emu_mixed_updates", float64(st.Updates))
+	set("emu_mixed_queries", float64(st.Queries))
+	set("emu_mixed_traffic_bytes", float64(st.TrafficBytes))
+	set("emu_mixed_updates_by_remote_op", float64(st.UpdatesByRemote))
+}

@@ -11,14 +11,18 @@
 //	                  batch analytic ─┴─▶ property write-back / alerts
 //
 // The engine is explicitly instrumented: every stage reports operation
-// counts and wall time, providing the "reference implementation, with
-// explicit instrumentation, of a combined benchmark" the paper's
-// conclusion calls for.
+// counts and wall time through the shared internal/telemetry registry,
+// providing the "reference implementation, with explicit instrumentation,
+// of a combined benchmark" the paper's conclusion calls for. Stats is a
+// read-only view over those registry metrics, and each composed stage runs
+// under a recorded span, so a flow's full activity can be exported as a
+// JSON-lines artifact or scraped live from /metrics.
 package flow
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/dyngraph"
@@ -26,6 +30,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/streaming"
+	"repro/internal/telemetry"
 )
 
 // Analytic is a batch analytic run over an extracted subgraph. It returns
@@ -43,17 +48,43 @@ type Alert struct {
 	Message string
 }
 
-// StageStats instruments one pipeline stage.
+// StageStats is a snapshot of one pipeline stage's instrumentation, read
+// back from the telemetry registry.
 type StageStats struct {
 	Invocations int64
 	Items       int64
 	Elapsed     time.Duration
 }
 
-func (s *StageStats) record(start time.Time, items int64) {
-	s.Invocations++
-	s.Items += items
-	s.Elapsed += time.Since(start)
+// stageMetrics is the registry-backed instrumentation of one stage.
+type stageMetrics struct {
+	inv   *telemetry.Counter
+	items *telemetry.Counter
+	dur   *telemetry.Histogram
+}
+
+func newStageMetrics(reg *telemetry.Registry, stage string) stageMetrics {
+	l := telemetry.L("stage", stage)
+	return stageMetrics{
+		inv:   reg.Counter("flow_stage_invocations_total", l),
+		items: reg.Counter("flow_stage_items_total", l),
+		dur:   reg.Histogram("flow_stage_seconds", l),
+	}
+}
+
+func (s stageMetrics) record(start time.Time, items int64) {
+	s.inv.Inc()
+	s.items.Add(items)
+	s.dur.ObserveSince(start)
+}
+
+// snapshot reads the stage's current counters as a StageStats view.
+func (s stageMetrics) snapshot() StageStats {
+	return StageStats{
+		Invocations: s.inv.Value(),
+		Items:       s.items.Value(),
+		Elapsed:     time.Duration(s.dur.Sum() * float64(time.Second)),
+	}
 }
 
 // Stats aggregates the flow's per-stage instrumentation.
@@ -79,21 +110,53 @@ type Flow struct {
 	// StreamAnalytic names the analytic run on trigger-extracted subgraphs.
 	StreamAnalytic string
 
+	mu     sync.Mutex
 	alerts []Alert
-	stats  Stats
+
+	tel    *telemetry.Registry
+	tracer *telemetry.Tracer
+	stages struct {
+		build, sel, extract, analytic, writeBack, streamIn, triggered stageMetrics
+	}
+	alertsC *telemetry.Counter
 }
 
-// New creates a flow around an empty persistent graph with n vertices.
+// New creates a flow around an empty persistent graph with n vertices,
+// instrumented into a private telemetry registry.
 func New(n int32, directed bool) *Flow {
+	return NewWith(n, directed, telemetry.NewRegistry())
+}
+
+// NewWith creates a flow that reports through the given shared telemetry
+// registry (the cmd/ binaries pass telemetry.Default so one artifact
+// captures every subsystem).
+func NewWith(n int32, directed bool, reg *telemetry.Registry) *Flow {
+	if reg == nil {
+		reg = telemetry.Nop()
+	}
 	g := dyngraph.New(n, directed)
-	return &Flow{
+	f := &Flow{
 		g:            g,
 		props:        graph.NewPropertyTable(n),
 		analytics:    make(map[string]Analytic),
-		engine:       streaming.NewEngine(g),
+		engine:       streaming.NewEngineWith(g, reg),
 		ExtractDepth: 2,
+		tel:          reg,
+		tracer:       reg.Tracer(),
+		alertsC:      reg.Counter("flow_alerts_total"),
 	}
+	f.stages.build = newStageMetrics(reg, "build")
+	f.stages.sel = newStageMetrics(reg, "select")
+	f.stages.extract = newStageMetrics(reg, "extract")
+	f.stages.analytic = newStageMetrics(reg, "analytic")
+	f.stages.writeBack = newStageMetrics(reg, "write-back")
+	f.stages.streamIn = newStageMetrics(reg, "stream-in")
+	f.stages.triggered = newStageMetrics(reg, "triggered")
+	return f
 }
+
+// Telemetry returns the registry this flow reports through.
+func (f *Flow) Telemetry() *telemetry.Registry { return f.tel }
 
 // Graph returns the persistent dynamic graph.
 func (f *Flow) Graph() *dyngraph.DynGraph { return f.g }
@@ -104,11 +167,27 @@ func (f *Flow) Properties() *graph.PropertyTable { return f.props }
 // Engine returns the streaming engine (for registering triggers).
 func (f *Flow) Engine() *streaming.Engine { return f.engine }
 
-// Stats returns a copy of the stage instrumentation.
-func (f *Flow) Stats() Stats { return f.stats }
+// Stats returns a point-in-time snapshot of the stage instrumentation,
+// read from the telemetry registry's atomic counters — safe to call while
+// the streaming path is concurrently feeding updates.
+func (f *Flow) Stats() Stats {
+	return Stats{
+		Build:     f.stages.build.snapshot(),
+		Select:    f.stages.sel.snapshot(),
+		Extract:   f.stages.extract.snapshot(),
+		Analytic:  f.stages.analytic.snapshot(),
+		WriteBack: f.stages.writeBack.snapshot(),
+		StreamIn:  f.stages.streamIn.snapshot(),
+		Triggered: f.stages.triggered.snapshot(),
+	}
+}
 
-// Alerts returns escalated events.
-func (f *Flow) Alerts() []Alert { return f.alerts }
+// Alerts returns a copy of the escalated events.
+func (f *Flow) Alerts() []Alert {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Alert(nil), f.alerts...)
+}
 
 // RegisterAnalytic installs a named batch analytic.
 func (f *Flow) RegisterAnalytic(name string, a Analytic) { f.analytics[name] = a }
@@ -120,7 +199,7 @@ func (f *Flow) BuildFromEdges(edges [][2]int32) {
 	for i, e := range edges {
 		f.g.InsertEdge(e[0], e[1], 1, int64(i))
 	}
-	f.stats.Build.record(start, int64(len(edges)))
+	f.stages.build.record(start, int64(len(edges)))
 }
 
 // SeedCriteria selects seed vertices ("selection criteria ... used to
@@ -178,7 +257,7 @@ func (f *Flow) SelectSeeds(c SeedCriteria) []int32 {
 			seeds = append(seeds, sv.V)
 		}
 	}
-	f.stats.Select.record(start, int64(len(seeds)))
+	f.stages.sel.record(start, int64(len(seeds)))
 	return seeds
 }
 
@@ -235,7 +314,7 @@ func (f *Flow) Extract(seeds []int32, depth int32, projectNumeric []string) *Ext
 		sub = markUndirected(sub)
 	}
 	props := f.props.Project(order, projectNumeric, nil)
-	f.stats.Extract.record(start, int64(len(order)))
+	f.stages.extract.record(start, int64(len(order)))
 	return &Extraction{Sub: sub, Vertices: order, Props: props}
 }
 
@@ -264,7 +343,7 @@ func (f *Flow) RunAnalytic(name string, ex *Extraction) (map[string][]float64, m
 	}
 	start := time.Now()
 	perVertex, global := a(ex.Sub)
-	f.stats.Analytic.record(start, int64(ex.Sub.NumVertices()))
+	f.stages.analytic.record(start, int64(ex.Sub.NumVertices()))
 	return perVertex, global, nil
 }
 
@@ -288,13 +367,15 @@ func (f *Flow) WriteBack(ex *Extraction, perVertex map[string][]float64) {
 		}
 		items += int64(len(col))
 	}
-	f.stats.WriteBack.record(start, items)
+	f.stages.writeBack.record(start, items)
 }
 
 // RunBatch is the composed right-hand side of Fig. 2: select seeds, extract
 // out to depth, run the analytic, write results back, and return the
 // extraction and global outputs.
 func (f *Flow) RunBatch(c SeedCriteria, depth int32, analytic string, project []string) (*Extraction, map[string]float64, error) {
+	sp := f.tracer.Start("flow.RunBatch", telemetry.L("analytic", analytic))
+	defer sp.End()
 	seeds := f.SelectSeeds(c)
 	ex := f.Extract(seeds, depth, project)
 	perVertex, global, err := f.RunAnalytic(analytic, ex)
@@ -310,28 +391,36 @@ func (f *Flow) RunBatch(c SeedCriteria, depth int32, analytic string, project []
 // seeds, run the configured analytic, write back its per-vertex outputs,
 // and raise an alert carrying its global outputs.
 func (f *Flow) ProcessUpdates(updates []gen.EdgeUpdate) (applied, triggered int, err error) {
+	sp := f.tracer.Start("flow.ProcessUpdates")
+	defer sp.End()
 	for _, u := range updates {
 		start := time.Now()
 		events := f.engine.Apply(u)
-		f.stats.StreamIn.record(start, 1)
+		f.stages.streamIn.record(start, 1)
 		applied++
 		for _, ev := range events {
 			tstart := time.Now()
+			tsp := sp.Child("flow.trigger", telemetry.L("trigger", ev.Trigger))
 			ex := f.Extract(ev.Seeds, f.ExtractDepth, nil)
 			var global map[string]float64
 			if f.StreamAnalytic != "" {
 				perVertex, g, aerr := f.RunAnalytic(f.StreamAnalytic, ex)
 				if aerr != nil {
+					tsp.End()
 					return applied, triggered, aerr
 				}
 				f.WriteBack(ex, perVertex)
 				global = g
 			}
+			f.mu.Lock()
 			f.alerts = append(f.alerts, Alert{
 				Source: ev.Trigger, Seq: ev.Seq, Seeds: ev.Seeds, Global: global,
 				Message: ev.Detail,
 			})
-			f.stats.Triggered.record(tstart, int64(len(ev.Seeds)))
+			f.mu.Unlock()
+			f.alertsC.Inc()
+			f.stages.triggered.record(tstart, int64(len(ev.Seeds)))
+			tsp.End()
 			triggered++
 		}
 	}

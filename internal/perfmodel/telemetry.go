@@ -1,0 +1,23 @@
+package perfmodel
+
+import "repro/internal/telemetry"
+
+// Publish records the evaluation into reg as gauges: one per-step,
+// per-resource demand time (the four bars of Fig. 3 — compute, disk, net,
+// memory bandwidth), the per-step bounding time (max over the four
+// resources), and the configuration's total. Labels follow
+// {config, step, resource}.
+func (ev *Evaluation) Publish(reg *telemetry.Registry) {
+	cfg := telemetry.L("config", ev.Config.Name)
+	for _, st := range ev.Steps {
+		step := telemetry.L("step", st.Step)
+		for r := Resource(0); r < numResources; r++ {
+			reg.Gauge("perfmodel_step_resource_seconds", cfg, step,
+				telemetry.L("resource", r.String())).Set(st.Times[r])
+		}
+		reg.Gauge("perfmodel_step_bound_seconds", cfg, step,
+			telemetry.L("bound", st.Bound.String())).Set(st.Seconds)
+	}
+	reg.Gauge("perfmodel_total_seconds", cfg).Set(ev.Total)
+	reg.Gauge("perfmodel_racks", cfg).Set(ev.Config.Racks)
+}

@@ -2,9 +2,11 @@ package streaming
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dyngraph"
 	"repro/internal/gen"
+	"repro/internal/telemetry"
 )
 
 // Trigger watches the update stream for conditions that warrant escalation
@@ -30,51 +32,126 @@ type TriggerEvent struct {
 // Engine serializes stream updates into the persistent dynamic graph and
 // fans each applied update out to the registered triggers. It is the
 // left-hand side of Fig. 2 up to (but not including) the batch analytic,
-// which internal/flow attaches.
+// which internal/flow attaches. All instrumentation — insert/delete/
+// redundant counts, per-update apply latency, and per-trigger firings —
+// reports through an internal/telemetry registry.
 type Engine struct {
 	g        *dyngraph.DynGraph
-	triggers []Trigger
+	triggers []registeredTrigger
 	events   []TriggerEvent
 	seq      int64
 
-	Inserts, Deletes, Redundant int64
+	tel       *telemetry.Registry
+	insertsC  *telemetry.Counter
+	deletesC  *telemetry.Counter
+	redundC   *telemetry.Counter
+	applyHist *telemetry.Histogram
 }
 
-// NewEngine wraps a dynamic graph.
-func NewEngine(g *dyngraph.DynGraph) *Engine { return &Engine{g: g} }
+// registeredTrigger pairs a trigger with its pre-resolved metric handles.
+type registeredTrigger struct {
+	t     Trigger
+	fired *telemetry.Counter
+	lat   *telemetry.Histogram
+}
+
+// NewEngine wraps a dynamic graph, reporting into a private telemetry
+// registry.
+func NewEngine(g *dyngraph.DynGraph) *Engine {
+	return NewEngineWith(g, telemetry.NewRegistry())
+}
+
+// NewEngineWith wraps a dynamic graph, reporting through the given shared
+// registry (nil means uninstrumented).
+func NewEngineWith(g *dyngraph.DynGraph, reg *telemetry.Registry) *Engine {
+	if reg == nil {
+		reg = telemetry.Nop()
+	}
+	return &Engine{
+		g:         g,
+		tel:       reg,
+		insertsC:  reg.Counter("streaming_updates_total", telemetry.L("op", "insert")),
+		deletesC:  reg.Counter("streaming_updates_total", telemetry.L("op", "delete")),
+		redundC:   reg.Counter("streaming_updates_total", telemetry.L("op", "redundant")),
+		applyHist: reg.Histogram("streaming_update_seconds"),
+	}
+}
 
 // Graph exposes the underlying dynamic graph.
 func (e *Engine) Graph() *dyngraph.DynGraph { return e.g }
 
+// Telemetry returns the registry this engine reports through.
+func (e *Engine) Telemetry() *telemetry.Registry { return e.tel }
+
 // AddTrigger registers a trigger.
-func (e *Engine) AddTrigger(t Trigger) { e.triggers = append(e.triggers, t) }
+func (e *Engine) AddTrigger(t Trigger) {
+	l := telemetry.L("trigger", t.Name())
+	e.triggers = append(e.triggers, registeredTrigger{
+		t:     t,
+		fired: e.tel.Counter("streaming_trigger_events_total", l),
+		lat:   e.tel.Histogram("streaming_trigger_seconds", l),
+	})
+}
 
 // Events returns all fired trigger events.
 func (e *Engine) Events() []TriggerEvent { return e.events }
 
+// Inserts returns the number of applied edge insertions.
+func (e *Engine) Inserts() int64 { return e.insertsC.Value() }
+
+// Deletes returns the number of applied edge deletions.
+func (e *Engine) Deletes() int64 { return e.deletesC.Value() }
+
+// Redundant returns the number of updates that did not change the graph.
+func (e *Engine) Redundant() int64 { return e.redundC.Value() }
+
+// applySampleEvery is the latency sampling period: update and trigger
+// latency histograms observe one in every applySampleEvery updates. The
+// clock reads would otherwise dominate the sub-microsecond apply path
+// (counters stay exact; only the latency distributions are sampled).
+const applySampleEvery = 64
+
 // Apply processes one update and returns the trigger events it fired.
 func (e *Engine) Apply(u gen.EdgeUpdate) []TriggerEvent {
 	e.seq++
+	var start time.Time
+	timed := e.seq&(applySampleEvery-1) == 0 && e.applyHist.Live()
+	if timed {
+		start = time.Now()
+	}
 	if u.Delete {
 		if e.g.DeleteEdge(u.Src, u.Dst) {
-			e.Deletes++
+			e.deletesC.Inc()
 		} else {
-			e.Redundant++
+			e.redundC.Inc()
 		}
 	} else {
 		if e.g.InsertEdge(u.Src, u.Dst, 1, u.Time) {
-			e.Inserts++
+			e.insertsC.Inc()
 		} else {
-			e.Redundant++
+			e.redundC.Inc()
 		}
 	}
 	var fired []TriggerEvent
-	for _, t := range e.triggers {
-		if ok, seeds, detail := t.OnUpdate(e.g, u); ok {
-			ev := TriggerEvent{Trigger: t.Name(), Seq: e.seq, Seeds: seeds, Detail: detail}
+	for _, rt := range e.triggers {
+		var tstart time.Time
+		ttimed := timed && rt.lat.Live()
+		if ttimed {
+			tstart = time.Now()
+		}
+		ok, seeds, detail := rt.t.OnUpdate(e.g, u)
+		if ttimed {
+			rt.lat.ObserveSince(tstart)
+		}
+		if ok {
+			rt.fired.Inc()
+			ev := TriggerEvent{Trigger: rt.t.Name(), Seq: e.seq, Seeds: seeds, Detail: detail}
 			e.events = append(e.events, ev)
 			fired = append(fired, ev)
 		}
+	}
+	if timed {
+		e.applyHist.ObserveSince(start)
 	}
 	return fired
 }

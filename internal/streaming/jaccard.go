@@ -2,9 +2,11 @@ package streaming
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/dyngraph"
 	"repro/internal/gen"
+	"repro/internal/telemetry"
 )
 
 // JaccardScore mirrors kernels.JaccardPairScore for the dynamic graph.
@@ -29,17 +31,36 @@ type StreamingJaccard struct {
 	g *dyngraph.DynGraph
 	// scratch map reused across queries to avoid per-query allocation
 	scratch map[int32]int32
+
+	queryHist  *telemetry.Histogram
+	updateHist *telemetry.Histogram
 }
 
-// NewStreamingJaccard wraps a dynamic graph.
+// NewStreamingJaccard wraps a dynamic graph, uninstrumented; call
+// Instrument to record latencies.
 func NewStreamingJaccard(g *dyngraph.DynGraph) *StreamingJaccard {
 	return &StreamingJaccard{g: g, scratch: make(map[int32]int32)}
+}
+
+// Instrument records per-query and per-update latency histograms into reg
+// (streaming_jaccard_query_seconds, streaming_jaccard_update_seconds) — the
+// measured form of the paper's tens-of-microseconds Jaccard query claim.
+// Returns sj for chaining.
+func (sj *StreamingJaccard) Instrument(reg *telemetry.Registry) *StreamingJaccard {
+	sj.queryHist = reg.Histogram("streaming_jaccard_query_seconds")
+	sj.updateHist = reg.Histogram("streaming_jaccard_update_seconds")
+	return sj
 }
 
 // ApplyUpdate applies the edge update and returns the post-update maximum
 // coefficient over both endpoints (ok=false when neither endpoint has any
 // 2-hop partner).
 func (sj *StreamingJaccard) ApplyUpdate(u gen.EdgeUpdate) (JaccardScore, bool) {
+	var start time.Time
+	if sj.updateHist.Live() {
+		start = time.Now()
+		defer func() { sj.updateHist.ObserveSince(start) }()
+	}
 	if u.Delete {
 		sj.g.DeleteEdge(u.Src, u.Dst)
 	} else {
@@ -64,6 +85,10 @@ func (sj *StreamingJaccard) MaxFor(v int32) (JaccardScore, bool) {
 // Query returns all partners of v with score >= threshold (and > 0),
 // descending by score. Cost is proportional to v's 2-hop neighborhood.
 func (sj *StreamingJaccard) Query(v int32, threshold float64) []JaccardScore {
+	if sj.queryHist.Live() {
+		start := time.Now()
+		defer func() { sj.queryHist.ObserveSince(start) }()
+	}
 	for k := range sj.scratch {
 		delete(sj.scratch, k)
 	}

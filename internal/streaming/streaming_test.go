@@ -287,8 +287,8 @@ func TestEngineTriggers(t *testing.T) {
 	if ev.Trigger != "degree-threshold" || len(ev.Seeds) != 1 || ev.Seeds[0] != 0 {
 		t.Fatalf("event = %+v", ev)
 	}
-	if e.Inserts != 5 {
-		t.Fatalf("inserts = %d", e.Inserts)
+	if e.Inserts() != 5 {
+		t.Fatalf("inserts = %d", e.Inserts())
 	}
 }
 
@@ -298,8 +298,8 @@ func TestEngineRedundantCounting(t *testing.T) {
 	e.Apply(gen.EdgeUpdate{Src: 0, Dst: 1})
 	e.Apply(gen.EdgeUpdate{Src: 0, Dst: 1})               // redundant insert
 	e.Apply(gen.EdgeUpdate{Src: 2, Dst: 3, Delete: true}) // redundant delete
-	if e.Inserts != 1 || e.Redundant != 2 || e.Deletes != 0 {
-		t.Fatalf("counts = %d/%d/%d", e.Inserts, e.Deletes, e.Redundant)
+	if e.Inserts() != 1 || e.Redundant() != 2 || e.Deletes() != 0 {
+		t.Fatalf("counts = %d/%d/%d", e.Inserts(), e.Deletes(), e.Redundant())
 	}
 }
 

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+)
+
+// CLI wires the standard telemetry flags into a command:
+//
+//	-metrics-out FILE   write metrics as JSON lines on exit
+//	-trace-out FILE     write recorded spans as JSON lines on exit
+//	-listen ADDR        serve /metrics, /debug/spans, expvar and pprof
+//
+// Typical use in a main:
+//
+//	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
+//	flag.Parse()
+//	if err := tel.Start(); err != nil { ... }
+//	defer tel.Close()
+type CLI struct {
+	Registry *Registry
+
+	MetricsOut string
+	TraceOut   string
+	Listen     string
+
+	srv *http.Server
+}
+
+// NewCLI registers the telemetry flags on fs, bound to reg. Call before
+// fs.Parse.
+func NewCLI(fs *flag.FlagSet, reg *Registry) *CLI {
+	c := &CLI{Registry: reg}
+	fs.StringVar(&c.MetricsOut, "metrics-out", "",
+		"write metrics as a JSON-lines telemetry artifact to this file on exit")
+	fs.StringVar(&c.TraceOut, "trace-out", "",
+		"write recorded spans as JSON lines to this file on exit")
+	fs.StringVar(&c.Listen, "listen", "",
+		"serve /metrics, /debug/spans, expvar and pprof on this address (e.g. :9090)")
+	return c
+}
+
+// Start begins serving the HTTP endpoint when -listen was given. Call
+// after flag parsing.
+func (c *CLI) Start() error {
+	if c.Listen == "" {
+		return nil
+	}
+	srv, addr, err := c.Registry.Serve(c.Listen)
+	if err != nil {
+		return fmt.Errorf("telemetry: listen %s: %w", c.Listen, err)
+	}
+	c.srv = srv
+	fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s\n", addr)
+	return nil
+}
+
+// Close writes the requested artifacts and stops the HTTP endpoint. It
+// returns the first error encountered (artifact writes are attempted even
+// if an earlier step failed).
+func (c *CLI) Close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.MetricsOut != "" {
+		keep(c.Registry.DumpFile(c.MetricsOut))
+	}
+	if c.TraceOut != "" {
+		keep(c.Registry.Tracer().DumpFile(c.TraceOut))
+	}
+	if c.srv != nil {
+		keep(c.srv.Close())
+		c.srv = nil
+	}
+	return first
+}

@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// jsonMetric is the JSON-lines schema for one metric.
+type jsonMetric struct {
+	Type   string            `json:"type"`
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Counter / gauge value.
+	Value *float64 `json:"value,omitempty"`
+	// Histogram fields.
+	Count *int64       `json:"count,omitempty"`
+	Sum   *float64     `json:"sum,omitempty"`
+	Mean  *float64     `json:"mean,omitempty"`
+	P50   *float64     `json:"p50,omitempty"`
+	P90   *float64     `json:"p90,omitempty"`
+	P99   *float64     `json:"p99,omitempty"`
+	Bkts  []jsonBucket `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	LE float64 `json:"le"`
+	N  int64   `json:"n"`
+}
+
+// jsonSpan is the JSON-lines schema for one span record.
+type jsonSpan struct {
+	Type   string            `json:"type"`
+	Name   string            `json:"name"`
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent,omitempty"`
+	Start  string            `json:"start"`
+	DurNs  int64             `json:"dur_ns"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// WriteJSONLines writes every registered metric as one JSON object per
+// line, sorted by name then labels.
+func (r *Registry) WriteJSONLines(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, m := range r.Snapshot() {
+		jm := jsonMetric{Type: m.Kind.String(), Name: m.Name, Labels: labelMap(m.Labels)}
+		switch m.Kind {
+		case KindCounter, KindGauge:
+			v := m.Value
+			jm.Value = &v
+		case KindHistogram:
+			h := m.Hist
+			count, sum, mean := h.Count, h.Sum, h.Mean()
+			p50, p90, p99 := h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+			jm.Count, jm.Sum, jm.Mean = &count, &sum, &mean
+			jm.P50, jm.P90, jm.P99 = &p50, &p90, &p99
+			for _, b := range h.Buckets {
+				jm.Bkts = append(jm.Bkts, jsonBucket{LE: b.UpperBound, N: b.Count})
+			}
+		}
+		if err := enc.Encode(jm); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONLines writes the retained spans as one JSON object per line,
+// oldest first.
+func (t *Tracer) WriteJSONLines(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range t.Snapshot() {
+		js := jsonSpan{
+			Type: "span", Name: s.Name, ID: s.ID, Parent: s.Parent,
+			Start: s.Start.UTC().Format("2006-01-02T15:04:05.000000000Z"),
+			DurNs: s.Dur.Nanoseconds(), Attrs: labelMap(s.Attrs),
+		}
+		if err := enc.Encode(js); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// promName sanitizes a metric or label name into the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the Prometheus text format.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}
+
+// promLabels renders {k="v",...}; extra appends additional pre-rendered
+// pairs (used for histogram le).
+func promLabels(labels []Label, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	parts := make([]string, 0, len(labels)+1)
+	for _, l := range labels {
+		parts = append(parts, fmt.Sprintf("%s=%q", promName(l.Key), promEscape(l.Value)))
+	}
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): a # TYPE header per metric family,
+// then one sample per line; histograms expand to cumulative _bucket
+// samples plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastName := ""
+	for _, m := range r.Snapshot() {
+		name := promName(m.Name)
+		if name != lastName {
+			if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", name, m.Kind); err != nil {
+				return err
+			}
+			lastName = name
+		}
+		switch m.Kind {
+		case KindCounter, KindGauge:
+			fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(m.Labels, ""), promFloat(m.Value))
+		case KindHistogram:
+			var cum int64
+			for _, b := range m.Hist.Buckets {
+				cum += b.Count
+				le := fmt.Sprintf("le=%q", promFloat(b.UpperBound))
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", name, promLabels(m.Labels, le), cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", name, promLabels(m.Labels, `le="+Inf"`), m.Hist.Count)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", name, promLabels(m.Labels, ""), promFloat(m.Hist.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", name, promLabels(m.Labels, ""), m.Hist.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// DumpFile writes the registry's metrics as JSON lines to path.
+func (r *Registry) DumpFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSONLines(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DumpFile writes the tracer's retained spans as JSON lines to path.
+func (t *Tracer) DumpFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSONLines(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

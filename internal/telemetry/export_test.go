@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry with one metric of every kind and fully
+// deterministic values.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("requests_total", L("code", "200")).Add(3)
+	r.Gauge("temp").Set(1.5)
+	r.Histogram("lat_seconds").Observe(0.75)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE lat_seconds histogram
+lat_seconds_bucket{le="1"} 1
+lat_seconds_bucket{le="+Inf"} 1
+lat_seconds_sum 0.75
+lat_seconds_count 1
+# TYPE requests_total counter
+requests_total{code="200"} 3
+# TYPE temp gauge
+temp 1.5
+`
+	if got := b.String(); got != want {
+		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// Prometheus text format 0.0.4 grammar, simplified to what the exporter
+// emits: # TYPE lines and sample lines.
+var (
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*"(?:,[a-zA-Z_+][a-zA-Z0-9_]*="(?:\\.|[^"\\])*")*\})? (\S+)$`)
+)
+
+// TestWritePrometheusParses feeds a registry with awkward names, label
+// values needing escaping, and histograms, then checks that every emitted
+// line parses against the exposition-format grammar and that cumulative
+// bucket counts are monotone and consistent.
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flow_stage_items_total", L("stage", "write-back")).Add(7)
+	r.Counter("weird-name.total", L("k", `quote " slash \ newline`+"\n")).Inc()
+	r.Gauge("emu_workload_makespan_ns", L("model", "migrating"), L("workload", "bfs-visit")).Set(123456789)
+	h := r.Histogram("core_kernel_seconds", L("kernel", "pagerank"))
+	for _, v := range []float64{1e-6, 3e-6, 0.002, 0.75, 40} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no output")
+	}
+	declared := map[string]string{}
+	var lastBucketVal int64 = -1
+	var histCount, lastCum int64
+	for _, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			m := promTypeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			declared[m[1]] = m[2]
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name, val := m[1], m[3]
+		if _, err := strconv.ParseFloat(val, 64); err != nil && val != "+Inf" {
+			t.Fatalf("unparseable value %q in line %q", val, line)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if d, ok := declared[strings.TrimSuffix(name, suf)]; ok && d == "histogram" {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		if _, ok := declared[base]; !ok {
+			t.Fatalf("sample %q appears before its # TYPE declaration", line)
+		}
+		if strings.HasSuffix(name, "_bucket") && base != name {
+			n, _ := strconv.ParseInt(val, 10, 64)
+			if n < lastBucketVal {
+				t.Fatalf("cumulative bucket counts decreased at %q", line)
+			}
+			lastBucketVal = n
+			lastCum = n
+		}
+		if strings.HasSuffix(name, "_count") && base != name {
+			histCount, _ = strconv.ParseInt(val, 10, 64)
+			if histCount != lastCum {
+				t.Fatalf("histogram _count %d != final cumulative bucket %d", histCount, lastCum)
+			}
+		}
+	}
+	if declared["core_kernel_seconds"] != "histogram" {
+		t.Fatal("histogram family not declared")
+	}
+	if declared["weird_name_total"] != "counter" {
+		t.Fatalf("name not sanitized into Prometheus charset: %v", declared)
+	}
+	if histCount != 5 {
+		t.Fatalf("histogram count = %d, want 5", histCount)
+	}
+}
+
+func TestWriteJSONLines(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WriteJSONLines(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	type row struct {
+		Type   string             `json:"type"`
+		Name   string             `json:"name"`
+		Labels map[string]string  `json:"labels"`
+		Value  *float64           `json:"value"`
+		Count  *int64             `json:"count"`
+		Sum    *float64           `json:"sum"`
+		Mean   *float64           `json:"mean"`
+		P50    *float64           `json:"p50"`
+		Bkts   []map[string]int64 `json:"buckets"`
+	}
+	var rows []row
+	for i, line := range lines {
+		var r row
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		rows = append(rows, r)
+	}
+	// Sorted by name: lat_seconds, requests_total, temp.
+	if rows[0].Name != "lat_seconds" || rows[0].Type != "histogram" {
+		t.Fatalf("rows[0] = %+v", rows[0])
+	}
+	if *rows[0].Count != 1 || *rows[0].Sum != 0.75 || *rows[0].Mean != 0.75 {
+		t.Fatalf("histogram row = %+v", rows[0])
+	}
+	if rows[1].Name != "requests_total" || *rows[1].Value != 3 || rows[1].Labels["code"] != "200" {
+		t.Fatalf("rows[1] = %+v", rows[1])
+	}
+	if rows[2].Name != "temp" || rows[2].Type != "gauge" || *rows[2].Value != 1.5 {
+		t.Fatalf("rows[2] = %+v", rows[2])
+	}
+}
+
+func TestTracerWriteJSONLines(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("outer", L("k", "v"))
+	root.Child("inner").End()
+	root.End()
+	var b strings.Builder
+	if err := tr.WriteJSONLines(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	type spanRow struct {
+		Type   string            `json:"type"`
+		Name   string            `json:"name"`
+		ID     uint64            `json:"id"`
+		Parent uint64            `json:"parent"`
+		Start  string            `json:"start"`
+		DurNs  int64             `json:"dur_ns"`
+		Attrs  map[string]string `json:"attrs"`
+	}
+	var inner, outer spanRow
+	if err := json.Unmarshal([]byte(lines[0]), &inner); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &outer); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Type != "span" || inner.Name != "inner" || inner.Parent != outer.ID {
+		t.Fatalf("inner = %+v outer = %+v", inner, outer)
+	}
+	if outer.Attrs["k"] != "v" || outer.DurNs < inner.DurNs {
+		t.Fatalf("outer = %+v", outer)
+	}
+	if !strings.HasSuffix(outer.Start, "Z") {
+		t.Fatalf("start %q not UTC-normalized", outer.Start)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := goldenRegistry()
+	r.Tracer().Start("op").End()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, "requests_total") {
+		t.Fatalf("/metrics body missing counter:\n%s", body)
+	}
+	body, _ = get("/metrics.json")
+	if !strings.Contains(body, `"name":"temp"`) {
+		t.Fatalf("/metrics.json missing gauge:\n%s", body)
+	}
+	body, _ = get("/debug/spans")
+	if !strings.Contains(body, `"name":"op"`) {
+		t.Fatalf("/debug/spans missing span:\n%s", body)
+	}
+	body, _ = get("/debug/vars")
+	if !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Fatalf("/debug/vars not expvar JSON:\n%s", body)
+	}
+}

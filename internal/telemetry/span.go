@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one finished span as retained by the tracer.
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64 // 0 for root spans
+	Name   string
+	Attrs  []Label
+	Start  time.Time
+	Dur    time.Duration
+}
+
+// Tracer records hierarchical spans into a fixed-capacity ring buffer:
+// once full, each finished span evicts the oldest retained one, so a
+// long-running process keeps the most recent window of activity at a
+// bounded memory cost. All methods are safe for concurrent use and safe on
+// a nil receiver.
+type Tracer struct {
+	noop   bool
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []SpanRecord
+	head    int // next write position
+	n       int // filled entries
+	dropped int64
+}
+
+// NewTracer creates a tracer retaining up to capacity finished spans
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]SpanRecord, capacity)}
+}
+
+// Span is one in-flight operation. Create roots with Tracer.Start and
+// children with Span.Child; call End exactly once. A nil *Span is legal
+// and all its methods are no-ops, so call sites need no tracer-enabled
+// checks.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	attrs  []Label
+	start  time.Time
+	ended  atomic.Bool
+}
+
+// Start begins a root span.
+func (t *Tracer) Start(name string, attrs ...Label) *Span {
+	if t == nil || t.noop {
+		return nil
+	}
+	return &Span{
+		t: t, id: t.nextID.Add(1), name: name,
+		attrs: append([]Label(nil), attrs...), start: time.Now(),
+	}
+}
+
+// Child begins a span nested under s.
+func (s *Span) Child(name string, attrs ...Label) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.t.Start(name, attrs...)
+	if c != nil {
+		c.parent = s.id
+	}
+	return c
+}
+
+// SetAttr attaches (or appends) an attribute to an in-flight span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || s.ended.Load() {
+		return
+	}
+	s.attrs = append(s.attrs, Label{Key: key, Value: value})
+}
+
+// ID returns the span's identifier (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// End finishes the span and records it. Extra End calls are ignored.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	rec := SpanRecord{
+		ID: s.id, Parent: s.parent, Name: s.name, Attrs: s.attrs,
+		Start: s.start, Dur: time.Since(s.start),
+	}
+	t := s.t
+	t.mu.Lock()
+	if t.n == len(t.ring) {
+		t.dropped++
+	} else {
+		t.n++
+	}
+	t.ring[t.head] = rec
+	t.head = (t.head + 1) % len(t.ring)
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil || t.noop {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, t.n)
+	start := (t.head - t.n + len(t.ring)) % len(t.ring)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Dropped returns how many finished spans were evicted from the ring.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

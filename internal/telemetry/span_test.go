@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Start("flow.RunBatch", L("analytic", "pagerank"))
+	child := root.Child("flow.extract")
+	grand := child.Child("flow.analytic")
+	grand.SetAttr("iters", "20")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(spans))
+	}
+	// Finished in leaf-first order.
+	g, c, r := spans[0], spans[1], spans[2]
+	if r.Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", r.Parent)
+	}
+	if c.Parent != r.ID {
+		t.Fatalf("child parent = %d, want root id %d", c.Parent, r.ID)
+	}
+	if g.Parent != c.ID {
+		t.Fatalf("grandchild parent = %d, want child id %d", g.Parent, c.ID)
+	}
+	if g.Name != "flow.analytic" || len(g.Attrs) != 1 || g.Attrs[0].Value != "20" {
+		t.Fatalf("grandchild record = %+v", g)
+	}
+	if len(r.Attrs) != 1 || r.Attrs[0] != L("analytic", "pagerank") {
+		t.Fatalf("root attrs = %v", r.Attrs)
+	}
+}
+
+func TestSpanDoubleEnd(t *testing.T) {
+	tr := NewTracer(4)
+	s := tr.Start("once")
+	s.End()
+	s.End()
+	s.SetAttr("late", "ignored")
+	if got := len(tr.Snapshot()); got != 1 {
+		t.Fatalf("retained %d spans after double End, want 1", got)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Start("s").End()
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("retained %d spans, want capacity 3", len(spans))
+	}
+	// Oldest-first: ids 3, 4, 5 survive.
+	if spans[0].ID != 3 || spans[2].ID != 5 {
+		t.Fatalf("retained ids %d..%d, want 3..5", spans[0].ID, spans[2].ID)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("op")
+				sp.Child("inner").End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Snapshot()); got != 64 {
+		t.Fatalf("retained %d spans, want full ring of 64", got)
+	}
+	if total := tr.Dropped() + 64; total != 8*100*2 {
+		t.Fatalf("dropped+retained = %d, want %d", total, 8*100*2)
+	}
+}

@@ -1,0 +1,255 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", L("route", "/x"))
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	// Same name+labels must return the same handle.
+	if r.Counter("hits_total", L("route", "/x")) != c {
+		t.Fatal("get-or-create returned a different handle for identical identity")
+	}
+	// Label order must not matter for identity.
+	a := r.Counter("multi", L("b", "2"), L("a", "1"))
+	b := r.Counter("multi", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("label order changed metric identity")
+	}
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mono_total")
+	c.Add(5)
+	c.Add(-3) // ignored
+	c.Add(0)  // ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5 (negative/zero adds must be ignored)", got)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("level")
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	g.Set(-2.5)
+	if got := g.Value(); got != -2.5 {
+		t.Fatalf("gauge after Set = %v, want -2.5", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds")
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := float64(w+1) * 1e-6
+			for i := 0; i < perWorker; i++ {
+				h.Observe(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	var wantSum float64
+	for w := 0; w < workers; w++ {
+		wantSum += float64(w+1) * 1e-6 * perWorker
+	}
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+	s := h.Snapshot()
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket counts total %d, want count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram()
+	// 0.75s lands in the (0.5, 1] bucket.
+	h.Observe(0.75)
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 {
+		t.Fatalf("want 1 non-empty bucket, got %d", len(s.Buckets))
+	}
+	if s.Buckets[0].UpperBound != 1 {
+		t.Fatalf("0.75 bucketed under le=%v, want le=1", s.Buckets[0].UpperBound)
+	}
+	// Exact powers of two are inclusive upper bounds.
+	h2 := newHistogram()
+	h2.Observe(0.5)
+	if b := h2.Snapshot().Buckets[0].UpperBound; b != 0.5 {
+		t.Fatalf("0.5 bucketed under le=%v, want le=0.5", b)
+	}
+	// Non-positive and NaN observations must not corrupt state.
+	h3 := newHistogram()
+	h3.Observe(0)
+	h3.Observe(-1)
+	h3.Observe(math.NaN())
+	if got := h3.Count(); got != 2 {
+		t.Fatalf("count after 0,-1,NaN = %d, want 2 (NaN dropped)", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram()
+	for i := 0; i < 90; i++ {
+		h.Observe(0.001) // le=~0.001953
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5) // le=2
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 > 0.002 {
+		t.Fatalf("p50 = %v, want within the millisecond bucket", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 1 || p99 > 2 {
+		t.Fatalf("p99 = %v, want in (1, 2]", p99)
+	}
+	if m := s.Mean(); math.Abs(m-(90*0.001+10*1.5)/100) > 1e-12 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("requesting an existing counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+func TestNilAndNopSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1)
+	r.Histogram("c").Observe(1)
+	r.Tracer().Start("s").End()
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", got)
+	}
+
+	n := Nop()
+	n.Counter("a").Inc()
+	n.Gauge("b").Set(1)
+	h := n.Histogram("c")
+	h.Observe(1)
+	if h.Live() {
+		t.Fatal("noop histogram reports Live")
+	}
+	sp := n.Tracer().Start("s")
+	sp.SetAttr("k", "v")
+	sp.End()
+	if got := n.Snapshot(); got != nil {
+		t.Fatalf("noop registry snapshot = %v, want nil", got)
+	}
+	if got := n.Tracer().Snapshot(); got != nil {
+		t.Fatalf("noop tracer snapshot = %v, want nil", got)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total").Inc()
+	r.Gauge("aa")
+	r.Counter("mm_total", L("k", "2"))
+	r.Counter("mm_total", L("k", "1"))
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(snap))
+	}
+	order := []string{"aa", "mm_total", "mm_total", "zz_total"}
+	for i, m := range snap {
+		if m.Name != order[i] {
+			t.Fatalf("snapshot[%d] = %q, want %q", i, m.Name, order[i])
+		}
+	}
+	if snap[1].Labels[0].Value != "1" || snap[2].Labels[0].Value != "2" {
+		t.Fatal("same-name metrics not sorted by label set")
+	}
+}
+
+func TestSnapshotWhileWriting(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := r.Counter("w_total")
+		h := r.Histogram("w_seconds")
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Inc()
+				h.Observe(1e-5)
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		r.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := newHistogram()
+	h.ObserveDuration(250 * time.Millisecond)
+	if b := h.Snapshot().Buckets[0].UpperBound; b != 0.25 {
+		t.Fatalf("250ms bucketed under le=%v, want le=0.25", b)
+	}
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}

@@ -1,0 +1,89 @@
+// Telemetry overhead benchmarks: each pair runs the same workload against a
+// live registry and against the no-op registry (telemetry.Nop), so
+//
+//	go test -bench=BenchmarkTelemetry -benchtime=5x
+//
+// quantifies what the instrumentation costs on the hot paths the ISSUE
+// budget caps at 5%: the PR batch kernel via core.RunWith and the streaming
+// engine's per-update path.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dyngraph"
+	"repro/internal/gen"
+	"repro/internal/streaming"
+	"repro/internal/telemetry"
+)
+
+func benchPageRank(b *testing.B, reg *telemetry.Registry) {
+	g := getBenchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunWith(reg, "PR", g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTelemetryPageRankInstrumented(b *testing.B) {
+	benchPageRank(b, telemetry.NewRegistry())
+}
+
+func BenchmarkTelemetryPageRankNoop(b *testing.B) {
+	benchPageRank(b, telemetry.Nop())
+}
+
+func benchStreamingApply(b *testing.B, reg *telemetry.Registry) {
+	ups := gen.EdgeUpdateStream(14, 100_000, 0.1, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := streaming.NewEngineWith(dyngraph.New(1<<14, false), reg)
+		b.StartTimer()
+		for _, u := range ups {
+			e.Apply(u)
+		}
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(len(ups)), "updates/op")
+}
+
+func BenchmarkTelemetryStreamingApplyInstrumented(b *testing.B) {
+	benchStreamingApply(b, telemetry.NewRegistry())
+}
+
+func BenchmarkTelemetryStreamingApplyNoop(b *testing.B) {
+	benchStreamingApply(b, telemetry.Nop())
+}
+
+// BenchmarkTelemetryCounterInc measures the raw hot-path cost of one
+// counter increment (live vs no-op).
+func BenchmarkTelemetryCounterInc(b *testing.B) {
+	c := telemetry.NewRegistry().Counter("bench_total")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkTelemetryCounterIncNoop(b *testing.B) {
+	c := telemetry.Nop().Counter("bench_total")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkTelemetryHistogramObserve(b *testing.B) {
+	h := telemetry.NewRegistry().Histogram("bench_seconds")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(1.25e-6)
+		}
+	})
+}
