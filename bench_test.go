@@ -29,6 +29,7 @@ import (
 	"repro/internal/lamachine"
 	"repro/internal/matrix"
 	"repro/internal/nora"
+	"repro/internal/par"
 	"repro/internal/perfmodel"
 	"repro/internal/streaming"
 )
@@ -859,4 +860,80 @@ func BenchmarkKernelLouvain(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		kernels.Louvain(g, 4, 8)
 	}
+}
+
+// ---- Worker-count scaling of the par scheduler ----
+//
+// Each benchmark pins the par default worker count and runs a parallel
+// kernel at 1/2/4/8 workers on the same graph, so `go test -bench=ParScaling`
+// prints a per-worker-count scaling table. Because every kernel is
+// deterministic in the worker count, the work done per iteration is
+// identical across sub-benchmarks — only the scheduling changes.
+
+func benchWithWorkers(b *testing.B, body func(b *testing.B)) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := par.DefaultWorkers()
+			par.SetDefaultWorkers(w)
+			defer par.SetDefaultWorkers(prev)
+			body(b)
+		})
+	}
+}
+
+func BenchmarkParScalingBFS(b *testing.B) {
+	g := getBenchGraph()
+	benchWithWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernels.BFSParallel(g, int32(i)%g.NumVertices())
+		}
+		b.ReportMetric(float64(g.NumEdges())*float64(b.N)/b.Elapsed().Seconds()/1e6, "MTEPS")
+	})
+}
+
+func BenchmarkParScalingPageRank(b *testing.B) {
+	g := getBenchGraph()
+	opt := kernels.DefaultPageRankOptions()
+	opt.MaxIters = 20
+	benchWithWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernels.PageRank(g, opt)
+		}
+	})
+}
+
+func BenchmarkParScalingTriangles(b *testing.B) {
+	g := getBenchGraph()
+	benchWithWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernels.GlobalTriangleCount(g)
+		}
+	})
+}
+
+func BenchmarkParScalingSSSP(b *testing.B) {
+	g := gen.RMATWeighted(benchScale, 16, gen.Graph500RMAT, 42, false)
+	benchWithWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernels.DeltaSteppingParallel(g, int32(i)%g.NumVertices(), 0.25)
+		}
+	})
+}
+
+func BenchmarkParScalingKCore(b *testing.B) {
+	g := getBenchGraph()
+	benchWithWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernels.KCoreParallel(g)
+		}
+	})
+}
+
+func BenchmarkParScalingSpGEMM(b *testing.B) {
+	a := matrix.AdjacencyMatrix(getBenchGraph())
+	benchWithWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matrix.SpGEMMParallel(matrix.PlusTimes, a, a)
+		}
+	})
 }

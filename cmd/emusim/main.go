@@ -14,6 +14,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/emu"
 	"repro/internal/gen"
+	"repro/internal/par"
 	"repro/internal/telemetry"
 )
 
@@ -22,6 +23,7 @@ func main() {
 	queries := flag.Int("queries", 200, "Jaccard queries to run")
 	jaccardOnly := flag.Bool("jaccard", false, "run only the Jaccard query study (E7)")
 	mixed := flag.Bool("mixed", false, "run only the mixed update+query streaming study")
+	par.RegisterFlags(flag.CommandLine)
 	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
 	flag.Parse()
 

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/gen"
+	"repro/internal/par"
 	"repro/internal/streaming"
 	"repro/internal/telemetry"
 )
@@ -22,6 +23,7 @@ func main() {
 	scale := flag.Int("scale", 12, "R-MAT scale for the persistent graph")
 	updates := flag.Int("updates", 20000, "streaming updates to apply")
 	trigger := flag.Int64("trigger", 150, "triangle-delta trigger threshold")
+	par.RegisterFlags(flag.CommandLine)
 	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
 	flag.Parse()
 

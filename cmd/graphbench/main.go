@@ -18,6 +18,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/graph500"
+	"repro/internal/par"
 	"repro/internal/telemetry"
 )
 
@@ -29,6 +30,7 @@ func main() {
 	kernel := flag.String("kernel", "", "run a single kernel by taxonomy name")
 	g500 := flag.Bool("graph500", false, "run the Graph500-style BFS+SSSP harness and exit")
 	family := flag.String("gen", "rmat", "graph family: rmat, ba (preferential attachment), ws (small world), er")
+	par.RegisterFlags(flag.CommandLine)
 	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
 	flag.Parse()
 

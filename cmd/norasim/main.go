@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/nora"
+	"repro/internal/par"
 	"repro/internal/perfmodel"
 	"repro/internal/telemetry"
 )
@@ -27,6 +28,7 @@ func main() {
 	fig6 := flag.Bool("fig6", false, "render Fig. 6 size-performance comparison")
 	sensitivity := flag.Bool("sensitivity", false, "render per-resource sensitivity sweeps")
 	calibrate := flag.Bool("calibrate", false, "run the real NORA pipeline and calibrate the model against it")
+	par.RegisterFlags(flag.CommandLine)
 	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
 	flag.Parse()
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/lamachine"
 	"repro/internal/matrix"
+	"repro/internal/par"
 	"repro/internal/telemetry"
 )
 
@@ -21,6 +22,7 @@ func main() {
 	scale := flag.Int("scale", 13, "R-MAT scale for A (SpGEMM computes A*A)")
 	ef := flag.Int("ef", 8, "edge factor")
 	seed := flag.Int64("seed", 7, "generator seed")
+	par.RegisterFlags(flag.CommandLine)
 	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
 	flag.Parse()
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/dyngraph"
 	"repro/internal/gen"
+	"repro/internal/par"
 	"repro/internal/streaming"
 	"repro/internal/telemetry"
 )
@@ -21,6 +22,7 @@ import (
 func main() {
 	items := flag.Int("items", 1_000_000, "stream items per anomaly kernel")
 	updates := flag.Int("updates", 200_000, "edge updates for graph kernels")
+	par.RegisterFlags(flag.CommandLine)
 	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
 	flag.Parse()
 

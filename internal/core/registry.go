@@ -33,7 +33,7 @@ var runners = map[string]Runner{
 		return fmt.Sprintf("visited=%d", res.Visited)
 	},
 	"SSSP": func(g *graph.Graph) string {
-		res := kernels.DeltaStepping(g, 0, 1)
+		res := kernels.DeltaSteppingParallel(g, 0, 1)
 		reached := 0
 		for _, d := range res.Dist {
 			if d < kernels.Inf {
@@ -92,7 +92,7 @@ var runners = map[string]Runner{
 		return fmt.Sprintf("|MIS|=%d", len(kernels.MISLuby(g, 1)))
 	},
 	"Jaccard": func(g *graph.Graph) string {
-		pairs := kernels.JaccardAll(g, 2, 0.1, 100)
+		pairs := kernels.JaccardAllParallel(g, 2, 0.1, 100)
 		return fmt.Sprintf("pairs>=0.1: %d", len(pairs))
 	},
 	"SearchLargest": func(g *graph.Graph) string {

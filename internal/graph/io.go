@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -66,6 +67,9 @@ func ReadEdgeList(r io.Reader, n int32, directed bool) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: bad dst: %v", lineNo, err)
 		}
+		if s64 < 0 || d64 < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex ID", lineNo)
+		}
 		e := rawEdge{s: int32(s64), d: int32(d64), w: 1}
 		if len(fields) >= 3 {
 			wf, err := strconv.ParseFloat(fields[2], 32)
@@ -87,7 +91,12 @@ func ReadEdgeList(r io.Reader, n int32, directed bool) (*Graph, error) {
 		return nil, err
 	}
 	if n <= 0 {
+		if maxID == math.MaxInt32 {
+			return nil, fmt.Errorf("graph: vertex ID %d leaves no room for an inferred count", maxID)
+		}
 		n = maxID + 1
+	} else if maxID >= n {
+		return nil, fmt.Errorf("graph: vertex ID %d out of range for %d declared vertices", maxID, n)
 	}
 	b := NewBuilder(n)
 	if !directed {

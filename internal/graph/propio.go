@@ -84,6 +84,9 @@ func LoadPropertyTable(r io.Reader) (*PropertyTable, error) {
 	if hdr[1] != propVersion {
 		return nil, fmt.Errorf("graph: unsupported property version %d", hdr[1])
 	}
+	if hdr[2] > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: implausible vertex count %d", hdr[2])
+	}
 	n := int32(hdr[2])
 	t := NewPropertyTable(n)
 	readString := func() (string, error) {
@@ -109,13 +112,16 @@ func LoadPropertyTable(r io.Reader) (*PropertyTable, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: numeric column %d name: %w", c, err)
 		}
-		col := make([]float64, n)
-		for i := range col {
+		// Grow as values arrive instead of trusting the header's count with
+		// an up-front n-sized allocation: a corrupt or hostile header must
+		// not be able to demand gigabytes before the first read fails.
+		col := make([]float64, 0, minInt32(n, 4096))
+		for i := int32(0); i < n; i++ {
 			var bits uint64
 			if err := binary.Read(br, le, &bits); err != nil {
 				return nil, fmt.Errorf("graph: column %q value %d: %w", name, i, err)
 			}
-			col[i] = math.Float64frombits(bits)
+			col = append(col, math.Float64frombits(bits))
 		}
 		t.numeric[name] = col
 	}
@@ -128,13 +134,22 @@ func LoadPropertyTable(r io.Reader) (*PropertyTable, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: label column %d name: %w", c, err)
 		}
-		col := make([]string, n)
-		for i := range col {
-			if col[i], err = readString(); err != nil {
+		col := make([]string, 0, minInt32(n, 4096))
+		for i := int32(0); i < n; i++ {
+			s, err := readString()
+			if err != nil {
 				return nil, fmt.Errorf("graph: label %q value %d: %w", name, i, err)
 			}
+			col = append(col, s)
 		}
 		t.labels[name] = col
 	}
 	return t, nil
+}
+
+func minInt32(a int32, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
 }

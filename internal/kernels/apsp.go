@@ -2,10 +2,9 @@ package kernels
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // APSPResult holds an all-pairs distance matrix, row-major: Dist[u*n+v].
@@ -23,29 +22,19 @@ func (r *APSPResult) At(u, v int32) float64 { return r.Dist[int64(u)*int64(r.N)+
 func (r *APSPResult) set(u, v int32, d float64) { r.Dist[int64(u)*int64(r.N)+int64(v)] = d }
 
 // APSP computes all-pairs shortest paths by running Dijkstra from every
-// vertex in parallel. Suitable for the small extracted subgraphs of the
-// canonical flow.
+// vertex through the par scheduler (grain 1: one source per chunk, so
+// uneven per-source work load-balances). Each source owns its distance
+// row, making the result deterministic for any worker count. Suitable for
+// the small extracted subgraphs of the canonical flow.
 func APSP(g *graph.Graph) *APSPResult {
 	n := g.NumVertices()
 	res := &APSPResult{N: n, Dist: make([]float64, int64(n)*int64(n))}
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	next := make(chan int32, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for src := range next {
-				one := Dijkstra(g, src)
-				copy(res.Dist[int64(src)*int64(n):int64(src+1)*int64(n)], one.Dist)
-			}
-		}()
-	}
-	for v := int32(0); v < n; v++ {
-		next <- v
-	}
-	close(next)
-	wg.Wait()
+	par.For(int(n), par.Opt{Name: "apsp.dijkstra", Grain: 1}, func(lo, hi int) {
+		for src := int32(lo); src < int32(hi); src++ {
+			one := Dijkstra(g, src)
+			copy(res.Dist[int64(src)*int64(n):int64(src+1)*int64(n)], one.Dist)
+		}
+	})
 	return res
 }
 

@@ -2,11 +2,18 @@ package kernels
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
+
+// bcChunks bounds how many source chunks Brandes is split into. Each chunk
+// carries a full n-vector partial, so the bound also caps the transient
+// memory of the ordered reduction at bcChunks*n floats. It must not depend
+// on the worker count: the partials are folded in chunk order, which is
+// what makes the floating-point accumulation byte-identical for any number
+// of workers.
+const bcChunks = 32
 
 // BetweennessCentrality computes exact betweenness centrality with Brandes'
 // algorithm, parallelized over source vertices. For undirected graphs the
@@ -17,7 +24,7 @@ func BetweennessCentrality(g *graph.Graph) []float64 {
 	for i := range sources {
 		sources[i] = int32(i)
 	}
-	return brandes(g, sources, false)
+	return brandes(g, sources)
 }
 
 // ApproxBetweenness estimates betweenness by accumulating from k sampled
@@ -39,7 +46,7 @@ func ApproxBetweenness(g *graph.Graph, k int, seed int64) []float64 {
 			sources = append(sources, v)
 		}
 	}
-	bc := brandes(g, sources, false)
+	bc := brandes(g, sources)
 	scale := float64(n) / float64(k)
 	for i := range bc {
 		bc[i] *= scale
@@ -47,29 +54,24 @@ func ApproxBetweenness(g *graph.Graph, k int, seed int64) []float64 {
 	return bc
 }
 
-// brandes accumulates dependency scores from the given sources in parallel.
-func brandes(g *graph.Graph, sources []int32, _ bool) []float64 {
+// brandes accumulates dependency scores from the given sources through the
+// par scheduler. Sources are split into at most bcChunks fixed chunks; each
+// chunk accumulates its sources sequentially (in source order) into a
+// private partial vector, and partials are summed in chunk order — so the
+// result is byte-identical for every worker count.
+func brandes(g *graph.Graph, sources []int32) []float64 {
 	n := g.NumVertices()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sources) && len(sources) > 0 {
-		workers = len(sources)
-	}
-	partial := make([][]float64, workers)
-	srcCh := make(chan int32, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+	grain := (len(sources) + bcChunks - 1) / bcChunks
+	parts := par.Chunks(len(sources), par.Opt{Name: "bc.brandes", Grain: grain},
+		func(_, lo, hi int) []float64 {
 			bc := make([]float64, n)
-			partial[w] = bc
-			// Per-worker scratch reused across sources.
+			// Per-chunk scratch reused across this chunk's sources.
 			sigma := make([]float64, n)
 			dist := make([]int32, n)
 			delta := make([]float64, n)
 			order := make([]int32, 0, n)
 			frontierBuf := make([]int32, 0, 256)
-			for s := range srcCh {
+			for _, s := range sources[lo:hi] {
 				for i := int32(0); i < n; i++ {
 					sigma[i] = 0
 					dist[i] = Unreached
@@ -109,18 +111,10 @@ func brandes(g *graph.Graph, sources []int32, _ bool) []float64 {
 					}
 				}
 			}
-		}(w)
-	}
-	for _, s := range sources {
-		srcCh <- s
-	}
-	close(srcCh)
-	wg.Wait()
+			return bc
+		})
 	bc := make([]float64, n)
-	for _, p := range partial {
-		if p == nil {
-			continue
-		}
+	for _, p := range parts {
 		for i, x := range p {
 			bc[i] += x
 		}

@@ -7,14 +7,19 @@
 //
 // Kernels operate on the immutable CSR graphs from internal/graph.
 // Distances and parents use int32 with -1 meaning "unreached".
+//
+// Parallel variants fan out through internal/par (never raw goroutine
+// pools) and are deterministic: for any worker count they produce
+// byte-identical results, with ties broken toward smaller vertex IDs. The
+// differential suite in difftest_test.go checks each one against its
+// sequential reference.
 package kernels
 
 import (
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Unreached marks vertices not touched by a traversal.
@@ -62,14 +67,22 @@ func BFS(g *graph.Graph, src int32) *BFSResult {
 	return res
 }
 
-// BFSParallel runs a level-synchronous direction-optimizing BFS using all
-// CPUs. It switches from top-down to bottom-up when the frontier grows past
-// a fraction of the unvisited arc volume, the standard Beamer optimization
-// that the Graph500 reference implementations use.
+// BFSParallel runs a level-synchronous direction-optimizing BFS through the
+// internal/par scheduler. On undirected graphs it switches from top-down to
+// bottom-up when the frontier grows past a fraction of the unvisited arc
+// volume — the standard Beamer optimization the Graph500 reference
+// implementations use. (Bottom-up scans each unvisited vertex's out-arcs
+// for frontier members, which only finds the reverse of a frontier arc on
+// undirected graphs, so directed graphs always run top-down.)
+//
+// The result is deterministic for any worker count: each discovered vertex
+// records the minimum-ID frontier neighbor as its parent, so the tree is a
+// pure function of the graph and source. Depths and the visited count match
+// sequential BFS exactly.
 func BFSParallel(g *graph.Graph, src int32) *BFSResult {
 	n := g.NumVertices()
 	res := &BFSResult{Source: src, Parent: make([]int32, n), Depth: make([]int32, n)}
-	parent := make([]int32, n) // atomic view
+	parent := make([]int32, n) // shared atomic view during traversal
 	for i := range parent {
 		parent[i] = Unreached
 		res.Depth[i] = Unreached
@@ -80,8 +93,8 @@ func BFSParallel(g *graph.Graph, src int32) *BFSResult {
 
 	frontier := []int32{src}
 	depth := int32(0)
-	workers := runtime.GOMAXPROCS(0)
 	inFrontier := make([]uint32, n) // bottom-up membership bitmap (word per vertex for simplicity)
+	bottomUpOK := !g.Directed()
 
 	for len(frontier) > 0 {
 		depth++
@@ -89,34 +102,29 @@ func BFSParallel(g *graph.Graph, src int32) *BFSResult {
 		for _, v := range frontier {
 			frontierArcs += int64(g.Degree(v))
 		}
-		useBottomUp := frontierArcs > g.NumEdges()/20 && int64(len(frontier)) > int64(n)/20
+		useBottomUp := bottomUpOK &&
+			frontierArcs > g.NumEdges()/20 && int64(len(frontier)) > int64(n)/20
 
 		var next []int32
 		if useBottomUp {
-			for i := range inFrontier {
-				inFrontier[i] = 0
-			}
-			for _, v := range frontier {
-				inFrontier[v] = 1
-			}
-			nexts := make([][]int32, workers)
-			var wg sync.WaitGroup
-			chunk := (int(n) + workers - 1) / workers
-			for w := 0; w < workers; w++ {
-				lo := int32(w * chunk)
-				hi := lo + int32(chunk)
-				if hi > n {
-					hi = n
+			par.For(int(n), par.Opt{Name: "bfs.clear"}, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					inFrontier[i] = 0
 				}
-				if lo >= hi {
-					continue
+			})
+			par.For(len(frontier), par.Opt{Name: "bfs.mark"}, func(lo, hi int) {
+				for _, v := range frontier[lo:hi] {
+					inFrontier[v] = 1
 				}
-				wg.Add(1)
-				go func(w int, lo, hi int32) {
-					defer wg.Done()
+			})
+			// Each unvisited vertex scans its (sorted) neighbors for the
+			// first — i.e. minimum-ID — frontier member. Each vertex is
+			// owned by exactly one chunk, so parent/depth writes don't race.
+			next = par.Flatten(par.Chunks(int(n), par.Opt{Name: "bfs.bottomup"},
+				func(_, lo, hi int) []int32 {
 					var local []int32
-					for v := lo; v < hi; v++ {
-						if atomic.LoadInt32(&parent[v]) != Unreached {
+					for v := int32(lo); v < int32(hi); v++ {
+						if parent[v] != Unreached {
 							continue
 						}
 						for _, u := range g.Neighbors(v) {
@@ -128,46 +136,40 @@ func BFSParallel(g *graph.Graph, src int32) *BFSResult {
 							}
 						}
 					}
-					nexts[w] = local
-				}(w, lo, hi)
-			}
-			wg.Wait()
-			for _, l := range nexts {
-				next = append(next, l...)
-			}
+					return local
+				}))
 		} else {
-			nexts := make([][]int32, workers)
-			var wg sync.WaitGroup
-			chunk := (len(frontier) + workers - 1) / workers
-			for w := 0; w < workers; w++ {
-				lo := w * chunk
-				hi := lo + chunk
-				if hi > len(frontier) {
-					hi = len(frontier)
-				}
-				if lo >= hi {
-					continue
-				}
-				wg.Add(1)
-				go func(w, lo, hi int) {
-					defer wg.Done()
+			// Top-down: frontier vertices claim unvisited neighbors with a
+			// CAS, then refine the parent down to the minimum-ID frontier
+			// discoverer with a CAS-min loop. A vertex was claimed in THIS
+			// level iff its current parent sits at depth-1; that depth was
+			// written before the level barrier, so the read is stable.
+			next = par.Flatten(par.Chunks(len(frontier), par.Opt{Name: "bfs.topdown"},
+				func(_, lo, hi int) []int32 {
 					var local []int32
 					for _, v := range frontier[lo:hi] {
 						for _, u := range g.Neighbors(v) {
-							if atomic.LoadInt32(&parent[u]) == Unreached &&
-								atomic.CompareAndSwapInt32(&parent[u], Unreached, v) {
-								res.Depth[u] = depth
-								local = append(local, u)
+							for {
+								p := atomic.LoadInt32(&parent[u])
+								if p == Unreached {
+									if atomic.CompareAndSwapInt32(&parent[u], Unreached, v) {
+										res.Depth[u] = depth
+										local = append(local, u)
+										break
+									}
+									continue // lost the claim; re-read
+								}
+								if p <= v || res.Depth[p] != depth-1 {
+									break // already minimal, or claimed in an earlier level
+								}
+								if atomic.CompareAndSwapInt32(&parent[u], p, v) {
+									break
+								}
 							}
 						}
 					}
-					nexts[w] = local
-				}(w, lo, hi)
-			}
-			wg.Wait()
-			for _, l := range nexts {
-				next = append(next, l...)
-			}
+					return local
+				}))
 		}
 		visited += int64(len(next))
 		frontier = next

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -109,6 +110,74 @@ func TestBFSDepthProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBFSParallelTreeValidUndirected(t *testing.T) {
+	for _, w := range diffWorkers {
+		withWorkers(t, w, func() {
+			for seed := int64(1); seed <= 3; seed++ {
+				g := gen.RMAT(9, 8, gen.Graph500RMAT, seed, false)
+				res := BFSParallel(g, 0)
+				if !ValidateBFSTree(g, res) {
+					t.Fatalf("workers=%d seed=%d: undirected parallel BFS tree invalid", w, seed)
+				}
+			}
+		})
+	}
+}
+
+func TestBFSParallelTreeValidDirected(t *testing.T) {
+	// Directed graphs must not take the bottom-up path (it scans out-arcs,
+	// which only mirror frontier arcs on undirected graphs); the tree and
+	// depths still have to validate and match serial BFS.
+	for _, w := range diffWorkers {
+		withWorkers(t, w, func() {
+			for seed := int64(1); seed <= 3; seed++ {
+				g := gen.RMAT(9, 8, gen.Graph500RMAT, seed, true)
+				res := BFSParallel(g, 0)
+				if !ValidateBFSTree(g, res) {
+					t.Fatalf("workers=%d seed=%d: directed parallel BFS tree invalid", w, seed)
+				}
+				s := BFS(g, 0)
+				if s.Visited != res.Visited {
+					t.Fatalf("workers=%d seed=%d: visited %d != %d", w, seed, res.Visited, s.Visited)
+				}
+				for v := int32(0); v < g.NumVertices(); v++ {
+					if s.Depth[v] != res.Depth[v] {
+						t.Fatalf("workers=%d seed=%d: depth[%d] %d != %d",
+							w, seed, v, res.Depth[v], s.Depth[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBFSParallelDirectedDense(t *testing.T) {
+	// A dense directed graph would trip the (undirected-only) bottom-up
+	// heuristic if it were not gated on directedness; depths must still be
+	// exactly one hop.
+	n := int32(150)
+	b := graph.NewBuilder(n)
+	for i := int32(1); i < n; i++ {
+		b.Add(0, i) // hub out-arcs only
+		for j := i + 1; j < n; j++ {
+			b.Add(i, j) // forward tournament arcs keep density high
+		}
+	}
+	g := b.Build()
+	for _, w := range diffWorkers {
+		withWorkers(t, w, func() {
+			res := BFSParallel(g, 0)
+			s := BFS(g, 0)
+			if !reflect.DeepEqual(s.Depth, res.Depth) {
+				t.Fatalf("workers=%d: directed dense depths diverge from serial BFS", w)
+			}
+			if !ValidateBFSTree(g, res) {
+				t.Fatalf("workers=%d: directed dense BFS tree invalid", w)
+			}
+		})
 	}
 }
 

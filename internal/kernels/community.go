@@ -86,12 +86,20 @@ func Modularity(g *graph.Graph, label []int32) float64 {
 			}
 		}
 	}
-	q := 0.0
-	for c, e := range intra {
-		q += e / m
-		_ = c
+	// Sum in sorted label order: float accumulation in map iteration order
+	// would make Q nondeterministic at the bit level, which the determinism
+	// suite forbids.
+	labels := make([]int32, 0, len(deg))
+	for c := range deg {
+		labels = append(labels, c)
 	}
-	for _, d := range deg {
+	sortInt32s(labels, func(a, b int32) bool { return a < b })
+	q := 0.0
+	for _, c := range labels {
+		q += intra[c] / m
+	}
+	for _, c := range labels {
+		d := deg[c]
 		q -= (d / (2 * m)) * (d / (2 * m))
 	}
 	return q

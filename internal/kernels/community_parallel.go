@@ -1,0 +1,66 @@
+package kernels
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// LabelPropagationSync runs synchronous (Jacobi-style) label propagation:
+// every vertex simultaneously adopts the most frequent label among its
+// neighbors plus its own current label (the self-vote damps the two-cycle
+// oscillation synchronous updates are prone to), ties broken toward the
+// smaller label. Each round is a pure function of the previous round's
+// labels, so — unlike the seeded asynchronous LabelPropagation — the result
+// is byte-identical for any worker count, which is what the determinism
+// suite exercises. Labels are canonicalized to minimum member IDs.
+func LabelPropagationSync(g *graph.Graph, maxRounds int) *CommunityResult {
+	n := g.NumVertices()
+	label := make([]int32, n)
+	next := make([]int32, n)
+	for v := range label {
+		label[v] = int32(v)
+	}
+	for round := 0; round < maxRounds; round++ {
+		changed := par.Reduce(int(n), par.Opt{Name: "lp.sync"},
+			func(lo, hi int) int {
+				counts := make(map[int32]int32)
+				c := 0
+				for v := int32(lo); v < int32(hi); v++ {
+					ns := g.Neighbors(v)
+					if len(ns) == 0 {
+						next[v] = label[v]
+						continue
+					}
+					for k := range counts {
+						delete(counts, k)
+					}
+					counts[label[v]]++ // self-vote
+					for _, w := range ns {
+						counts[label[w]]++
+					}
+					best, bestCount := label[v], counts[label[v]]
+					for l, cnt := range counts {
+						if cnt > bestCount || (cnt == bestCount && l < best) {
+							best, bestCount = l, cnt
+						}
+					}
+					next[v] = best
+					if best != label[v] {
+						c++
+					}
+				}
+				return c
+			},
+			func(a, b int) int { return a + b })
+		label, next = next, label
+		if changed == 0 {
+			break
+		}
+	}
+	cc := canonicalize(label)
+	return &CommunityResult{
+		Label:          cc.Label,
+		NumCommunities: cc.NumComponents,
+		Modularity:     Modularity(g, cc.Label),
+	}
+}

@@ -1,0 +1,102 @@
+package kernels
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/par"
+)
+
+// kernelSnapshot captures every parallel kernel's full output on a fixed
+// graph pair so runs under different worker counts can be compared
+// byte-for-byte (reflect.DeepEqual distinguishes float bit patterns apart
+// from NaN, which none of these kernels produce on finite inputs).
+type kernelSnapshot struct {
+	BFS  *BFSResult
+	WCC  *CCResult
+	Tri  int64
+	BC   []float64
+	PR   []float64
+	SSSP *SSSPResult
+	Core *KCoreResult
+	Jac  []JaccardPairScore
+	LP   *CommunityResult
+	APSP *APSPResult
+}
+
+func takeSnapshot() kernelSnapshot {
+	g := gen.RMAT(9, 8, gen.Graph500RMAT, 7, false)
+	gw := gen.RMATWeighted(9, 8, gen.Graph500RMAT, 7, false)
+	pr, _ := PageRank(g, DefaultPageRankOptions())
+	return kernelSnapshot{
+		BFS:  BFSParallel(g, 0),
+		WCC:  WCCParallel(g),
+		Tri:  GlobalTriangleCount(g),
+		BC:   BetweennessCentrality(g),
+		PR:   pr,
+		SSSP: DeltaSteppingParallel(gw, 0, 0.25),
+		Core: KCoreParallel(g),
+		Jac:  JaccardAllParallel(g, 2, 0.05, 200),
+		LP:   LabelPropagationSync(g, 20),
+		APSP: APSP(gen.ErdosRenyi(200, 800, 7, false)),
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts is the core guarantee of internal/par:
+// chunk boundaries depend only on the problem size and per-chunk results
+// fold in chunk order, so every parallel kernel — including the
+// floating-point ones — produces byte-identical output at any worker count.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	var base kernelSnapshot
+	withWorkers(t, 1, func() { base = takeSnapshot() })
+	for _, w := range []int{2, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			var got kernelSnapshot
+			withWorkers(t, w, func() { got = takeSnapshot() })
+			bv := reflect.ValueOf(base)
+			gv := reflect.ValueOf(got)
+			for i := 0; i < bv.NumField(); i++ {
+				if !reflect.DeepEqual(bv.Field(i).Interface(), gv.Field(i).Interface()) {
+					t.Errorf("%s differs between workers=1 and workers=%d",
+						bv.Type().Field(i).Name, w)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismRepeatedRuns guards against hidden per-run state (map
+// iteration order, scratch reuse): the same invocation twice under the same
+// worker count must match exactly.
+func TestDeterminismRepeatedRuns(t *testing.T) {
+	withWorkers(t, 4, func() {
+		a := takeSnapshot()
+		b := takeSnapshot()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("repeated runs under the same worker count differ")
+		}
+	})
+}
+
+// TestDeterminismCanonicalLabels pins the label canon: component and
+// community labels are minimum member IDs, so relabeling cannot drift with
+// scheduling.
+func TestDeterminismCanonicalLabels(t *testing.T) {
+	g := gen.RMAT(8, 4, gen.Graph500RMAT, 11, false)
+	for _, w := range []int{1, 8} {
+		withWorkers(t, w, func() {
+			cc := WCCParallel(g)
+			for v := int32(0); v < g.NumVertices(); v++ {
+				l := cc.Label[v]
+				if l > v {
+					t.Fatalf("workers=%d: label[%d]=%d exceeds member ID", par.DefaultWorkers(), v, l)
+				}
+				if cc.Label[l] != l {
+					t.Fatalf("workers=%d: label %d not canonical", par.DefaultWorkers(), l)
+				}
+			}
+		})
+	}
+}

@@ -57,6 +57,14 @@ func JaccardAll(g *graph.Graph, minShared int32, threshold float64, maxPairs int
 			}
 		}
 	}
+	return scoreWedgeCounts(g, counts, minShared, threshold, maxPairs)
+}
+
+// scoreWedgeCounts turns a pair -> common-neighbor-count map into the
+// filtered, score-sorted pair list shared by JaccardAll and
+// JaccardAllParallel. The (score desc, U asc, V asc) sort is a total order
+// over distinct pairs, so the output is independent of map iteration order.
+func scoreWedgeCounts(g *graph.Graph, counts map[int64]int32, minShared int32, threshold float64, maxPairs int) []JaccardPairScore {
 	out := make([]JaccardPairScore, 0, len(counts)/4)
 	for key, c := range counts {
 		if c < minShared {

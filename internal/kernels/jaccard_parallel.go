@@ -1,0 +1,46 @@
+package kernels
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// JaccardAllParallel is the batch NORA computation of JaccardAll with the
+// wedge enumeration fanned out through the par scheduler: each chunk of
+// wedge centers counts common neighbors into a private map, and the maps
+// merge by integer addition (order-independent). Scoring and the total-order
+// sort are shared with the sequential kernel, so the output is byte-identical
+// to JaccardAll for any worker count.
+func JaccardAllParallel(g *graph.Graph, minShared int32, threshold float64, maxPairs int) []JaccardPairScore {
+	n := g.NumVertices()
+	if minShared < 1 {
+		minShared = 1
+	}
+	counts := par.Reduce(int(n), par.Opt{Name: "jaccard.wedges"},
+		func(lo, hi int) map[int64]int32 {
+			local := make(map[int64]int32)
+			for x := int32(lo); x < int32(hi); x++ {
+				ns := g.Neighbors(x)
+				for i := 0; i < len(ns); i++ {
+					for j := i + 1; j < len(ns); j++ {
+						u, v := ns[i], ns[j]
+						if u == v {
+							continue
+						}
+						local[pairKey(u, v)]++
+					}
+				}
+			}
+			return local
+		},
+		func(acc, next map[int64]int32) map[int64]int32 {
+			if len(acc) < len(next) {
+				acc, next = next, acc
+			}
+			for k, c := range next {
+				acc[k] += c
+			}
+			return acc
+		})
+	return scoreWedgeCounts(g, counts, minShared, threshold, maxPairs)
+}

@@ -1,0 +1,90 @@
+package kernels
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// KCoreParallel computes core numbers with level-synchronous peeling (the
+// ParK/Julienne scheme): level k removes every vertex whose residual degree
+// is <= k, cascading within the level. Degree decrements are atomic; a
+// vertex is claimed for peeling by exactly one worker — the one whose
+// decrement moves its degree from k+1 to k (or the scan that finds it
+// already at or below k). Core numbers are a confluent fixpoint of peeling,
+// so the result equals KCore's for any worker count.
+func KCoreParallel(g *graph.Graph) *KCoreResult {
+	n := g.NumVertices()
+	res := &KCoreResult{Core: make([]int32, n)}
+	if n == 0 {
+		return res
+	}
+	deg := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	peeled := make([]int32, n) // 0 = alive, 1 = claimed for peeling
+	alive := make([]int32, n)
+	for i := range alive {
+		alive[i] = int32(i)
+	}
+	remaining := int32(n)
+
+	type scanRes struct{ peel, keep []int32 }
+	for k := int32(0); remaining > 0; k++ {
+		// Split the surviving vertices into this level's frontier and the
+		// rest. Each vertex is examined by exactly one chunk, so no claims
+		// are needed here; the barrier orders these plain writes before the
+		// peel phase's atomics.
+		cur := alive
+		parts := par.Chunks(len(cur), par.Opt{Name: "kcore.scan"},
+			func(_, lo, hi int) scanRes {
+				var r scanRes
+				for _, v := range cur[lo:hi] {
+					if peeled[v] == 1 {
+						// Claimed by last level's cascade after this list was
+						// built; it is already peeled, not alive.
+						continue
+					}
+					if deg[v] <= k {
+						peeled[v] = 1
+						r.peel = append(r.peel, v)
+					} else {
+						r.keep = append(r.keep, v)
+					}
+				}
+				return r
+			})
+		var frontier []int32
+		alive = alive[:0:0]
+		for _, r := range parts {
+			frontier = append(frontier, r.peel...)
+			alive = append(alive, r.keep...)
+		}
+		for len(frontier) > 0 {
+			res.MaxCore = k
+			remaining -= int32(len(frontier))
+			next := par.Chunks(len(frontier), par.Opt{Name: "kcore.peel"},
+				func(_, lo, hi int) []int32 {
+					var found []int32
+					for _, v := range frontier[lo:hi] {
+						res.Core[v] = k
+						for _, w := range g.Neighbors(v) {
+							if atomic.LoadInt32(&peeled[w]) == 1 {
+								continue
+							}
+							if nd := atomic.AddInt32(&deg[w], -1); nd == k {
+								if atomic.CompareAndSwapInt32(&peeled[w], 0, 1) {
+									found = append(found, w)
+								}
+							}
+						}
+					}
+					return found
+				})
+			frontier = par.Flatten(next)
+		}
+	}
+	return res
+}

@@ -2,10 +2,9 @@ package kernels
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // PageRankOptions configures the PageRank kernels.
@@ -40,44 +39,40 @@ func PageRank(g *graph.Graph, opt PageRankOptions) ([]float64, int) {
 	for v := int32(0); v < n; v++ {
 		outDeg[v] = float64(g.Degree(v))
 	}
+	add := func(a, b float64) float64 { return a + b }
 	iters := 0
 	for ; iters < opt.MaxIters; iters++ {
-		dangling := 0.0
-		for v := int32(0); v < n; v++ {
-			if outDeg[v] == 0 {
-				dangling += rank[v]
-			}
-		}
-		base := (1-opt.Damping)*invN + opt.Damping*dangling*invN
-		workers := runtime.GOMAXPROCS(0)
-		chunk := (int(n) + workers - 1) / workers
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			lo := int32(w * chunk)
-			hi := lo + int32(chunk)
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				continue
-			}
-			wg.Add(1)
-			go func(lo, hi int32) {
-				defer wg.Done()
+		// Dangling mass and the L1 delta reduce through fixed chunks folded
+		// in chunk order, so every iteration is byte-deterministic for any
+		// worker count.
+		dangling := par.Reduce(int(n), par.Opt{Name: "pagerank.dangling"},
+			func(lo, hi int) float64 {
+				s := 0.0
 				for v := lo; v < hi; v++ {
-					sum := 0.0
-					for _, u := range gt.Neighbors(v) {
-						sum += rank[u] / outDeg[u]
+					if outDeg[v] == 0 {
+						s += rank[v]
 					}
-					next[v] = base + opt.Damping*sum
 				}
-			}(lo, hi)
-		}
-		wg.Wait()
-		delta := 0.0
-		for v := int32(0); v < n; v++ {
-			delta += math.Abs(next[v] - rank[v])
-		}
+				return s
+			}, add)
+		base := (1-opt.Damping)*invN + opt.Damping*dangling*invN
+		par.For(int(n), par.Opt{Name: "pagerank.pull"}, func(lo, hi int) {
+			for v := int32(lo); v < int32(hi); v++ {
+				sum := 0.0
+				for _, u := range gt.Neighbors(v) {
+					sum += rank[u] / outDeg[u]
+				}
+				next[v] = base + opt.Damping*sum
+			}
+		})
+		delta := par.Reduce(int(n), par.Opt{Name: "pagerank.delta"},
+			func(lo, hi int) float64 {
+				s := 0.0
+				for v := lo; v < hi; v++ {
+					s += math.Abs(next[v] - rank[v])
+				}
+				return s
+			}, add)
 		rank, next = next, rank
 		if delta < opt.Tolerance {
 			iters++

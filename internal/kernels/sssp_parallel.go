@@ -1,0 +1,185 @@
+package kernels
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// DeltaSteppingParallel computes shortest paths with bucketed delta-stepping
+// where each bucket's light- and heavy-edge relaxations fan out through the
+// par scheduler. Distances are maintained as CAS-min updates on the raw
+// float64 bits, so concurrent relaxations race benignly toward the same
+// fixpoint: the minimum over all paths of the forward-evaluated float path
+// length. That fixpoint is unique, which makes the distance vector
+// byte-identical for any worker count and schedule.
+//
+// Parents are not recorded during the race; instead a deterministic
+// post-pass sets Parent[w] to the smallest v with Dist[v]+w(v,w) == Dist[w],
+// so the whole result is worker-count independent (and generally differs
+// from the sequential DeltaStepping parents only in tie-breaking).
+func DeltaSteppingParallel(g *graph.Graph, src int32, delta float64) *SSSPResult {
+	if delta <= 0 {
+		delta = 1
+	}
+	n := g.NumVertices()
+	res := &SSSPResult{Source: src, Dist: make([]float64, n), Parent: make([]int32, n)}
+	if n == 0 {
+		return res
+	}
+	distBits := make([]uint64, n)
+	infBits := math.Float64bits(Inf)
+	for i := range distBits {
+		distBits[i] = infBits
+		res.Parent[i] = Unreached
+	}
+	distBits[src] = 0 // Float64bits(0) == 0
+
+	distAt := func(v int32) float64 {
+		return math.Float64frombits(atomic.LoadUint64(&distBits[v]))
+	}
+	casMin := func(w int32, nd float64) bool {
+		ndBits := math.Float64bits(nd)
+		for {
+			cur := atomic.LoadUint64(&distBits[w])
+			if math.Float64frombits(cur) <= nd {
+				return false
+			}
+			if atomic.CompareAndSwapUint64(&distBits[w], cur, ndBits) {
+				return true
+			}
+		}
+	}
+
+	// stamp[v] == bi+1 when v has been settled during bucket bi at its
+	// current distance; an improvement within the bucket resets it to 0 so v
+	// is re-settled with the better distance.
+	stamp := make([]int32, n)
+	claim := func(v, bi int32) bool {
+		for {
+			s := atomic.LoadInt32(&stamp[v])
+			if s == bi+1 {
+				return false
+			}
+			if atomic.CompareAndSwapInt32(&stamp[v], s, bi+1) {
+				return true
+			}
+		}
+	}
+
+	buckets := map[int][]int32{0: {src}}
+	maxBucket := 0
+	// distribute routes improved vertices to the bucket of their latest
+	// distance; duplicates are fine (stale entries are skipped on claim).
+	distribute := func(improved []int32) {
+		for _, w := range improved {
+			b := int(distAt(w) / delta)
+			buckets[b] = append(buckets[b], w)
+			if b > maxBucket {
+				maxBucket = b
+			}
+		}
+	}
+
+	// relaxChunk relaxes one frontier chunk's edges in the given weight
+	// class, returning the vertices it improved.
+	relaxChunk := func(frontier []int32, bi int32, light bool) func(int, int, int) []int32 {
+		return func(_, lo, hi int) []int32 {
+			var improved []int32
+			for _, v := range frontier[lo:hi] {
+				if light {
+					// Skip entries whose distance moved on (to an earlier,
+					// already-processed bucket) before claiming.
+					if int32(distAt(v)/delta) != bi || !claim(v, bi) {
+						continue
+					}
+				}
+				dv := distAt(v)
+				ns := g.Neighbors(v)
+				ws := g.NeighborWeights(v)
+				for i, w := range ns {
+					ew := 1.0
+					if ws != nil {
+						ew = float64(ws[i])
+					}
+					if (ew <= delta) != light {
+						continue
+					}
+					if casMin(w, dv+ew) {
+						// Re-open w if it had already settled this bucket.
+						atomic.CompareAndSwapInt32(&stamp[w], bi+1, 0)
+						improved = append(improved, w)
+					}
+				}
+			}
+			return improved
+		}
+	}
+
+	for bi := 0; bi <= maxBucket; bi++ {
+		var settled []int32
+		for len(buckets[bi]) > 0 {
+			cur := buckets[bi]
+			buckets[bi] = nil
+			improved := par.Flatten(par.Chunks(len(cur),
+				par.Opt{Name: "sssp.light"}, relaxChunk(cur, int32(bi), true)))
+			// Claimed entries relaxed their light edges; remember them for
+			// the heavy phase (duplicates from re-opening are harmless).
+			for _, v := range cur {
+				if int32(distAt(v)/delta) == int32(bi) && atomic.LoadInt32(&stamp[v]) == int32(bi)+1 {
+					settled = append(settled, v)
+				}
+			}
+			distribute(improved)
+		}
+		if len(settled) > 0 {
+			improved := par.Flatten(par.Chunks(len(settled),
+				par.Opt{Name: "sssp.heavy"}, relaxChunk(settled, int32(bi), false)))
+			distribute(improved)
+		}
+		delete(buckets, bi)
+	}
+
+	// Deterministic parent assignment: Parent[w] = min{v : Dist[v]+w(v,w) ==
+	// Dist[w]}. At least one such v exists for every reached w != src — the
+	// relaxation that wrote w's final distance used its source's final
+	// distance (had that source improved later, w would have improved too).
+	casMinParent := func(w, v int32) {
+		for {
+			p := atomic.LoadInt32(&res.Parent[w])
+			if p != Unreached && p <= v {
+				return
+			}
+			if atomic.CompareAndSwapInt32(&res.Parent[w], p, v) {
+				return
+			}
+		}
+	}
+	par.For(int(n), par.Opt{Name: "sssp.parent"}, func(lo, hi int) {
+		for v := int32(lo); v < int32(hi); v++ {
+			dv := math.Float64frombits(distBits[v])
+			res.Dist[v] = dv
+			if math.IsInf(dv, 1) {
+				continue
+			}
+			ns := g.Neighbors(v)
+			ws := g.NeighborWeights(v)
+			for i, w := range ns {
+				if w == src {
+					continue
+				}
+				ew := 1.0
+				if ws != nil {
+					ew = float64(ws[i])
+				}
+				if dv+ew == math.Float64frombits(distBits[w]) {
+					casMinParent(w, v)
+				}
+			}
+		}
+	})
+	res.Parent[src] = src
+	return res
+}

@@ -1,11 +1,8 @@
 package kernels
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Triangle is one triangle with vertices in increasing order.
@@ -14,7 +11,8 @@ type Triangle struct{ A, B, C int32 }
 // GlobalTriangleCount counts triangles in an undirected graph using the
 // degree-ordered merge-intersection algorithm (the MiniTri / Graph Challenge
 // GTC kernel): each triangle is counted exactly once at its lowest-rank
-// vertex. Runs in parallel over vertices.
+// vertex. Both the forward-list construction and the counting fan out
+// through internal/par; the integer sum is worker-count independent.
 func GlobalTriangleCount(g *graph.Graph) int64 {
 	n := g.NumVertices()
 	// rank orders vertices by (degree, id) so high-degree hubs come last;
@@ -22,43 +20,29 @@ func GlobalTriangleCount(g *graph.Graph) int64 {
 	rank := degreeRank(g)
 	// forward[v] = neighbors with higher rank, sorted by id.
 	forward := make([][]int32, n)
-	for v := int32(0); v < n; v++ {
-		var f []int32
-		for _, w := range g.Neighbors(v) {
-			if rank[w] > rank[v] {
-				f = append(f, w)
+	par.For(int(n), par.Opt{Name: "tc.forward"}, func(lo, hi int) {
+		for v := int32(lo); v < int32(hi); v++ {
+			var f []int32
+			for _, w := range g.Neighbors(v) {
+				if rank[w] > rank[v] {
+					f = append(f, w)
+				}
 			}
+			forward[v] = f
 		}
-		forward[v] = f
-	}
-	var total int64
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	chunk := (int(n) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := int32(w * chunk)
-		hi := lo + int32(chunk)
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int32) {
-			defer wg.Done()
+	})
+	return par.Reduce(int(n), par.Opt{Name: "tc.count"},
+		func(lo, hi int) int64 {
 			var local int64
-			for v := lo; v < hi; v++ {
+			for v := int32(lo); v < int32(hi); v++ {
 				fv := forward[v]
 				for _, w := range fv {
 					local += int64(intersectCount(fv, forward[w]))
 				}
 			}
-			atomic.AddInt64(&total, local)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return total
+			return local
+		},
+		func(a, b int64) int64 { return a + b })
 }
 
 // TriangleList enumerates all triangles (the Fig. 1 "TL" kernel, an

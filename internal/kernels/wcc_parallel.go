@@ -1,19 +1,20 @@
 package kernels
 
 import (
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // WCCParallel computes weakly connected components with a lock-free
 // Liu–Tarjan/Afforest-style algorithm: parallel edge-hooking onto a shared
 // atomic parent array with path compression, followed by a final
 // compression sweep. It produces the same canonical min-member labels as
-// WCC and exists both as a performance variant and as a third independent
-// implementation for cross-checking.
+// WCC — hooks always direct the larger root at the smaller, so the final
+// labels are component minima and the result is deterministic for any
+// worker count. It exists both as a performance variant and as a third
+// independent implementation for cross-checking.
 func WCCParallel(g *graph.Graph) *CCResult {
 	n := g.NumVertices()
 	parent := make([]int32, n)
@@ -56,39 +57,28 @@ func WCCParallel(g *graph.Graph) *CCResult {
 		}
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	chunk := (int(n) + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := int32(w * chunk)
-		hi := lo + int32(chunk)
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int32) {
-			defer wg.Done()
-			for v := lo; v < hi; v++ {
-				for _, u := range g.Neighbors(v) {
-					hook(v, u)
-				}
+	par.For(int(n), par.Opt{Name: "wcc.hook"}, func(lo, hi int) {
+		for v := int32(lo); v < int32(hi); v++ {
+			for _, u := range g.Neighbors(v) {
+				hook(v, u)
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 
 	// Final sweep: full compression; roots are component minima because
 	// hooking always directed larger roots at smaller ones.
 	label := make([]int32, n)
-	var numComp int32
-	for v := int32(0); v < n; v++ {
-		label[v] = find(v)
-		if label[v] == v {
-			numComp++
-		}
-	}
+	numComp := par.Reduce(int(n), par.Opt{Name: "wcc.sweep"},
+		func(lo, hi int) int32 {
+			var local int32
+			for v := int32(lo); v < int32(hi); v++ {
+				label[v] = find(v)
+				if label[v] == v {
+					local++
+				}
+			}
+			return local
+		},
+		func(a, b int32) int32 { return a + b })
 	return &CCResult{Label: label, NumComponents: numComp}
 }

@@ -1,10 +1,22 @@
 package matrix
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/par"
 )
+
+func withWorkers(t *testing.T, w int, f func()) {
+	t.Helper()
+	prev := par.DefaultWorkers()
+	par.SetDefaultWorkers(w)
+	defer par.SetDefaultWorkers(prev)
+	f()
+}
 
 func TestSpGEMMParallelMatchesSerial(t *testing.T) {
 	f := func(seed int64) bool {
@@ -37,5 +49,83 @@ func TestSpGEMMParallelTinyInput(t *testing.T) {
 	c := SpGEMMParallel(PlusTimes, a, a)
 	if c.At(0, 0) != 1 || c.At(1, 1) != 4 {
 		t.Fatalf("tiny product = %v", c.Entries())
+	}
+}
+
+// TestParallelOpsDifferential compares every row-parallel operation against
+// its sequential reference under multiple worker counts and semirings; the
+// stitched CSRs must be byte-identical, not just numerically close.
+func TestParallelOpsDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, w := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("seed=%d/workers=%d", seed, w), func(t *testing.T) {
+				withWorkers(t, w, func() {
+					rng := rand.New(rand.NewSource(seed))
+					n := int32(60 + rng.Intn(100))
+					a := randomCSR(rng, n, n, 8*int(n))
+					b := randomCSR(rng, n, n, 8*int(n))
+					for _, sr := range []Semiring{PlusTimes, MinPlus} {
+						if got, want := SpGEMMParallel(sr, a, b), SpGEMMGustavson(sr, a, b); !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s: SpGEMMParallel differs from Gustavson", sr.Name)
+						}
+					}
+					if got, want := EWiseAddParallel(PlusTimes, a, b), EWiseAdd(PlusTimes, a, b); !reflect.DeepEqual(got, want) {
+						t.Fatal("EWiseAddParallel differs from EWiseAdd")
+					}
+					if got, want := EWiseMultParallel(PlusTimes, a, b), EWiseMult(PlusTimes, a, b); !reflect.DeepEqual(got, want) {
+						t.Fatal("EWiseMultParallel differs from EWiseMult")
+					}
+					if got, want := ReduceRowsParallel(PlusTimes, a), ReduceRows(PlusTimes, a); !reflect.DeepEqual(got, want) {
+						t.Fatal("ReduceRowsParallel differs from ReduceRows")
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestParallelOpsEmpty exercises the zero-row and zero-nnz edges of the
+// block stitcher.
+func TestParallelOpsEmpty(t *testing.T) {
+	empty := NewCSRFromEntries(0, 0, nil)
+	if c := SpGEMMParallel(PlusTimes, empty, empty); c.NNZ() != 0 || c.Rows != 0 {
+		t.Fatal("empty SpGEMM not empty")
+	}
+	z := NewCSRFromEntries(5, 5, nil)
+	if c := EWiseAddParallel(PlusTimes, z, z); c.NNZ() != 0 || c.Rows != 5 {
+		t.Fatal("zero-pattern EWiseAdd not empty")
+	}
+	if c := EWiseMultParallel(PlusTimes, z, z); c.NNZ() != 0 {
+		t.Fatal("zero-pattern EWiseMult not empty")
+	}
+	if s := ReduceRowsParallel(PlusTimes, z); len(s) != 5 {
+		t.Fatalf("reduce over empty rows = %v", s)
+	}
+}
+
+// TestParallelOpsWorkerDeterminism: identical bits for any worker count.
+func TestParallelOpsWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomCSR(rng, 301, 301, 4000)
+	b := randomCSR(rng, 301, 301, 4000)
+	var baseG, baseA *CSR
+	var baseR []float64
+	withWorkers(t, 1, func() {
+		baseG = SpGEMMParallel(PlusTimes, a, b)
+		baseA = EWiseAddParallel(PlusTimes, a, b)
+		baseR = ReduceRowsParallel(PlusTimes, a)
+	})
+	for _, w := range []int{2, 3, 8} {
+		withWorkers(t, w, func() {
+			if !reflect.DeepEqual(SpGEMMParallel(PlusTimes, a, b), baseG) {
+				t.Fatalf("workers=%d: SpGEMM bits differ", w)
+			}
+			if !reflect.DeepEqual(EWiseAddParallel(PlusTimes, a, b), baseA) {
+				t.Fatalf("workers=%d: EWiseAdd bits differ", w)
+			}
+			if !reflect.DeepEqual(ReduceRowsParallel(PlusTimes, a), baseR) {
+				t.Fatalf("workers=%d: ReduceRows bits differ", w)
+			}
+		})
 	}
 }

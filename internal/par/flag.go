@@ -1,0 +1,31 @@
+package par
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+)
+
+// RegisterFlags registers the standard -workers flag on fs, bound to the
+// process-wide default worker count. The value takes effect during
+// fs.Parse, so mains need no post-parse step:
+//
+//	par.RegisterFlags(flag.CommandLine)
+//	flag.Parse()
+//
+// 0 (the default) means runtime.GOMAXPROCS.
+func RegisterFlags(fs *flag.FlagSet) {
+	fs.Func("workers",
+		"worker goroutines for parallel kernels (0 = GOMAXPROCS)",
+		func(s string) error {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return fmt.Errorf("invalid worker count %q", s)
+			}
+			if v < 0 {
+				return fmt.Errorf("worker count must be >= 0, got %d", v)
+			}
+			SetDefaultWorkers(v)
+			return nil
+		})
+}

@@ -1,0 +1,87 @@
+package par
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Scheduler metrics, labeled by call-site op name:
+//
+//	par_invocations_total{op}  scheduler invocations
+//	par_tasks_total{op}        indices scheduled
+//	par_chunks_total{op}       chunks executed
+//	par_workers{op}            workers used by the last invocation (gauge)
+//	par_wall_seconds{op}       per-invocation wall time
+//	par_imbalance{op}          max worker busy time / mean worker busy time
+//
+// Handles are resolved once per op name and cached; the hot path costs one
+// sync.Map load plus a few atomic adds per *invocation* (not per task).
+
+// opMetrics is the cached handle set for one op name.
+type opMetrics struct {
+	invocations *telemetry.Counter
+	tasks       *telemetry.Counter
+	chunks      *telemetry.Counter
+	workers     *telemetry.Gauge
+	wall        *telemetry.Histogram
+	imbalance   *telemetry.Histogram
+}
+
+func (m *opMetrics) observe(n, nc, workers int, wall time.Duration, imbalance float64) {
+	if m == nil {
+		return
+	}
+	m.invocations.Inc()
+	m.tasks.Add(int64(n))
+	m.chunks.Add(int64(nc))
+	m.workers.Set(float64(workers))
+	m.wall.ObserveDuration(wall)
+	m.imbalance.Observe(imbalance)
+}
+
+// registryState pairs a registry with its handle cache so SetRegistry can
+// swap both atomically.
+type registryState struct {
+	reg   *telemetry.Registry
+	cache sync.Map // op name -> *opMetrics
+}
+
+var (
+	stateMu sync.RWMutex
+	state   = &registryState{reg: telemetry.Default()}
+)
+
+// SetRegistry redirects scheduler telemetry to reg (nil or telemetry.Nop()
+// disables it). Intended for tests and for binaries that export from a
+// non-default registry.
+func SetRegistry(reg *telemetry.Registry) {
+	stateMu.Lock()
+	state = &registryState{reg: reg}
+	stateMu.Unlock()
+}
+
+// metricsFor returns the cached handles for op, creating them on first use.
+func metricsFor(op string) *opMetrics {
+	if op == "" {
+		op = "unnamed"
+	}
+	stateMu.RLock()
+	st := state
+	stateMu.RUnlock()
+	if m, ok := st.cache.Load(op); ok {
+		return m.(*opMetrics)
+	}
+	l := telemetry.L("op", op)
+	m := &opMetrics{
+		invocations: st.reg.Counter("par_invocations_total", l),
+		tasks:       st.reg.Counter("par_tasks_total", l),
+		chunks:      st.reg.Counter("par_chunks_total", l),
+		workers:     st.reg.Gauge("par_workers", l),
+		wall:        st.reg.Histogram("par_wall_seconds", l),
+		imbalance:   st.reg.Histogram("par_imbalance", l),
+	}
+	actual, _ := st.cache.LoadOrStore(op, m)
+	return actual.(*opMetrics)
+}
