@@ -14,6 +14,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/emu"
 	"repro/internal/gen"
+	"repro/internal/obsv"
 	"repro/internal/par"
 	"repro/internal/telemetry"
 )
@@ -40,23 +41,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "emusim: -queries must be positive, got %d\n", *queries)
 		os.Exit(2)
 	}
-	if err := run(*scale, *queries, *jaccardOnly, *mixed, tel); err != nil {
+	err := tel.Run(func() error {
+		defer obsv.StartSampler(tel.Registry, 0).Stop()
+		return run(*scale, *queries, *jaccardOnly, *mixed, tel.Registry)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "emusim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale, queries int, jaccardOnly, mixed bool, tel *telemetry.CLI) (err error) {
-	if serr := tel.Start(); serr != nil {
-		return serr
-	}
-	defer func() {
-		if cerr := tel.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}()
-
-	reg := tel.Registry
+func run(scale, queries int, jaccardOnly, mixed bool, reg *telemetry.Registry) error {
 	if mixed {
 		mixedStudy(reg, scale)
 		return nil
@@ -100,14 +95,16 @@ func mixedStudy(reg *telemetry.Registry, scale int) {
 func corePatterns(reg *telemetry.Registry) {
 	fmt.Println("== E5: migrating threads vs conventional remote access ==")
 	tb := bench.NewTable("workload", "model", "makespan", "traffic(B)", "migrations", "remote-refs", "remote-ops")
-	run := func(name string, f func(m *emu.Machine, model emu.ExecModel) emu.WorkloadStats) {
+	run := func(name string, f func(model emu.ExecModel) (*emu.Machine, emu.WorkloadStats)) {
 		for _, model := range []emu.ExecModel{emu.Migrating, emu.Conventional} {
 			sp := reg.Tracer().Start("emusim.workload",
 				telemetry.L("workload", name), telemetry.L("model", model.String()))
-			m := emu.NewMachine(emu.Emu1Config(), 1<<22)
-			st := f(m, model)
+			m, st := f(model)
 			sp.End()
 			st.Publish(reg, telemetry.L("workload", name))
+			// Republish the machine counters through the common resource
+			// schema so they line up against perfmodel predictions.
+			obsv.FromEmuMachine(name, m, st.MakespanNs).Publish(reg, "emusim-"+model.String())
 			occ := m.Occupancy()
 			tb.Add(name, model.String(),
 				time.Duration(st.MakespanNs).String(), st.TrafficBytes,
@@ -118,17 +115,19 @@ func corePatterns(reg *telemetry.Registry) {
 			}
 		}
 	}
-	run("pointer-chase", func(m *emu.Machine, model emu.ExecModel) emu.WorkloadStats {
-		return emu.PointerChase(m, model, 512, 512, 42)
+	run("pointer-chase", func(model emu.ExecModel) (*emu.Machine, emu.WorkloadStats) {
+		m := emu.NewMachine(emu.Emu1Config(), 1<<22)
+		return m, emu.PointerChase(m, model, 512, 512, 42)
 	})
-	run("random-update", func(m *emu.Machine, model emu.ExecModel) emu.WorkloadStats {
-		return emu.RandomUpdate(m, model, 1024, 256, 42)
+	run("random-update", func(model emu.ExecModel) (*emu.Machine, emu.WorkloadStats) {
+		m := emu.NewMachine(emu.Emu1Config(), 1<<22)
+		return m, emu.RandomUpdate(m, model, 1024, 256, 42)
 	})
 	g := gen.RMAT(12, 8, gen.Graph500RMAT, 5, false)
-	run("bfs-visit", func(m *emu.Machine, model emu.ExecModel) emu.WorkloadStats {
-		gm := emu.NewMachine(m.Config(), emu.WordsForGraph(g))
+	run("bfs-visit", func(model emu.ExecModel) (*emu.Machine, emu.WorkloadStats) {
+		gm := emu.NewMachine(emu.Emu1Config(), emu.WordsForGraph(g))
 		lay := emu.LoadGraph(gm, g)
-		return emu.BFSVisit(gm, lay, model, 0)
+		return gm, emu.BFSVisit(gm, lay, model, 0)
 	})
 	tb.Render(os.Stdout)
 	fmt.Println()

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/gen"
+	"repro/internal/obsv"
 	"repro/internal/par"
 	"repro/internal/streaming"
 	"repro/internal/telemetry"
@@ -40,24 +41,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flowdemo: -updates must be non-negative, got %d\n", *updates)
 		os.Exit(2)
 	}
-	if err := run(*scale, *updates, *trigger, tel); err != nil {
+	err := tel.Run(func() error {
+		defer obsv.StartSampler(tel.Registry, 0).Stop()
+		return run(*scale, *updates, *trigger, tel.Registry)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowdemo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale, updates int, trigger int64, tel *telemetry.CLI) (err error) {
-	if serr := tel.Start(); serr != nil {
-		return serr
-	}
-	defer func() {
-		if cerr := tel.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}()
-
+func run(scale, updates int, trigger int64, reg *telemetry.Registry) error {
 	n := int32(1) << scale
-	f := flow.NewWith(n, false, tel.Registry)
+	f := flow.NewWith(n, false, reg)
 	f.ExtractDepth = 1
 	f.RegisterAnalytic("pagerank", flow.PageRankAnalytic)
 	f.RegisterAnalytic("triangles", flow.TriangleAnalytic)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/graph500"
+	"repro/internal/obsv"
 	"repro/internal/par"
 	"repro/internal/telemetry"
 )
@@ -47,22 +48,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "graphbench: -ef must be positive, got %d\n", *ef)
 		os.Exit(2)
 	}
-	if err := run(*scale, *ef, *seed, *coverage, *kernel, *g500, *family, tel); err != nil {
+	err := tel.Run(func() error {
+		defer obsv.StartSampler(tel.Registry, 0).Stop()
+		return run(*scale, *ef, *seed, *coverage, *kernel, *g500, *family, tel.Registry)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale, ef int, seed int64, coverage bool, kernel string, g500 bool, family string, tel *telemetry.CLI) (err error) {
-	if serr := tel.Start(); serr != nil {
-		return serr
-	}
-	defer func() {
-		if cerr := tel.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}()
-
+func run(scale, ef int, seed int64, coverage bool, kernel string, g500 bool, family string, reg *telemetry.Registry) error {
 	if coverage {
 		core.RenderCoverage(os.Stdout)
 		return nil
@@ -85,7 +81,6 @@ func run(scale, ef int, seed int64, coverage bool, kernel string, g500 bool, fam
 		return nil
 	}
 
-	reg := tel.Registry
 	fmt.Printf("generating %s scale=%d edgefactor=%d seed=%d ...\n", family, scale, ef, seed)
 	gsp := reg.Tracer().Start("graphbench.generate", telemetry.L("family", family))
 	var g *graph.Graph

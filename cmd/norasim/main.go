@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/nora"
+	"repro/internal/obsv"
 	"repro/internal/par"
 	"repro/internal/perfmodel"
 	"repro/internal/telemetry"
@@ -28,6 +29,7 @@ func main() {
 	fig6 := flag.Bool("fig6", false, "render Fig. 6 size-performance comparison")
 	sensitivity := flag.Bool("sensitivity", false, "render per-resource sensitivity sweeps")
 	calibrate := flag.Bool("calibrate", false, "run the real NORA pipeline and calibrate the model against it")
+	modelcheck := flag.Bool("modelcheck", false, "compare the analytic model against the operational step simulator")
 	par.RegisterFlags(flag.CommandLine)
 	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
 	flag.Parse()
@@ -37,29 +39,32 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*fig3, *fig3table, *fig6, *sensitivity, *calibrate, tel); err != nil {
+	err := tel.Run(func() error {
+		defer obsv.StartSampler(tel.Registry, 0).Stop()
+		return run(*fig3, *fig3table, *fig6, *sensitivity, *calibrate, *modelcheck, tel.Registry)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "norasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig3, fig3table, fig6, sensitivity, calibrate bool, tel *telemetry.CLI) (err error) {
-	if serr := tel.Start(); serr != nil {
-		return serr
-	}
-	defer func() {
-		if cerr := tel.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}()
-
-	reg := tel.Registry
-	if !fig3 && !fig3table && !fig6 && !sensitivity && !calibrate {
+func run(fig3, fig3table, fig6, sensitivity, calibrate, modelcheck bool, reg *telemetry.Registry) error {
+	if !fig3 && !fig3table && !fig6 && !sensitivity && !calibrate && !modelcheck {
 		fig6 = true
 		fig3table = true
 	}
 	if calibrate {
 		runCalibration(reg)
+	}
+	if modelcheck {
+		fmt.Println("== analytic model vs operational step simulator ==")
+		for _, cfg := range perfmodel.Fig3Configs {
+			rep := obsv.ModelVsSimulatedNORA(cfg, obsv.SimOptions{})
+			rep.Render(os.Stdout)
+			rep.Publish(reg)
+			fmt.Println()
+		}
 	}
 	if sensitivity {
 		factors := []float64{0.5, 1, 2, 4, 8}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/lamachine"
 	"repro/internal/matrix"
+	"repro/internal/obsv"
 	"repro/internal/par"
 	"repro/internal/telemetry"
 )
@@ -39,23 +40,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sparsesim: -ef must be positive, got %d\n", *ef)
 		os.Exit(2)
 	}
-	if err := run(*scale, *ef, *seed, tel); err != nil {
+	err := tel.Run(func() error {
+		defer obsv.StartSampler(tel.Registry, 0).Stop()
+		return run(*scale, *ef, *seed, tel.Registry)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sparsesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale, ef int, seed int64, tel *telemetry.CLI) (err error) {
-	if serr := tel.Start(); serr != nil {
-		return serr
-	}
-	defer func() {
-		if cerr := tel.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}()
-
-	reg := tel.Registry
+func run(scale, ef int, seed int64, reg *telemetry.Registry) error {
 	g := gen.RMAT(scale, ef, gen.Graph500RMAT, seed, true)
 	a := matrix.AdjacencyMatrix(g)
 	fmt.Printf("A: %dx%d, nnz=%d (R-MAT scale %d)\n\n", a.Rows, a.Cols, a.NNZ(), scale)
@@ -78,6 +73,10 @@ func run(scale, ef int, seed int64, tel *telemetry.CLI) (err error) {
 	// Simulated accelerator nodes.
 	_, fpga := lamachine.SimulateNode(lamachine.FPGANode, a, a)
 	_, asic := lamachine.SimulateNode(lamachine.ASICNode, a, a)
+	// Republish the pipeline counters through the common resource schema so
+	// accelerator runs line up against perfmodel predictions.
+	obsv.FromLAResult("spgemm", fpga).Publish(reg, "sparsesim-fpga")
+	obsv.FromLAResult("spgemm", asic).Publish(reg, "sparsesim-asic")
 
 	// Modeled conventional nodes at the same useful work.
 	xt4s, xt4j := lamachine.XT4Node.EstimateCPU(fpga.Counts.MACs)

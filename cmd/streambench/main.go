@@ -14,6 +14,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/dyngraph"
 	"repro/internal/gen"
+	"repro/internal/obsv"
 	"repro/internal/par"
 	"repro/internal/streaming"
 	"repro/internal/telemetry"
@@ -39,25 +40,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "streambench: -updates must be positive, got %d\n", *updates)
 		os.Exit(2)
 	}
-	if err := run(*items, *updates, tel); err != nil {
+	err := tel.Run(func() error {
+		defer obsv.StartSampler(tel.Registry, 0).Stop()
+		anomalies(tel.Registry, *items)
+		graphStreams(tel.Registry, *updates)
+		return nil
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "streambench:", err)
 		os.Exit(1)
 	}
-}
-
-func run(items, updates int, tel *telemetry.CLI) (err error) {
-	if serr := tel.Start(); serr != nil {
-		return serr
-	}
-	defer func() {
-		if cerr := tel.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}()
-
-	anomalies(tel.Registry, items)
-	graphStreams(tel.Registry, updates)
-	return nil
 }
 
 func anomalies(reg *telemetry.Registry, n int) {

@@ -116,6 +116,13 @@ func TestRunAllKernels(t *testing.T) {
 		if r.Summary == "" {
 			t.Fatalf("%s produced no summary", r.Kernel)
 		}
+		if r.Account.Op != r.Kernel || r.Account.Wall <= 0 {
+			t.Fatalf("%s has no resource account: %+v", r.Kernel, r.Account)
+		}
+		if r.Account.Items != g.NumEdges() {
+			t.Fatalf("%s account items = %d, want %d edges",
+				r.Kernel, r.Account.Items, g.NumEdges())
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/kernels"
+	"repro/internal/obsv"
 	"repro/internal/telemetry"
 )
 
@@ -19,6 +20,10 @@ type RunResult struct {
 	// registry the run reported through (all executions of this kernel so
 	// far, not just this one).
 	Latency telemetry.HistogramSnapshot
+	// Account is this execution's resource bill: wall time, TEPS
+	// (items = graph edges), allocation deltas, and parallel-scheduler
+	// activity attributed to the kernel.
+	Account obsv.Account
 }
 
 // Runner executes a batch kernel against a graph and summarizes its output.
@@ -170,14 +175,19 @@ func RunWith(reg *telemetry.Registry, name string, g *graph.Graph) (RunResult, e
 	hist := reg.Histogram("core_kernel_seconds", l)
 	reg.Counter("core_kernel_runs_total", l).Inc()
 	sp := reg.Tracer().Start("core.Run", l)
-	start := time.Now()
+	meter := obsv.StartMeter(name)
 	summary := r(g)
-	elapsed := time.Since(start)
+	acct := meter.Stop(g.NumEdges())
+	for _, attr := range acct.SpanAttrs() {
+		sp.SetAttr(attr.Key, attr.Value)
+	}
 	sp.End()
-	hist.ObserveDuration(elapsed)
+	hist.ObserveDuration(acct.Wall)
+	acct.Publish(reg)
 	return RunResult{
-		Kernel: name, Elapsed: elapsed, Summary: summary,
+		Kernel: name, Elapsed: acct.Wall, Summary: summary,
 		Latency: hist.Snapshot(),
+		Account: acct,
 	}, nil
 }
 

@@ -136,8 +136,9 @@ type Machine struct {
 	Spawns        int64
 	TrafficBytes  int64
 
-	nodeletBusyNs []float64
-	netBusyNs     float64
+	nodeletBusyNs   []float64
+	netBusyNs       float64
+	slowestThreadNs float64 // recorded by the last Makespan call
 }
 
 // NewMachine creates a machine with the given memory size in 64-bit words.
@@ -199,6 +200,7 @@ func (m *Machine) ResetCounters() {
 		m.nodeletBusyNs[i] = 0
 	}
 	m.netBusyNs = 0
+	m.slowestThreadNs = 0
 }
 
 // Makespan returns the bounding-resource completion time in ns for a set of
@@ -211,6 +213,7 @@ func (m *Machine) Makespan(threads []*Thread) float64 {
 			worst = t.ClockNs
 		}
 	}
+	m.slowestThreadNs = worst
 	busiest := 0.0
 	for _, b := range m.nodeletBusyNs {
 		if b > busiest {
@@ -243,6 +246,11 @@ func (m *Machine) BusiestNodeletNs() float64 {
 
 // NetBusyNs exposes network occupancy.
 func (m *Machine) NetBusyNs() float64 { return m.netBusyNs }
+
+// SlowestThreadNs exposes the critical-path thread clock of the last
+// Makespan evaluation — the "compute" axis when the machine's run is mapped
+// onto the four-resource schema of the NORA model (internal/obsv).
+func (m *Machine) SlowestThreadNs() float64 { return m.slowestThreadNs }
 
 // Thread is one simulated thread of execution. Programs call its memory
 // operations in order; the thread accumulates latency on ClockNs.

@@ -176,6 +176,24 @@ func cyclesFor(cfg NodeConfig, sc StageCounts) (float64, string) {
 	return best + 8*float64(sc.Rows), name // 8-cycle per-row pipeline drain
 }
 
+// StageSeconds breaks the result's pipeline occupancy into per-stage busy
+// times in seconds (memory fetch, merge sorter, MAC array, write-back),
+// computed from the counts with the result's own node configuration. The
+// stages run concurrently, so Seconds ≈ max of these plus drain overhead;
+// internal/obsv maps them onto the NORA model's four-resource schema.
+func (r Result) StageSeconds() (memory, sorter, mac, write float64) {
+	cfg := r.Config
+	if cfg.ClockHz == 0 {
+		return 0, 0, 0, 0
+	}
+	sc := r.Counts
+	memory = float64(sc.ARowElems+sc.BFetchElems) / cfg.MemElemsPerCycle / cfg.ClockHz
+	sorter = float64(sc.SorterOps) / cfg.SorterElemsPerCycle / cfg.ClockHz
+	mac = float64(sc.MACs) / cfg.MACsPerCycle / cfg.ClockHz
+	write = float64(sc.OutElems) / cfg.WriteElemsPerCycle / cfg.ClockHz
+	return memory, sorter, mac, write
+}
+
 // SimulateNode runs C = A·B on a single accelerator node, returning the
 // product and the timing result.
 func SimulateNode(cfg NodeConfig, a, b *matrix.CSR) (*matrix.CSR, Result) {

@@ -2,6 +2,18 @@ package matrix
 
 import "container/heap"
 
+// MulFlops returns the number of semiring multiply operations C = A·B
+// performs (Σ over stored a(i,k) of |row k of B|) — the "useful work" figure
+// the accelerator results and the benchmark harness normalize throughput by
+// (2·MulFlops ≈ FLOPs under plus-times).
+func MulFlops(a, b *CSR) int64 {
+	var flops int64
+	for _, k := range a.ColIdx {
+		flops += b.RowPtr[k+1] - b.RowPtr[k]
+	}
+	return flops
+}
+
 // SpGEMMGustavson computes C = A ⊕.⊗ B with Gustavson's row-wise algorithm:
 // for each row i of A, scatter-accumulate scaled rows of B into a dense
 // accumulator. This is the conventional cache-based CPU algorithm the

@@ -1,0 +1,211 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+
+	"repro/internal/par"
+)
+
+// BenchSchemaVersion identifies the BENCH_*.json layout. Readers reject
+// files whose schema they do not understand rather than mis-parsing them.
+const BenchSchemaVersion = 1
+
+// EnvFingerprint records where a benchmark file was produced, so
+// trajectories are only compared within a comparable environment.
+type EnvFingerprint struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"` // par default worker count
+	Hostname   string `json:"hostname,omitempty"`
+}
+
+// Fingerprint captures the current process environment.
+func Fingerprint() EnvFingerprint {
+	host, _ := os.Hostname()
+	return EnvFingerprint{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    par.DefaultWorkers(),
+		Hostname:   host,
+	}
+}
+
+// BenchCase is one (kernel, graph) cell of the benchmark matrix.
+type BenchCase struct {
+	// Name is the stable case identity ("bfs/rmat-s12-ef8") baselines are
+	// matched on.
+	Name   string `json:"name"`
+	Kernel string `json:"kernel"`
+	Graph  string `json:"graph"`
+	Reps   int    `json:"reps"`
+	// NsPerOp is the minimum wall time over reps — the regression metric
+	// (minimum, as in the GAP reference methodology, because noise only
+	// ever adds time).
+	NsPerOp int64 `json:"ns_per_op"`
+	// Account is the resource bill of the fastest rep.
+	Account Account `json:"account"`
+	TEPS    float64 `json:"teps"`
+}
+
+// BenchFile is one recorded benchmark run.
+type BenchFile struct {
+	Schema int            `json:"schema"`
+	Stamp  string         `json:"stamp"` // RFC3339 UTC, caller-supplied
+	Env    EnvFingerprint `json:"env"`
+	Cases  []BenchCase    `json:"cases"`
+}
+
+// NewBenchFile assembles a schema-versioned file around cases.
+func NewBenchFile(stamp string, cases []BenchCase) *BenchFile {
+	return &BenchFile{
+		Schema: BenchSchemaVersion,
+		Stamp:  stamp,
+		Env:    Fingerprint(),
+		Cases:  cases,
+	}
+}
+
+// Write emits the file as indented JSON.
+func (f *BenchFile) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// WriteFile writes the file to path.
+func (f *BenchFile) WriteFile(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Write(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ReadBenchFile loads and validates a benchmark file.
+func ReadBenchFile(path string) (*BenchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("obsv: parse %s: %w", path, err)
+	}
+	if f.Schema != BenchSchemaVersion {
+		return nil, fmt.Errorf("obsv: %s has schema %d, this build reads %d",
+			path, f.Schema, BenchSchemaVersion)
+	}
+	return &f, nil
+}
+
+// Regression is one case that slowed beyond the threshold.
+type Regression struct {
+	Case       string  `json:"case"`
+	BaselineNs int64   `json:"baseline_ns"`
+	CurrentNs  int64   `json:"current_ns"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// RegressionReport is the outcome of comparing a run against a baseline.
+type RegressionReport struct {
+	Threshold   float64      `json:"threshold"`
+	Compared    int          `json:"compared"`
+	Regressions []Regression `json:"regressions"`
+	// Improved lists cases at least (2 - threshold)× faster — surfaced so
+	// speedups get re-baselined instead of silently masking later drift.
+	Improved []string `json:"improved,omitempty"`
+	// MissingFromRun are baseline cases the current run did not execute;
+	// MissingFromBaseline are new cases with no trajectory yet.
+	MissingFromRun      []string `json:"missing_from_run,omitempty"`
+	MissingFromBaseline []string `json:"missing_from_baseline,omitempty"`
+}
+
+// CompareBench flags every case whose current ns/op exceeds threshold ×
+// baseline ns/op. threshold <= 1 defaults to 1.30 (30% slack — generous
+// because CI hosts are noisy; tighten locally).
+func CompareBench(baseline, current *BenchFile, threshold float64) *RegressionReport {
+	if threshold <= 1 {
+		threshold = 1.30
+	}
+	rep := &RegressionReport{Threshold: threshold}
+	base := make(map[string]BenchCase, len(baseline.Cases))
+	for _, c := range baseline.Cases {
+		base[c.Name] = c
+	}
+	seen := make(map[string]bool, len(current.Cases))
+	for _, c := range current.Cases {
+		seen[c.Name] = true
+		b, ok := base[c.Name]
+		if !ok {
+			rep.MissingFromBaseline = append(rep.MissingFromBaseline, c.Name)
+			continue
+		}
+		rep.Compared++
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := float64(c.NsPerOp) / float64(b.NsPerOp)
+		if ratio > threshold {
+			rep.Regressions = append(rep.Regressions, Regression{
+				Case: c.Name, BaselineNs: b.NsPerOp, CurrentNs: c.NsPerOp, Ratio: ratio,
+			})
+		} else if ratio < 1/threshold {
+			rep.Improved = append(rep.Improved, c.Name)
+		}
+	}
+	for name := range base {
+		if !seen[name] {
+			rep.MissingFromRun = append(rep.MissingFromRun, name)
+		}
+	}
+	sort.Slice(rep.Regressions, func(i, j int) bool {
+		return rep.Regressions[i].Ratio > rep.Regressions[j].Ratio
+	})
+	sort.Strings(rep.Improved)
+	sort.Strings(rep.MissingFromRun)
+	sort.Strings(rep.MissingFromBaseline)
+	return rep
+}
+
+// Failed reports whether the comparison should fail the run.
+func (r *RegressionReport) Failed() bool { return len(r.Regressions) > 0 }
+
+// Render writes the human-readable comparison summary.
+func (r *RegressionReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "baseline comparison: %d cases compared, threshold %.2fx\n",
+		r.Compared, r.Threshold)
+	if len(r.Regressions) > 0 {
+		fmt.Fprintf(w, "REGRESSIONS (%d):\n", len(r.Regressions))
+		fmt.Fprintf(w, "  %-32s %14s %14s %7s\n", "case", "baseline", "current", "ratio")
+		for _, g := range r.Regressions {
+			fmt.Fprintf(w, "  %-32s %12dns %12dns %6.2fx\n",
+				g.Case, g.BaselineNs, g.CurrentNs, g.Ratio)
+		}
+	} else {
+		fmt.Fprintln(w, "no regressions")
+	}
+	if len(r.Improved) > 0 {
+		fmt.Fprintf(w, "improved (consider re-baselining): %v\n", r.Improved)
+	}
+	if len(r.MissingFromRun) > 0 {
+		fmt.Fprintf(w, "in baseline but not run: %v\n", r.MissingFromRun)
+	}
+	if len(r.MissingFromBaseline) > 0 {
+		fmt.Fprintf(w, "new cases without baseline: %v\n", r.MissingFromBaseline)
+	}
+}

@@ -1,0 +1,131 @@
+package obsv
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleFile(stamp string, ns ...int64) *BenchFile {
+	cases := make([]BenchCase, len(ns))
+	for i, n := range ns {
+		cases[i] = BenchCase{
+			Name:    []string{"bfs/rmat-s10-ef8", "wcc/er-s10-ef8", "spgemm/rmat-s10-ef8"}[i%3],
+			Kernel:  "k", Graph: "g", Reps: 3, NsPerOp: n,
+			Account: Account{Op: "k", Wall: time.Duration(n), Items: 100},
+			TEPS:    1,
+		}
+	}
+	return NewBenchFile(stamp, cases)
+}
+
+func TestBenchFileRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	orig := sampleFile("2026-08-06T00:00:00Z", 1000, 2000, 3000)
+	if err := orig.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != BenchSchemaVersion || got.Stamp != orig.Stamp {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Cases) != 3 {
+		t.Fatalf("cases = %d, want 3", len(got.Cases))
+	}
+	for i := range got.Cases {
+		if got.Cases[i].Name != orig.Cases[i].Name || got.Cases[i].NsPerOp != orig.Cases[i].NsPerOp {
+			t.Errorf("case %d mismatch: %+v vs %+v", i, got.Cases[i], orig.Cases[i])
+		}
+	}
+	if got.Env.GoVersion == "" || got.Env.NumCPU <= 0 {
+		t.Errorf("env fingerprint not recorded: %+v", got.Env)
+	}
+}
+
+func TestReadBenchFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "cases": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("want schema-version error, got %v", err)
+	}
+}
+
+// TestCompareBenchDetectsInjectedSlowdown is the harness's acceptance check:
+// an artificially injected 2x slowdown on one case must be flagged as a
+// regression at the default threshold, and the comparison must fail.
+func TestCompareBenchDetectsInjectedSlowdown(t *testing.T) {
+	baseline := sampleFile("base", 1000, 2000, 3000)
+	current := sampleFile("cur", 1000, 2000, 3000)
+	current.Cases[1].NsPerOp *= 2 // injected 2x slowdown on wcc/er-s10-ef8
+
+	rep := CompareBench(baseline, current, 0) // 0 -> default 1.30
+	if !rep.Failed() {
+		t.Fatal("2x slowdown not detected")
+	}
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the injected one", rep.Regressions)
+	}
+	g := rep.Regressions[0]
+	if g.Case != "wcc/er-s10-ef8" {
+		t.Errorf("flagged case = %q", g.Case)
+	}
+	if g.Ratio < 1.99 || g.Ratio > 2.01 {
+		t.Errorf("ratio = %v, want ~2.0", g.Ratio)
+	}
+	if rep.Compared != 3 {
+		t.Errorf("compared = %d, want 3", rep.Compared)
+	}
+}
+
+func TestCompareBenchCleanRunPasses(t *testing.T) {
+	baseline := sampleFile("base", 1000, 2000, 3000)
+	current := sampleFile("cur", 1100, 1900, 3100) // within 30% slack
+	rep := CompareBench(baseline, current, 1.30)
+	if rep.Failed() {
+		t.Errorf("clean run flagged: %+v", rep.Regressions)
+	}
+}
+
+func TestCompareBenchImprovedAndMissing(t *testing.T) {
+	baseline := sampleFile("base", 1000, 2000, 3000)
+	current := sampleFile("cur", 400, 2000) // case 0 improved 2.5x, case 2 missing
+	current.Cases = append(current.Cases, BenchCase{Name: "new/case", NsPerOp: 5})
+	rep := CompareBench(baseline, current, 1.30)
+	if len(rep.Improved) != 1 || rep.Improved[0] != "bfs/rmat-s10-ef8" {
+		t.Errorf("improved = %v", rep.Improved)
+	}
+	if len(rep.MissingFromRun) != 1 || rep.MissingFromRun[0] != "spgemm/rmat-s10-ef8" {
+		t.Errorf("missing from run = %v", rep.MissingFromRun)
+	}
+	if len(rep.MissingFromBaseline) != 1 || rep.MissingFromBaseline[0] != "new/case" {
+		t.Errorf("missing from baseline = %v", rep.MissingFromBaseline)
+	}
+	if rep.Failed() {
+		t.Error("improvements/missing cases must not fail the run")
+	}
+}
+
+func TestRegressionReportRender(t *testing.T) {
+	baseline := sampleFile("base", 1000)
+	current := sampleFile("cur", 5000)
+	rep := CompareBench(baseline, current, 1.30)
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSIONS") || !strings.Contains(out, "bfs/rmat-s10-ef8") {
+		t.Errorf("render missing regression detail:\n%s", out)
+	}
+	var clean bytes.Buffer
+	CompareBench(baseline, baseline, 1.30).Render(&clean)
+	if !strings.Contains(clean.String(), "no regressions") {
+		t.Errorf("clean render:\n%s", clean.String())
+	}
+}

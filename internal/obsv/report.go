@@ -1,0 +1,98 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/perfmodel"
+	"repro/internal/telemetry"
+)
+
+// Row is one step's predicted-vs-simulated comparison.
+type Row struct {
+	Step      string        `json:"step"`
+	Predicted StepResources `json:"predicted"`
+	Simulated StepResources `json:"simulated"`
+	// Ratio is simulated total / predicted total (1.0 = perfect agreement;
+	// > 1 means the executed schedule was slower than the analytic bound).
+	Ratio float64 `json:"ratio"`
+	// Agree reports whether both sides name the same dominant resource.
+	Agree bool `json:"agree"`
+}
+
+// Report is a full model-vs-measured comparison for one configuration.
+type Report struct {
+	Config string `json:"config"`
+	Rows   []Row  `json:"rows"`
+	// Agreement counts rows whose dominant resource matches.
+	Agreement      int     `json:"agreement"`
+	PredictedTotal float64 `json:"predicted_total"`
+	SimulatedTotal float64 `json:"simulated_total"`
+}
+
+// NewReport pairs predicted and simulated step resources by position
+// (step names must match; mismatched tails are dropped).
+func NewReport(config string, predicted, simulated []StepResources) *Report {
+	rep := &Report{Config: config}
+	n := len(predicted)
+	if len(simulated) < n {
+		n = len(simulated)
+	}
+	for i := 0; i < n; i++ {
+		p, s := predicted[i], simulated[i]
+		if p.Step != s.Step {
+			continue
+		}
+		row := Row{Step: p.Step, Predicted: p, Simulated: s, Agree: p.Bound == s.Bound}
+		if p.Total > 0 {
+			row.Ratio = s.Total / p.Total
+		}
+		if row.Agree {
+			rep.Agreement++
+		}
+		rep.PredictedTotal += p.Total
+		rep.SimulatedTotal += s.Total
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// ModelVsSimulatedNORA builds the nine-step NORA report for cfg: the
+// analytic prediction against the operational simulator — the
+// reproduction's analogue of validating Fig. 3.
+func ModelVsSimulatedNORA(cfg perfmodel.Config, opt SimOptions) *Report {
+	predicted := FromEvaluation(perfmodel.EvaluateNORA(cfg))
+	simulated := SimulateNORA(cfg, opt)
+	return NewReport(cfg.Name, predicted, simulated)
+}
+
+// Render writes the per-step table: predicted and simulated seconds, their
+// ratio, both dominant resources, and the agreement verdict.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "model vs measured — %s (dominant-resource agreement %d/%d, totals %.1fs predicted / %.1fs simulated)\n",
+		r.Config, r.Agreement, len(r.Rows), r.PredictedTotal, r.SimulatedTotal)
+	fmt.Fprintf(w, "%-10s %12s %12s %7s %10s %10s %6s\n",
+		"step", "predicted(s)", "simulated(s)", "ratio", "pred-bound", "sim-bound", "agree")
+	for _, row := range r.Rows {
+		agree := "yes"
+		if !row.Agree {
+			agree = "NO"
+		}
+		fmt.Fprintf(w, "%-10s %12.1f %12.1f %7.3f %10s %10s %6s\n",
+			row.Step, row.Predicted.Total, row.Simulated.Total, row.Ratio,
+			row.Predicted.Bound, row.Simulated.Bound, agree)
+	}
+}
+
+// Publish records both sides of every row plus the per-step ratio and the
+// headline agreement figures into reg.
+func (r *Report) Publish(reg *telemetry.Registry) {
+	cl := telemetry.L("config", r.Config)
+	for _, row := range r.Rows {
+		row.Predicted.Publish(reg, "predicted")
+		row.Simulated.Publish(reg, "simulated")
+		reg.Gauge("obsv_model_ratio", cl, telemetry.L("step", row.Step)).Set(row.Ratio)
+	}
+	reg.Gauge("obsv_model_agreement_steps", cl).Set(float64(r.Agreement))
+	reg.Gauge("obsv_model_steps", cl).Set(float64(len(r.Rows)))
+}

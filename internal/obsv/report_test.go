@@ -1,0 +1,103 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/perfmodel"
+	"repro/internal/telemetry"
+)
+
+func TestModelVsSimulatedNORA(t *testing.T) {
+	rep := ModelVsSimulatedNORA(perfmodel.Base2012, SimOptions{Seed: 1})
+	if len(rep.Rows) != len(perfmodel.NORASteps) {
+		t.Fatalf("rows = %d, want %d (one per NORA step)", len(rep.Rows), len(perfmodel.NORASteps))
+	}
+	for _, row := range rep.Rows {
+		// The simulator schedules the same demand the model evaluates, so
+		// the emergent time sits just above the analytic bound: hash placement
+		// of 4096 quanta over 10 racks leaves ~10-15% binomial skew, hence
+		// ratio in [1, 1.25].
+		if row.Ratio < 1.0 || row.Ratio > 1.25 {
+			t.Errorf("step %s: ratio = %.4f, want in [1.0, 1.25]", row.Step, row.Ratio)
+		}
+		if !row.Agree {
+			t.Errorf("step %s: dominant resource disagrees (pred %s, sim %s)",
+				row.Step, row.Predicted.Bound, row.Simulated.Bound)
+		}
+	}
+	if rep.Agreement != len(rep.Rows) {
+		t.Errorf("agreement = %d/%d, want full", rep.Agreement, len(rep.Rows))
+	}
+	if rep.SimulatedTotal < rep.PredictedTotal {
+		t.Errorf("simulated total %.2f < predicted total %.2f — emergent makespan cannot beat the analytic bound",
+			rep.SimulatedTotal, rep.PredictedTotal)
+	}
+}
+
+func TestSimulateNORADeterministic(t *testing.T) {
+	a := SimulateNORA(perfmodel.Base2012, SimOptions{Seed: 7})
+	b := SimulateNORA(perfmodel.Base2012, SimOptions{Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSimulateNORAOverheadRaisesTime(t *testing.T) {
+	base := SimulateNORA(perfmodel.Base2012, SimOptions{})
+	slow := SimulateNORA(perfmodel.Base2012, SimOptions{DispatchOverheadSec: 0.001})
+	for i := range base {
+		if slow[i].Total < base[i].Total {
+			t.Errorf("step %s: overhead lowered total (%.3f -> %.3f)",
+				base[i].Step, base[i].Total, slow[i].Total)
+		}
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := ModelVsSimulatedNORA(perfmodel.Base2012, SimOptions{})
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Base2012", "predicted(s)", "simulated(s)", "ratio", "agree"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < len(perfmodel.NORASteps)+2 {
+		t.Errorf("render has %d lines, want >= %d", lines, len(perfmodel.NORASteps)+2)
+	}
+}
+
+func TestReportPublish(t *testing.T) {
+	rep := ModelVsSimulatedNORA(perfmodel.Base2012, SimOptions{})
+	reg := telemetry.NewRegistry()
+	rep.Publish(reg)
+	var ratios, stepSecs int
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "obsv_model_ratio":
+			ratios++
+		case "obsv_step_resource_seconds":
+			stepSecs++
+		}
+	}
+	if ratios != len(rep.Rows) {
+		t.Errorf("obsv_model_ratio series = %d, want %d", ratios, len(rep.Rows))
+	}
+	if stepSecs == 0 {
+		t.Error("no obsv_step_resource_seconds series published")
+	}
+}
+
+func TestNewReportSkipsMismatchedSteps(t *testing.T) {
+	p := []StepResources{{Step: "a", Total: 1}, {Step: "b", Total: 2}}
+	s := []StepResources{{Step: "a", Total: 1}, {Step: "x", Total: 2}}
+	rep := NewReport("t", p, s)
+	if len(rep.Rows) != 1 || rep.Rows[0].Step != "a" {
+		t.Errorf("rows = %+v, want only step a", rep.Rows)
+	}
+}

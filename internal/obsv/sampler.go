@@ -1,0 +1,188 @@
+package obsv
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Gauges the sampler maintains (all in the registry it was started with):
+//
+//	runtime_heap_bytes              live heap object bytes
+//	runtime_heap_goal_bytes         GC heap goal
+//	runtime_goroutines              current goroutine count
+//	runtime_gomaxprocs              GOMAXPROCS at sample time
+//	runtime_gc_cycles_total         completed GC cycles
+//	runtime_gc_pause_seconds_total  cumulative stop-the-world pause time
+//	runtime_alloc_bytes_total       cumulative heap allocation bytes
+//	runtime_alloc_bytes_per_second  allocation rate over the last interval
+//
+// The cumulative families are published as gauges, not counters, because
+// they are resampled absolute values from the runtime, not increments.
+
+// samplerMetrics are the runtime/metrics keys the sampler reads. Keys the
+// running toolchain does not support are skipped (KindBad), so the sampler
+// degrades gracefully across Go versions.
+var samplerKeys = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/gc/heap/goal:bytes",
+	"/sched/goroutines:goroutines",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/gc/heap/allocs:bytes",
+}
+
+// Sampler periodically publishes runtime health gauges. Create with
+// StartSampler; Stop is idempotent and takes a final sample so short-lived
+// processes still export meaningful values.
+type Sampler struct {
+	reg      *telemetry.Registry
+	interval time.Duration
+
+	heap      *telemetry.Gauge
+	goal      *telemetry.Gauge
+	gor       *telemetry.Gauge
+	maxprocs  *telemetry.Gauge
+	gcCycles  *telemetry.Gauge
+	gcPause   *telemetry.Gauge
+	allocTot  *telemetry.Gauge
+	allocRate *telemetry.Gauge
+
+	samples []metrics.Sample
+
+	lastAlloc uint64
+	lastAt    time.Time
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartSampler begins sampling reg every interval (minimum 10ms, default
+// 500ms when interval <= 0) on a background goroutine and returns the
+// running sampler. A nil or no-op registry returns a sampler whose Stop is
+// still safe to call, so wiring needs no conditionals.
+func StartSampler(reg *telemetry.Registry, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	s := &Sampler{
+		reg:      reg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+
+		heap:      reg.Gauge("runtime_heap_bytes"),
+		goal:      reg.Gauge("runtime_heap_goal_bytes"),
+		gor:       reg.Gauge("runtime_goroutines"),
+		maxprocs:  reg.Gauge("runtime_gomaxprocs"),
+		gcCycles:  reg.Gauge("runtime_gc_cycles_total"),
+		gcPause:   reg.Gauge("runtime_gc_pause_seconds_total"),
+		allocTot:  reg.Gauge("runtime_alloc_bytes_total"),
+		allocRate: reg.Gauge("runtime_alloc_bytes_per_second"),
+	}
+	s.samples = make([]metrics.Sample, len(samplerKeys))
+	for i, k := range samplerKeys {
+		s.samples[i].Name = k
+	}
+	s.SampleOnce()
+	go s.loop()
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.SampleOnce()
+		}
+	}
+}
+
+// Stop halts the sampling goroutine after taking one final sample. Safe to
+// call more than once.
+func (s *Sampler) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+		<-s.done
+		s.SampleOnce()
+	}
+}
+
+// SampleOnce reads the runtime metrics and updates the gauges immediately.
+func (s *Sampler) SampleOnce() {
+	now := time.Now()
+	metrics.Read(s.samples)
+	for _, m := range s.samples {
+		switch m.Name {
+		case "/memory/classes/heap/objects:bytes":
+			if m.Value.Kind() == metrics.KindUint64 {
+				s.heap.Set(float64(m.Value.Uint64()))
+			}
+		case "/gc/heap/goal:bytes":
+			if m.Value.Kind() == metrics.KindUint64 {
+				s.goal.Set(float64(m.Value.Uint64()))
+			}
+		case "/sched/goroutines:goroutines":
+			if m.Value.Kind() == metrics.KindUint64 {
+				s.gor.Set(float64(m.Value.Uint64()))
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if m.Value.Kind() == metrics.KindUint64 {
+				s.gcCycles.Set(float64(m.Value.Uint64()))
+			}
+		case "/gc/pauses:seconds":
+			if m.Value.Kind() == metrics.KindFloat64Histogram {
+				s.gcPause.Set(histTotal(m.Value.Float64Histogram()))
+			}
+		case "/gc/heap/allocs:bytes":
+			if m.Value.Kind() == metrics.KindUint64 {
+				alloc := m.Value.Uint64()
+				s.allocTot.Set(float64(alloc))
+				if !s.lastAt.IsZero() {
+					if dt := now.Sub(s.lastAt).Seconds(); dt > 0 && alloc >= s.lastAlloc {
+						s.allocRate.Set(float64(alloc-s.lastAlloc) / dt)
+					}
+				}
+				s.lastAlloc, s.lastAt = alloc, now
+			}
+		}
+	}
+	s.maxprocs.Set(float64(runtime.GOMAXPROCS(0)))
+}
+
+// histTotal approximates the cumulative sum of a runtime Float64Histogram
+// using bucket midpoints (runtime/metrics exposes pause *distributions*,
+// not totals). Infinite bucket edges fall back to the finite neighbor.
+func histTotal(h *metrics.Float64Histogram) float64 {
+	var total float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := 0.0
+		switch {
+		case !math.IsInf(lo, 0) && !math.IsInf(hi, 0):
+			mid = (lo + hi) / 2
+		case !math.IsInf(hi, 0):
+			mid = hi
+		case !math.IsInf(lo, 0):
+			mid = lo
+		}
+		total += float64(n) * mid
+	}
+	return total
+}

@@ -1,0 +1,56 @@
+package obsv
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func gaugeValue(t *testing.T, reg *telemetry.Registry, name string) (float64, bool) {
+	t.Helper()
+	for _, m := range reg.Snapshot() {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+func TestSamplerPublishesRuntimeGauges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := StartSampler(reg, 10*time.Millisecond)
+	// Allocate visibly so the alloc-total gauge has something to report.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 64<<10))
+	}
+	_ = sink
+	time.Sleep(25 * time.Millisecond)
+	s.Stop()
+
+	for _, name := range []string{
+		"runtime_heap_bytes", "runtime_goroutines", "runtime_gomaxprocs",
+		"runtime_alloc_bytes_total", "runtime_gc_cycles_total",
+	} {
+		v, ok := gaugeValue(t, reg, name)
+		if !ok {
+			t.Fatalf("gauge %s not registered", name)
+		}
+		if name != "runtime_gc_cycles_total" && v <= 0 {
+			t.Errorf("gauge %s = %v, want > 0", name, v)
+		}
+	}
+}
+
+func TestSamplerStopIdempotent(t *testing.T) {
+	s := StartSampler(telemetry.NewRegistry(), 50*time.Millisecond)
+	s.Stop()
+	s.Stop() // must not panic or deadlock
+}
+
+func TestSamplerNopRegistry(t *testing.T) {
+	s := StartSampler(telemetry.Nop(), 10*time.Millisecond)
+	s.SampleOnce()
+	s.Stop()
+}

@@ -1,0 +1,109 @@
+package obsv
+
+import (
+	"repro/internal/emu"
+	"repro/internal/lamachine"
+	"repro/internal/perfmodel"
+	"repro/internal/telemetry"
+)
+
+// StepResources is the common schema every resource-time producer in the
+// repository maps onto: per-resource busy seconds along the NORA model's
+// four axes, the emergent total, and the dominant (bounding) resource.
+// Producers:
+//
+//   - FromEvaluation: the analytic model's prediction (perfmodel).
+//   - SimulateNORA (norasim.go): the operational step simulator.
+//   - FromEmuMachine: the migrating-thread simulator's counters (emu).
+//   - FromLAResult: the sparse-accelerator pipeline counters (lamachine).
+//
+// A Report (report.go) compares any two producers step by step.
+type StepResources struct {
+	Step string `json:"step"`
+	// Seconds holds per-resource busy time indexed by perfmodel.Resource
+	// (compute, disk, net, mem).
+	Seconds [perfmodel.NumResources]float64 `json:"seconds"`
+	// Total is the step's completion time. For the analytic model it is
+	// exactly the max over resources; for simulators it is the emergent
+	// makespan (≥ the max, when overheads or skew intrude).
+	Total float64 `json:"total"`
+	// Bound is the dominant resource: the axis with the largest busy time.
+	Bound perfmodel.Resource `json:"bound"`
+}
+
+// finalize fills Total (if unset) and Bound from Seconds.
+func (s *StepResources) finalize() {
+	max := 0.0
+	for _, r := range perfmodel.Resources {
+		if s.Seconds[r] > max {
+			max = s.Seconds[r]
+			s.Bound = r
+		}
+	}
+	if s.Total < max {
+		s.Total = max
+	}
+}
+
+// FromEvaluation converts an analytic model evaluation into the common
+// schema — the "predicted" side of the model-vs-measured report.
+func FromEvaluation(ev *perfmodel.Evaluation) []StepResources {
+	out := make([]StepResources, 0, len(ev.Steps))
+	for _, st := range ev.Steps {
+		sr := StepResources{Step: st.Step}
+		for _, r := range perfmodel.Resources {
+			sr.Seconds[r] = st.Times[r]
+		}
+		sr.Total = st.Seconds
+		sr.Bound = st.Bound
+		out = append(out, sr)
+	}
+	return out
+}
+
+// FromEmuMachine maps one finished emu workload onto the schema: the
+// slowest thread's clock is the compute axis, the busiest nodelet's memory-
+// channel occupancy the memory axis, network-link occupancy the net axis.
+// The simulated machine has no disk, so that axis is zero. makespanNs is
+// the workload's emergent completion time (emu.WorkloadStats.MakespanNs).
+func FromEmuMachine(step string, m *emu.Machine, makespanNs float64) StepResources {
+	sr := StepResources{Step: step}
+	sr.Seconds[perfmodel.Compute] = m.SlowestThreadNs() / 1e9
+	sr.Seconds[perfmodel.Mem] = m.BusiestNodeletNs() / 1e9
+	sr.Seconds[perfmodel.Net] = m.NetBusyNs() / 1e9
+	sr.Total = makespanNs / 1e9
+	sr.finalize()
+	return sr
+}
+
+// FromLAResult maps a sparse-accelerator run onto the schema: the MAC
+// array and merge sorter are the compute axis (max of the two concurrent
+// stages), operand fetch is the memory axis, result write-back the disk
+// (persistence) axis. The single-node pipeline has no network stage.
+func FromLAResult(step string, r lamachine.Result) StepResources {
+	memory, sorter, mac, write := r.StageSeconds()
+	sr := StepResources{Step: step}
+	compute := mac
+	if sorter > compute {
+		compute = sorter
+	}
+	sr.Seconds[perfmodel.Compute] = compute
+	sr.Seconds[perfmodel.Mem] = memory
+	sr.Seconds[perfmodel.Disk] = write
+	sr.Total = r.Seconds
+	sr.finalize()
+	return sr
+}
+
+// Publish records the step's per-resource seconds into reg as
+// obsv_step_resource_seconds{side, step, resource} gauges plus an
+// obsv_step_seconds{side, step} total.
+func (s StepResources) Publish(reg *telemetry.Registry, side string) {
+	for _, r := range perfmodel.Resources {
+		reg.Gauge("obsv_step_resource_seconds",
+			telemetry.L("side", side), telemetry.L("step", s.Step),
+			telemetry.L("resource", r.String())).Set(s.Seconds[r])
+	}
+	reg.Gauge("obsv_step_seconds",
+		telemetry.L("side", side), telemetry.L("step", s.Step)).Set(s.Total)
+}

@@ -1,0 +1,46 @@
+package obsv
+
+import (
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+func TestFromEvaluationMatchesModel(t *testing.T) {
+	ev := perfmodel.EvaluateNORA(perfmodel.Base2012)
+	steps := FromEvaluation(ev)
+	if len(steps) != len(ev.Steps) {
+		t.Fatalf("len = %d, want %d", len(steps), len(ev.Steps))
+	}
+	for i, s := range steps {
+		if s.Step != ev.Steps[i].Step {
+			t.Errorf("step %d name %q != %q", i, s.Step, ev.Steps[i].Step)
+		}
+		if s.Total != ev.Steps[i].Seconds {
+			t.Errorf("step %s total %v != %v", s.Step, s.Total, ev.Steps[i].Seconds)
+		}
+		if s.Bound != ev.Steps[i].Bound {
+			t.Errorf("step %s bound %v != %v", s.Step, s.Bound, ev.Steps[i].Bound)
+		}
+	}
+}
+
+func TestFinalizePicksDominantResource(t *testing.T) {
+	s := StepResources{Step: "x"}
+	s.Seconds[perfmodel.Net] = 3
+	s.Seconds[perfmodel.Mem] = 5
+	s.finalize()
+	if s.Bound != perfmodel.Mem {
+		t.Errorf("bound = %v, want mem", s.Bound)
+	}
+	if s.Total != 5 {
+		t.Errorf("total = %v, want 5", s.Total)
+	}
+	// A pre-set larger Total (emergent makespan) must be preserved.
+	s2 := StepResources{Step: "y", Total: 9}
+	s2.Seconds[perfmodel.Compute] = 4
+	s2.finalize()
+	if s2.Total != 9 || s2.Bound != perfmodel.Compute {
+		t.Errorf("got total=%v bound=%v, want 9/compute", s2.Total, s2.Bound)
+	}
+}

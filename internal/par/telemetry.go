@@ -2,6 +2,7 @@ package par
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/telemetry"
@@ -30,6 +31,10 @@ type opMetrics struct {
 }
 
 func (m *opMetrics) observe(n, nc, workers int, wall time.Duration, imbalance float64) {
+	totInvocations.Add(1)
+	totTasks.Add(int64(n))
+	totChunks.Add(int64(nc))
+	totBusyNs.Add(wall.Nanoseconds())
 	if m == nil {
 		return
 	}
@@ -39,6 +44,46 @@ func (m *opMetrics) observe(n, nc, workers int, wall time.Duration, imbalance fl
 	m.workers.Set(float64(workers))
 	m.wall.ObserveDuration(wall)
 	m.imbalance.Observe(imbalance)
+}
+
+// Process-wide scheduler totals, independent of which registry (if any)
+// receives the labeled metrics. Resource-account meters (internal/obsv)
+// delta these around a kernel invocation to attribute scheduler activity
+// to it, which must work even when telemetry is pointed at a Nop registry.
+var (
+	totInvocations atomic.Int64
+	totTasks       atomic.Int64
+	totChunks      atomic.Int64
+	totBusyNs      atomic.Int64
+)
+
+// Totals is a snapshot of the process-wide scheduler counters.
+type Totals struct {
+	Invocations int64 // scheduler invocations
+	Tasks       int64 // indices scheduled
+	Chunks      int64 // chunks executed
+	WallNs      int64 // summed per-invocation wall time
+}
+
+// TotalsSnapshot returns the cumulative scheduler totals for this process.
+// Subtract two snapshots to attribute scheduler activity to a code region.
+func TotalsSnapshot() Totals {
+	return Totals{
+		Invocations: totInvocations.Load(),
+		Tasks:       totTasks.Load(),
+		Chunks:      totChunks.Load(),
+		WallNs:      totBusyNs.Load(),
+	}
+}
+
+// Sub returns t - o, field-wise.
+func (t Totals) Sub(o Totals) Totals {
+	return Totals{
+		Invocations: t.Invocations - o.Invocations,
+		Tasks:       t.Tasks - o.Tasks,
+		Chunks:      t.Chunks - o.Chunks,
+		WallNs:      t.WallNs - o.WallNs,
+	}
 }
 
 // registryState pairs a registry with its handle cache so SetRegistry can

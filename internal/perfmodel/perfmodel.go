@@ -28,6 +28,13 @@ const (
 	numResources
 )
 
+// Resources lists the four resources in model order, for callers that
+// iterate the axes (NumResources is its length).
+var Resources = [...]Resource{Compute, Disk, Net, Mem}
+
+// NumResources is the number of modeled resources.
+const NumResources = int(numResources)
+
 func (r Resource) String() string {
 	switch r {
 	case Compute:
@@ -50,6 +57,9 @@ type Demand struct {
 	NetGB  float64
 	MemGB  float64
 }
+
+// Along returns the demand along r (Gops for Compute, GB otherwise).
+func (d Demand) Along(r Resource) float64 { return d.resource(r) }
 
 // resource returns the demand along r.
 func (d Demand) resource(r Resource) float64 {
@@ -112,6 +122,10 @@ type Config struct {
 func (c Config) capacity(r Resource) float64 {
 	return c.Racks * c.PerRack.resource(r)
 }
+
+// Capacity returns the system-wide sustained rate along r (Gops/s for
+// Compute, GB/s otherwise).
+func (c Config) Capacity(r Resource) float64 { return c.capacity(r) }
 
 // The 2012 baseline: 10 racks of 40 dual-socket 6-core 2.4 GHz blades with
 // 0.16 GB/s local disks and 0.1 GB/s network injection per blade.

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 )
 
 // CLI wires the standard telemetry flags into a command:
@@ -12,21 +14,32 @@ import (
 //	-metrics-out FILE   write metrics as JSON lines on exit
 //	-trace-out FILE     write recorded spans as JSON lines on exit
 //	-listen ADDR        serve /metrics, /debug/spans, expvar and pprof
+//	-cpuprofile FILE    write a pprof CPU profile covering the run
+//	-memprofile FILE    write a pprof heap profile on exit
 //
 // Typical use in a main:
 //
 //	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
 //	flag.Parse()
-//	if err := tel.Start(); err != nil { ... }
-//	defer tel.Close()
+//	if err := tel.Run(func() error { ... }); err != nil { ... }
+//
+// Run guarantees artifact flushing even when the body fails; commands that
+// need finer control can still call Start/Close directly (Close is
+// idempotent, so `defer tel.Close()` composes with an explicit final
+// Close whose error is checked).
 type CLI struct {
 	Registry *Registry
 
 	MetricsOut string
 	TraceOut   string
 	Listen     string
+	CPUProfile string
+	MemProfile string
 
-	srv *http.Server
+	srv        *http.Server
+	cpuFile    *os.File
+	closed     bool
+	profileErr error
 }
 
 // NewCLI registers the telemetry flags on fs, bound to reg. Call before
@@ -39,33 +52,88 @@ func NewCLI(fs *flag.FlagSet, reg *Registry) *CLI {
 		"write recorded spans as JSON lines to this file on exit")
 	fs.StringVar(&c.Listen, "listen", "",
 		"serve /metrics, /debug/spans, expvar and pprof on this address (e.g. :9090)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile of the run to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "",
+		"write a pprof heap profile to this file on exit")
 	return c
 }
 
-// Start begins serving the HTTP endpoint when -listen was given. Call
-// after flag parsing.
+// Start begins the HTTP endpoint (when -listen was given) and the CPU
+// profile (when -cpuprofile was given). Call after flag parsing.
 func (c *CLI) Start() error {
-	if c.Listen == "" {
-		return nil
+	c.closed = false
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("telemetry: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("telemetry: cpuprofile: %w", err)
+		}
+		c.cpuFile = f
 	}
-	srv, addr, err := c.Registry.Serve(c.Listen)
-	if err != nil {
-		return fmt.Errorf("telemetry: listen %s: %w", c.Listen, err)
+	if c.Listen != "" {
+		srv, addr, err := c.Registry.Serve(c.Listen)
+		if err != nil {
+			c.stopCPUProfile()
+			return fmt.Errorf("telemetry: listen %s: %w", c.Listen, err)
+		}
+		c.srv = srv
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s\n", addr)
 	}
-	c.srv = srv
-	fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s\n", addr)
 	return nil
 }
 
-// Close writes the requested artifacts and stops the HTTP endpoint. It
-// returns the first error encountered (artifact writes are attempted even
-// if an earlier step failed).
+// stopCPUProfile flushes and closes the running CPU profile, if any.
+func (c *CLI) stopCPUProfile() {
+	if c.cpuFile == nil {
+		return
+	}
+	pprof.StopCPUProfile()
+	if err := c.cpuFile.Close(); err != nil && c.profileErr == nil {
+		c.profileErr = err
+	}
+	c.cpuFile = nil
+}
+
+// writeHeapProfile forces a GC (so the profile reflects live objects, not
+// garbage awaiting collection) and writes the heap profile.
+func (c *CLI) writeHeapProfile() error {
+	f, err := os.Create(c.MemProfile)
+	if err != nil {
+		return fmt.Errorf("telemetry: memprofile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: memprofile: %w", err)
+	}
+	return f.Close()
+}
+
+// Close writes the requested artifacts (metrics, traces, profiles) and
+// stops the HTTP endpoint. Every artifact write is attempted even if an
+// earlier one failed; the first error wins. Close is idempotent — a second
+// call is a no-op, so a deferred safety-net Close composes with an
+// explicit error-checked one.
 func (c *CLI) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	var first error
 	keep := func(err error) {
 		if err != nil && first == nil {
 			first = err
 		}
+	}
+	c.stopCPUProfile()
+	keep(c.profileErr)
+	c.profileErr = nil
+	if c.MemProfile != "" {
+		keep(c.writeHeapProfile())
 	}
 	if c.MetricsOut != "" {
 		keep(c.Registry.DumpFile(c.MetricsOut))
@@ -78,4 +146,21 @@ func (c *CLI) Close() error {
 		c.srv = nil
 	}
 	return first
+}
+
+// Run executes body between Start and a guaranteed Close. The deferred
+// Close is registered before Start's error check, so artifacts and
+// profiles are flushed on every path — including a body panic or a Start
+// that fails after partial setup. The body's error takes precedence; a
+// Close error surfaces only when the body succeeded.
+func (c *CLI) Run(body func() error) (err error) {
+	defer func() {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if err = c.Start(); err != nil {
+		return err
+	}
+	return body()
 }

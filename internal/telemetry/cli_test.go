@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCLIRunFlushesArtifactsAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := NewCLI(fs, reg)
+	err := fs.Parse([]string{
+		"-metrics-out", filepath.Join(dir, "metrics.jsonl"),
+		"-trace-out", filepath.Join(dir, "trace.jsonl"),
+		"-cpuprofile", filepath.Join(dir, "cpu.pprof"),
+		"-memprofile", filepath.Join(dir, "mem.pprof"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = c.Run(func() error {
+		reg.Counter("cli_test_total").Inc()
+		sp := reg.Tracer().Start("cli.test")
+		// Burn a little CPU so the profile has samples to record.
+		x := 0
+		for i := 0; i < 1_000_000; i++ {
+			x += i * i
+		}
+		_ = x
+		sp.End()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	for _, name := range []string{"metrics.jsonl", "trace.jsonl", "cpu.pprof", "mem.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("artifact %s not written: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("artifact %s is empty (truncated flush)", name)
+		}
+	}
+}
+
+func TestCLIRunFlushesOnBodyError(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := NewCLI(fs, reg)
+	out := filepath.Join(dir, "metrics.jsonl")
+	if err := fs.Parse([]string{"-metrics-out", out}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := errors.New("body failed")
+	reg.Gauge("partial_progress").Set(1)
+	if err := c.Run(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("Run err = %v, want body error", err)
+	}
+	fi, err := os.Stat(out)
+	if err != nil || fi.Size() == 0 {
+		t.Errorf("metrics not flushed on body error: %v", err)
+	}
+}
+
+func TestCLICloseIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := NewCLI(fs, reg)
+	if err := fs.Parse([]string{"-metrics-out", filepath.Join(dir, "m.jsonl")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the artifact: a non-idempotent second Close would recreate it.
+	if err := os.Remove(filepath.Join(dir, "m.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "m.jsonl")); !os.IsNotExist(err) {
+		t.Error("second Close rewrote the artifact; Close is not idempotent")
+	}
+}
+
+func TestCLIRunStartFailure(t *testing.T) {
+	reg := NewRegistry()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := NewCLI(fs, reg)
+	// Invalid listen address: Start must fail and Run must surface it.
+	if err := fs.Parse([]string{"-listen", "definitely:not:an:addr"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(func() error {
+		t.Error("body ran despite Start failure")
+		return nil
+	}); err == nil {
+		t.Fatal("want Start error")
+	}
+}
+
+func TestCLIListenServes(t *testing.T) {
+	reg := NewRegistry()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := NewCLI(fs, reg)
+	if err := fs.Parse([]string{"-listen", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if c.srv == nil {
+		t.Fatal("no server after Start with -listen")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.srv != nil {
+		t.Error("server not cleared by Close")
+	}
+}

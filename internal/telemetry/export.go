@@ -137,7 +137,9 @@ func promLabels(labels []Label, extra string) string {
 	}
 	parts := make([]string, 0, len(labels)+1)
 	for _, l := range labels {
-		parts = append(parts, fmt.Sprintf("%s=%q", promName(l.Key), promEscape(l.Value)))
+		// promEscape already applies the text-format escapes; quoting with %q
+		// here would escape the escapes (path="a\\\"b" instead of "a\"b").
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, promName(l.Key), promEscape(l.Value)))
 	}
 	if extra != "" {
 		parts = append(parts, extra)

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func httpGet(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp, sb.String()
+}
+
+func newTestServer(t *testing.T) (*Registry, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry()
+	srv := httptest.NewServer(reg.Handler())
+	t.Cleanup(srv.Close)
+	return reg, srv
+}
+
+func TestHandlerMetricsEndpoint(t *testing.T) {
+	reg, srv := newTestServer(t)
+	reg.Counter("http_test_total", L("kernel", "bfs")).Add(3)
+	reg.Gauge("http_test_gauge").Set(1.5)
+
+	resp, body := httpGet(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, `http_test_total{kernel="bfs"} 3`) {
+		t.Errorf("metrics body missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "http_test_gauge 1.5") {
+		t.Errorf("metrics body missing gauge:\n%s", body)
+	}
+}
+
+func TestHandlerMetricsLabelEscaping(t *testing.T) {
+	reg, srv := newTestServer(t)
+	reg.Counter("esc_total", L("path", `a"b\c`+"\nd")).Inc()
+
+	_, body := httpGet(t, srv, "/metrics")
+	// Prometheus text format: backslash, double quote, and newline must be
+	// escaped inside label values.
+	want := `esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(body, want) {
+		t.Errorf("escaped label not found; want %q in:\n%s", want, body)
+	}
+}
+
+func TestHandlerMetricsJSON(t *testing.T) {
+	reg, srv := newTestServer(t)
+	reg.Gauge("json_gauge", L("side", "predicted")).Set(2)
+
+	resp, body := httpGet(t, srv, "/metrics.json")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("non-JSON line %q: %v", line, err)
+		}
+		if m["name"] == "json_gauge" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("json_gauge not in body:\n%s", body)
+	}
+}
+
+func TestHandlerSpansEndpoint(t *testing.T) {
+	reg, srv := newTestServer(t)
+	sp := reg.Tracer().Start("test.span", L("kernel", "wcc"))
+	sp.SetAttr("items", "42")
+	sp.End()
+
+	resp, body := httpGet(t, srv, "/debug/spans")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, "test.span") || !strings.Contains(body, `"items"`) {
+		t.Errorf("span body missing span or attr:\n%s", body)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(strings.TrimSpace(body), "\n", 2)[0]), &m); err != nil {
+		t.Fatalf("span line not JSON: %v", err)
+	}
+}
+
+func TestHandlerExpvar(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, body := httpGet(t, srv, "/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("expvar body not JSON: %v", err)
+	}
+	if _, ok := m["memstats"]; !ok {
+		t.Error("expvar missing memstats")
+	}
+}
