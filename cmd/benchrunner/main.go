@@ -10,7 +10,7 @@
 //
 //	benchrunner                          run the default matrix, write BENCH_<stamp>.json
 //	benchrunner -quick                   CI-sized matrix (smaller scales, fewer reps)
-//	benchrunner -baseline BENCH_baseline.json [-threshold 1.3]
+//	benchrunner -baseline BENCH_baseline.json [-threshold 1.3] [-alloc-threshold 1.5]
 //	benchrunner -nora=false              skip the model-vs-simulated NORA table
 package main
 
@@ -33,6 +33,7 @@ func main() {
 	out := flag.String("out", "", "output file (default BENCH_<stamp>.json)")
 	baseline := flag.String("baseline", "", "compare against this BENCH_*.json; regressions exit nonzero")
 	threshold := flag.Float64("threshold", 1.30, "regression threshold (current/baseline ns per op)")
+	allocThreshold := flag.Float64("alloc-threshold", 1.50, "regression threshold (current/baseline alloc bytes)")
 	quick := flag.Bool("quick", false, "CI-sized matrix: smaller scales, fewer reps")
 	scales := flag.String("scales", "", "comma-separated graph scales (overrides the matrix default)")
 	ef := flag.Int("ef", 0, "edge factor (0 = matrix default)")
@@ -81,7 +82,7 @@ func main() {
 
 	err := tel.Run(func() error {
 		defer obsv.StartSampler(tel.Registry, 0).Stop()
-		return run(tel.Registry, spec, *out, *baseline, *threshold, *nora)
+		return run(tel.Registry, spec, *out, *baseline, *threshold, *allocThreshold, *nora)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
@@ -97,7 +98,7 @@ func (e errRegression) Error() string {
 	return fmt.Sprintf("%d case(s) regressed past the threshold", e.n)
 }
 
-func run(reg *telemetry.Registry, spec obsv.MatrixSpec, out, baseline string, threshold float64, nora bool) error {
+func run(reg *telemetry.Registry, spec obsv.MatrixSpec, out, baseline string, threshold, allocThreshold float64, nora bool) error {
 	stamp := time.Now().UTC().Format("2006-01-02T15-04-05Z")
 	fmt.Printf("benchrunner: scales=%v ef=%d seed=%d reps=%d workers=%d\n\n",
 		spec.Scales, spec.EdgeFactor, spec.Seed, spec.Reps, par.DefaultWorkers())
@@ -139,7 +140,7 @@ func run(reg *telemetry.Registry, spec obsv.MatrixSpec, out, baseline string, th
 			fmt.Printf("note: baseline env differs (%s/%d CPUs vs %s/%d) — ratios are indicative only\n",
 				base.Env.GOARCH, base.Env.NumCPU, f.Env.GOARCH, f.Env.NumCPU)
 		}
-		rep := obsv.CompareBench(base, f, threshold)
+		rep := obsv.CompareBench(base, f, threshold, allocThreshold)
 		fmt.Println()
 		rep.Render(os.Stdout)
 		if rep.Failed() {

@@ -1,0 +1,46 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// allocGraph returns the small fixed graph the allocation budgets are pinned
+// on. Budgets are intentionally generous (roughly 2× the measured value) so
+// they survive GC timing and sync.Pool eviction, while still catching a
+// reintroduced per-vertex or per-edge map accumulator, which costs thousands
+// of allocations on this graph.
+const allocScale = 8 // 256 vertices, ~2k edges
+
+func allocGraph() *graph.Graph {
+	return gen.RMAT(allocScale, 8, gen.Graph500RMAT, 42, false)
+}
+
+func TestAllocBudgetBFS(t *testing.T) {
+	g := allocGraph()
+	avg := testing.AllocsPerRun(10, func() { BFS(g, 0) })
+	t.Logf("BFS allocs/run = %.1f", avg)
+	if avg > 40 {
+		t.Errorf("BFS allocated %.1f times per run, budget 40", avg)
+	}
+}
+
+func TestAllocBudgetWCC(t *testing.T) {
+	g := allocGraph()
+	avg := testing.AllocsPerRun(10, func() { WCC(g) })
+	t.Logf("WCC allocs/run = %.1f", avg)
+	if avg > 40 {
+		t.Errorf("WCC allocated %.1f times per run, budget 40", avg)
+	}
+}
+
+func TestAllocBudgetJaccardWedges(t *testing.T) {
+	g := allocGraph()
+	avg := testing.AllocsPerRun(10, func() { JaccardAll(g, 1, 0, 64) })
+	t.Logf("JaccardAll allocs/run = %.1f", avg)
+	if avg > 100 {
+		t.Errorf("JaccardAll allocated %.1f times per run, budget 100", avg)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/scratch"
 )
 
 // Unreached marks vertices not touched by a traversal.
@@ -93,7 +94,11 @@ func BFSParallel(g *graph.Graph, src int32) *BFSResult {
 
 	frontier := []int32{src}
 	depth := int32(0)
-	inFrontier := make([]uint32, n) // bottom-up membership bitmap (word per vertex for simplicity)
+	// Bottom-up membership bitmap: a real word-packed bitset (32× smaller
+	// than the former word-per-vertex array, so the scan side of the Beamer
+	// switch stays cache-resident). Marking uses the atomic set — frontier
+	// vertices from different chunks can share a word.
+	inFrontier := scratch.NewBitset(int(n))
 	bottomUpOK := !g.Directed()
 
 	for len(frontier) > 0 {
@@ -107,14 +112,10 @@ func BFSParallel(g *graph.Graph, src int32) *BFSResult {
 
 		var next []int32
 		if useBottomUp {
-			par.For(int(n), par.Opt{Name: "bfs.clear"}, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					inFrontier[i] = 0
-				}
-			})
+			inFrontier.Clear()
 			par.For(len(frontier), par.Opt{Name: "bfs.mark"}, func(lo, hi int) {
 				for _, v := range frontier[lo:hi] {
-					inFrontier[v] = 1
+					inFrontier.SetAtomic(v)
 				}
 			})
 			// Each unvisited vertex scans its (sorted) neighbors for the
@@ -128,7 +129,7 @@ func BFSParallel(g *graph.Graph, src int32) *BFSResult {
 							continue
 						}
 						for _, u := range g.Neighbors(v) {
-							if inFrontier[u] == 1 {
+							if inFrontier.Test(u) {
 								parent[v] = u
 								res.Depth[v] = depth
 								local = append(local, v)

@@ -1,0 +1,48 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/par"
+	"repro/internal/telemetry"
+)
+
+// TestBFSParallelHybridSwitch proves the direction-optimizing switch actually
+// fires: on a scale-10 undirected R-MAT graph (hub-heavy, so the frontier
+// blows past the Beamer thresholds within a couple of levels) BFSParallel
+// must run BOTH the top-down and the bottom-up phase at least once, observed
+// through the scheduler's per-op invocation counters on a private telemetry
+// registry. The result must still match sequential BFS exactly.
+func TestBFSParallelHybridSwitch(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	par.SetRegistry(reg)
+	defer par.SetRegistry(telemetry.Default())
+
+	g := gen.RMAT(10, 8, gen.Graph500RMAT, 42, false)
+	res := BFSParallel(g, 0)
+
+	topDown := reg.Counter("par_invocations_total", telemetry.L("op", "bfs.topdown")).Value()
+	bottomUp := reg.Counter("par_invocations_total", telemetry.L("op", "bfs.bottomup")).Value()
+	mark := reg.Counter("par_invocations_total", telemetry.L("op", "bfs.mark")).Value()
+	t.Logf("bfs.topdown=%d bfs.bottomup=%d bfs.mark=%d", topDown, bottomUp, mark)
+	if topDown == 0 {
+		t.Error("top-down phase never invoked")
+	}
+	if bottomUp == 0 {
+		t.Error("bottom-up phase never invoked — Beamer switch did not fire")
+	}
+	if mark != bottomUp {
+		t.Errorf("frontier-mark invocations (%d) != bottom-up invocations (%d)", mark, bottomUp)
+	}
+
+	seq := BFS(g, 0)
+	if res.Visited != seq.Visited {
+		t.Fatalf("visited %d != sequential %d", res.Visited, seq.Visited)
+	}
+	for v := range seq.Depth {
+		if res.Depth[v] != seq.Depth[v] {
+			t.Fatalf("depth[%d] = %d, sequential %d", v, res.Depth[v], seq.Depth[v])
+		}
+	}
+}

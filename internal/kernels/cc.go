@@ -1,6 +1,9 @@
 package kernels
 
-import "repro/internal/graph"
+import (
+	"repro/internal/graph"
+	"repro/internal/scratch"
+)
 
 // CCResult labels every vertex with a component ID; IDs are the smallest
 // vertex ID in the component, so results are canonical and comparable across
@@ -11,18 +14,20 @@ type CCResult struct {
 }
 
 // canonicalize relabels components by their minimum member so different
-// algorithms produce identical outputs.
+// algorithms produce identical outputs. The label domain is [0, n) (every
+// producer labels with vertex or dense component IDs), so the relabeling
+// runs through a SPA rather than a map.
 func canonicalize(label []int32) *CCResult {
-	minOf := make(map[int32]int32)
+	minOf := scratch.NewSPA[int32](len(label))
 	for v, l := range label {
-		if m, ok := minOf[l]; !ok || int32(v) < m {
-			minOf[l] = int32(v)
+		if p, fresh := minOf.Probe(l); fresh || int32(v) < *p {
+			*p = int32(v)
 		}
 	}
 	for v, l := range label {
-		label[v] = minOf[l]
+		label[v] = minOf.Value(l)
 	}
-	return &CCResult{Label: label, NumComponents: int32(len(minOf))}
+	return &CCResult{Label: label, NumComponents: int32(minOf.Len())}
 }
 
 // WCC computes weakly connected components with a union-find (disjoint set)

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/scratch"
 )
 
 // CommunityResult assigns each vertex a community label (canonicalized to
@@ -29,7 +30,8 @@ func LabelPropagation(g *graph.Graph, maxRounds int, seed int64) *CommunityResul
 	for i := range order {
 		order[i] = int32(i)
 	}
-	counts := make(map[int32]int32)
+	counts := borrowSPAI32(n)
+	defer returnSPAI32(counts)
 	for round := 0; round < maxRounds; round++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		changed := 0
@@ -38,15 +40,13 @@ func LabelPropagation(g *graph.Graph, maxRounds int, seed int64) *CommunityResul
 			if len(ns) == 0 {
 				continue
 			}
-			for k := range counts {
-				delete(counts, k)
-			}
+			counts.Reset()
 			for _, w := range ns {
-				counts[label[w]]++
+				counts.Add(label[w], 1)
 			}
 			best, bestCount := label[v], int32(0)
-			for l, c := range counts {
-				if c > bestCount || (c == bestCount && l < best) {
+			for _, l := range counts.Touched() {
+				if c := counts.Value(l); c > bestCount || (c == bestCount && l < best) {
 					best, bestCount = l, c
 				}
 			}
@@ -75,31 +75,28 @@ func Modularity(g *graph.Graph, label []int32) float64 {
 	if m == 0 {
 		return 0
 	}
-	intra := make(map[int32]float64)
-	deg := make(map[int32]float64)
-	for v := int32(0); v < g.NumVertices(); v++ {
+	n := g.NumVertices()
+	intra := scratch.NewSPA[float64](int(n))
+	deg := scratch.NewSPA[float64](int(n))
+	for v := int32(0); v < n; v++ {
 		lv := label[v]
-		deg[lv] += float64(g.Degree(v))
+		deg.Add(lv, float64(g.Degree(v)))
 		for _, w := range g.Neighbors(v) {
 			if label[w] == lv && w > v {
-				intra[lv]++
+				intra.Add(lv, 1)
 			}
 		}
 	}
-	// Sum in sorted label order: float accumulation in map iteration order
+	// Sum in sorted label order: float accumulation in arbitrary order
 	// would make Q nondeterministic at the bit level, which the determinism
 	// suite forbids.
-	labels := make([]int32, 0, len(deg))
-	for c := range deg {
-		labels = append(labels, c)
-	}
-	sortInt32s(labels, func(a, b int32) bool { return a < b })
+	labels := deg.SortedTouched()
 	q := 0.0
 	for _, c := range labels {
-		q += intra[c] / m
+		q += intra.Value(c) / m
 	}
 	for _, c := range labels {
-		d := deg[c]
+		d := deg.Value(c)
 		q -= (d / (2 * m)) * (d / (2 * m))
 	}
 	return q

@@ -1,8 +1,11 @@
 package kernels
 
 import (
+	"sync/atomic"
+
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/scratch"
 )
 
 // LabelPropagationSync runs synchronous (Jacobi-style) label propagation:
@@ -13,6 +16,11 @@ import (
 // labels, so — unlike the seeded asynchronous LabelPropagation — the result
 // is byte-identical for any worker count, which is what the determinism
 // suite exercises. Labels are canonicalized to minimum member IDs.
+//
+// Vote counting scatters into one SPA per worker, reused across every
+// chunk and round (allocated lazily the first time a worker pulls work),
+// instead of a fresh map per chunk. The changed tally is an integer sum,
+// so accumulating it atomically across chunks stays deterministic.
 func LabelPropagationSync(g *graph.Graph, maxRounds int) *CommunityResult {
 	n := g.NumVertices()
 	label := make([]int32, n)
@@ -20,41 +28,49 @@ func LabelPropagationSync(g *graph.Graph, maxRounds int) *CommunityResult {
 	for v := range label {
 		label[v] = int32(v)
 	}
+	opt := par.Opt{Name: "lp.sync"}
+	votes := make([]*scratch.SPA[int32], opt.WorkerCount())
 	for round := 0; round < maxRounds; round++ {
-		changed := par.Reduce(int(n), par.Opt{Name: "lp.sync"},
-			func(lo, hi int) int {
-				counts := make(map[int32]int32)
-				c := 0
-				for v := int32(lo); v < int32(hi); v++ {
-					ns := g.Neighbors(v)
-					if len(ns) == 0 {
-						next[v] = label[v]
-						continue
-					}
-					for k := range counts {
-						delete(counts, k)
-					}
-					counts[label[v]]++ // self-vote
-					for _, w := range ns {
-						counts[label[w]]++
-					}
-					best, bestCount := label[v], counts[label[v]]
-					for l, cnt := range counts {
-						if cnt > bestCount || (cnt == bestCount && l < best) {
-							best, bestCount = l, cnt
-						}
-					}
-					next[v] = best
-					if best != label[v] {
-						c++
+		var changed atomic.Int64
+		par.ForW(int(n), opt, func(w, lo, hi int) {
+			counts := votes[w]
+			if counts == nil {
+				counts = borrowSPAI32(n)
+				votes[w] = counts
+			}
+			c := 0
+			for v := int32(lo); v < int32(hi); v++ {
+				ns := g.Neighbors(v)
+				if len(ns) == 0 {
+					next[v] = label[v]
+					continue
+				}
+				counts.Reset()
+				counts.Add(label[v], 1) // self-vote
+				for _, w := range ns {
+					counts.Add(label[w], 1)
+				}
+				best, bestCount := label[v], counts.Value(label[v])
+				for _, l := range counts.Touched() {
+					if cnt := counts.Value(l); cnt > bestCount || (cnt == bestCount && l < best) {
+						best, bestCount = l, cnt
 					}
 				}
-				return c
-			},
-			func(a, b int) int { return a + b })
+				next[v] = best
+				if best != label[v] {
+					c++
+				}
+			}
+			changed.Add(int64(c))
+		})
 		label, next = next, label
-		if changed == 0 {
+		if changed.Load() == 0 {
 			break
+		}
+	}
+	for _, s := range votes {
+		if s != nil {
+			returnSPAI32(s)
 		}
 	}
 	cc := canonicalize(label)

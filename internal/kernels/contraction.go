@@ -1,6 +1,9 @@
 package kernels
 
-import "repro/internal/graph"
+import (
+	"repro/internal/graph"
+	"repro/internal/scratch"
+)
 
 // Contract builds the quotient graph induced by a vertex labeling: each
 // distinct label becomes one super-vertex, parallel edges between
@@ -13,21 +16,9 @@ import "repro/internal/graph"
 // super-vertex ID.
 func Contract(g *graph.Graph, label []int32) (*graph.Graph, []int32) {
 	n := g.NumVertices()
-	// Dense-renumber labels.
-	super := make(map[int32]int32)
-	mapping := make([]int32, n)
-	for v := int32(0); v < n; v++ {
-		l := label[v]
-		s, ok := super[l]
-		if !ok {
-			s = int32(len(super))
-			super[l] = s
-		}
-		mapping[v] = s
-	}
-	ns := int32(len(super))
-	// Accumulate merged edge weights.
-	acc := make(map[int64]float32)
+	mapping, ns := denseRenumber(label)
+	// Accumulate merged edge weights into a flat pair-keyed accumulator.
+	acc := scratch.NewMap64[float32](int(n))
 	for v := int32(0); v < n; v++ {
 		sv := mapping[v]
 		nbrs := g.Neighbors(v)
@@ -41,16 +32,39 @@ func Contract(g *graph.Graph, label []int32) (*graph.Graph, []int32) {
 			if ws != nil {
 				ew = ws[i]
 			}
-			acc[int64(sv)<<32|int64(uint32(sw))] += ew
+			acc.Add(int64(sv)<<32|int64(uint32(sw)), ew)
 		}
 	}
 	b := graph.NewBuilder(ns).Weighted()
 	b.AllowSelfLoops()
-	for key, w := range acc {
+	acc.ForEach(func(key int64, w float32) {
 		b.AddWeighted(int32(key>>32), int32(uint32(key)), w)
-	}
+	})
 	cg := b.Build()
 	return cg, mapping
+}
+
+// denseRenumber maps each distinct label (labels must be non-negative,
+// but may exceed the vertex count) to a dense super-vertex ID in
+// first-appearance order, via a SPA keyed by label. Returns the per-vertex
+// mapping and the number of distinct labels.
+func denseRenumber(label []int32) ([]int32, int32) {
+	maxL := int32(0)
+	for _, l := range label {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	super := scratch.NewSPA[int32](int(maxL) + 1)
+	mapping := make([]int32, len(label))
+	for v, l := range label {
+		p, fresh := super.Probe(l)
+		if fresh {
+			*p = int32(super.Len() - 1)
+		}
+		mapping[v] = *p
+	}
+	return mapping, int32(super.Len())
 }
 
 // ContractionChain repeatedly contracts by connected components of a

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/scratch"
 )
 
 // JaccardPairScore is one vertex pair and its Jaccard similarity
@@ -44,7 +45,8 @@ func JaccardAll(g *graph.Graph, minShared int32, threshold float64, maxPairs int
 	}
 	// Count common neighbors per pair via wedge enumeration, keyed on the
 	// lower vertex to halve memory.
-	counts := make(map[int64]int32)
+	counts := borrowWedgeMap()
+	defer returnWedgeMap(counts)
 	for x := int32(0); x < n; x++ {
 		ns := g.Neighbors(x)
 		for i := 0; i < len(ns); i++ {
@@ -53,22 +55,22 @@ func JaccardAll(g *graph.Graph, minShared int32, threshold float64, maxPairs int
 				if u == v {
 					continue
 				}
-				counts[pairKey(u, v)]++
+				counts.Add(pairKey(u, v), 1)
 			}
 		}
 	}
 	return scoreWedgeCounts(g, counts, minShared, threshold, maxPairs)
 }
 
-// scoreWedgeCounts turns a pair -> common-neighbor-count map into the
-// filtered, score-sorted pair list shared by JaccardAll and
+// scoreWedgeCounts turns a pair -> common-neighbor-count accumulator into
+// the filtered, score-sorted pair list shared by JaccardAll and
 // JaccardAllParallel. The (score desc, U asc, V asc) sort is a total order
-// over distinct pairs, so the output is independent of map iteration order.
-func scoreWedgeCounts(g *graph.Graph, counts map[int64]int32, minShared int32, threshold float64, maxPairs int) []JaccardPairScore {
-	out := make([]JaccardPairScore, 0, len(counts)/4)
-	for key, c := range counts {
+// over distinct pairs, so the output is independent of accumulation order.
+func scoreWedgeCounts(g *graph.Graph, counts *scratch.Map64[int32], minShared int32, threshold float64, maxPairs int) []JaccardPairScore {
+	out := make([]JaccardPairScore, 0, counts.Len()/4)
+	counts.ForEach(func(key int64, c int32) {
 		if c < minShared {
-			continue
+			return
 		}
 		u, v := unpairKey(key)
 		union := g.Degree(u) + g.Degree(v) - c
@@ -79,7 +81,7 @@ func scoreWedgeCounts(g *graph.Graph, counts map[int64]int32, minShared int32, t
 		if score >= threshold {
 			out = append(out, JaccardPairScore{U: u, V: v, Inter: c, Score: score})
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
@@ -102,17 +104,19 @@ func scoreWedgeCounts(g *graph.Graph, counts map[int64]int32, minShared int32, t
 // the 2-hop neighborhood of u, not the graph.
 func JaccardFromVertex(g *graph.Graph, u int32, threshold float64) []JaccardPairScore {
 	nu := g.Neighbors(u)
-	common := make(map[int32]int32)
+	common := borrowSPAI32(g.NumVertices())
+	defer returnSPAI32(common)
 	for _, x := range nu {
 		for _, v := range g.Neighbors(x) {
 			if v != u {
-				common[v]++
+				common.Add(v, 1)
 			}
 		}
 	}
-	out := make([]JaccardPairScore, 0, len(common))
+	out := make([]JaccardPairScore, 0, common.Len())
 	du := g.Degree(u)
-	for v, c := range common {
+	for _, v := range common.Touched() {
+		c := common.Value(v)
 		union := du + g.Degree(v) - c
 		score := 0.0
 		if union > 0 {

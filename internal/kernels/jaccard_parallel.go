@@ -3,44 +3,61 @@ package kernels
 import (
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/scratch"
 )
 
 // JaccardAllParallel is the batch NORA computation of JaccardAll with the
-// wedge enumeration fanned out through the par scheduler: each chunk of
-// wedge centers counts common neighbors into a private map, and the maps
-// merge by integer addition (order-independent). Scoring and the total-order
-// sort are shared with the sequential kernel, so the output is byte-identical
-// to JaccardAll for any worker count.
+// wedge enumeration fanned out through the par scheduler: each worker
+// counts common neighbors into a private flat accumulator reused across
+// all chunks it pulls (borrowed from the shared pool, so repeated calls
+// allocate nothing), and the per-worker accumulators merge by integer
+// addition — order-independent, so which worker counted which wedge never
+// shows. Scoring and the total-order sort are shared with the sequential
+// kernel, so the output is byte-identical to JaccardAll for any worker
+// count.
 func JaccardAllParallel(g *graph.Graph, minShared int32, threshold float64, maxPairs int) []JaccardPairScore {
 	n := g.NumVertices()
 	if minShared < 1 {
 		minShared = 1
 	}
-	counts := par.Reduce(int(n), par.Opt{Name: "jaccard.wedges"},
-		func(lo, hi int) map[int64]int32 {
-			local := make(map[int64]int32)
-			for x := int32(lo); x < int32(hi); x++ {
-				ns := g.Neighbors(x)
-				for i := 0; i < len(ns); i++ {
-					for j := i + 1; j < len(ns); j++ {
-						u, v := ns[i], ns[j]
-						if u == v {
-							continue
-						}
-						local[pairKey(u, v)]++
+	opt := par.Opt{Name: "jaccard.wedges"}
+	locals := make([]*scratch.Map64[int32], opt.WorkerCount())
+	par.ForW(int(n), opt, func(w, lo, hi int) {
+		local := locals[w]
+		if local == nil {
+			local = borrowWedgeMap()
+			locals[w] = local
+		}
+		for x := int32(lo); x < int32(hi); x++ {
+			ns := g.Neighbors(x)
+			for i := 0; i < len(ns); i++ {
+				for j := i + 1; j < len(ns); j++ {
+					u, v := ns[i], ns[j]
+					if u == v {
+						continue
 					}
+					local.Add(pairKey(u, v), 1)
 				}
 			}
-			return local
-		},
-		func(acc, next map[int64]int32) map[int64]int32 {
-			if len(acc) < len(next) {
-				acc, next = next, acc
-			}
-			for k, c := range next {
-				acc[k] += c
-			}
-			return acc
-		})
+		}
+	})
+	// Merge worker accumulators into the fullest one (fewest reinserts).
+	var counts *scratch.Map64[int32]
+	for _, m := range locals {
+		if m != nil && (counts == nil || m.Len() > counts.Len()) {
+			counts = m
+		}
+	}
+	if counts == nil {
+		counts = borrowWedgeMap()
+	}
+	for _, m := range locals {
+		if m == nil || m == counts {
+			continue
+		}
+		m.ForEach(counts.Add)
+		returnWedgeMap(m)
+	}
+	defer returnWedgeMap(counts)
 	return scoreWedgeCounts(g, counts, minShared, threshold, maxPairs)
 }

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"repro/internal/graph"
+	"repro/internal/scratch"
 )
 
 // ScoredVertex is a vertex paired with a numeric score, used by top-k
@@ -65,13 +66,13 @@ func TopKByDegree(g *graph.Graph, k int) []ScoredVertex {
 // largest-component extraction).
 func LargestComponent(g *graph.Graph) []int32 {
 	cc := WCC(g)
-	sizes := make(map[int32]int64)
+	sizes := scratch.NewSPA[int64](len(cc.Label))
 	for _, l := range cc.Label {
-		sizes[l]++
+		sizes.Add(l, 1)
 	}
 	best, bestSize := int32(-1), int64(-1)
-	for l, s := range sizes {
-		if s > bestSize || (s == bestSize && l < best) {
+	for _, l := range sizes.Touched() {
+		if s := sizes.Value(l); s > bestSize || (s == bestSize && l < best) {
 			best, bestSize = l, s
 		}
 	}

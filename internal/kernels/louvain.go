@@ -1,6 +1,9 @@
 package kernels
 
-import "repro/internal/graph"
+import (
+	"repro/internal/graph"
+	"repro/internal/scratch"
+)
 
 // Louvain community detection: repeated local modularity-gain moves
 // followed by graph contraction (aggregation), the standard multilevel
@@ -60,18 +63,8 @@ func Louvain(g *graph.Graph, maxLevels, maxSweeps int) *CommunityResult {
 // modularity gains at deeper levels.
 func louvainAggregate(g *graph.Graph, label []int32) (*graph.Graph, []int32) {
 	n := g.NumVertices()
-	super := make(map[int32]int32)
-	mapping := make([]int32, n)
-	for v := int32(0); v < n; v++ {
-		l := label[v]
-		s, ok := super[l]
-		if !ok {
-			s = int32(len(super))
-			super[l] = s
-		}
-		mapping[v] = s
-	}
-	acc := make(map[int64]float32)
+	mapping, ns := denseRenumber(label)
+	acc := scratch.NewMap64[float32](int(n))
 	for v := int32(0); v < n; v++ {
 		sv := mapping[v]
 		nbrs := g.Neighbors(v)
@@ -81,13 +74,13 @@ func louvainAggregate(g *graph.Graph, label []int32) (*graph.Graph, []int32) {
 			if ws != nil {
 				ew = ws[i]
 			}
-			acc[int64(sv)<<32|int64(uint32(mapping[w]))] += ew
+			acc.Add(int64(sv)<<32|int64(uint32(mapping[w])), ew)
 		}
 	}
-	b := graph.NewBuilder(int32(len(super))).Weighted().AllowSelfLoops()
-	for key, w := range acc {
+	b := graph.NewBuilder(ns).Weighted().AllowSelfLoops()
+	acc.ForEach(func(key int64, w float32) {
 		b.AddWeighted(int32(key>>32), int32(uint32(key)), w)
-	}
+	})
 	return b.Build(), mapping
 }
 
@@ -121,15 +114,13 @@ func louvainLevel(g *graph.Graph, maxSweeps int) (bool, []int32) {
 	copy(commWeight, wdeg)
 
 	anyMoved := false
-	neighWeight := make(map[int32]float64)
+	neighWeight := scratch.NewSPA[float64](int(n))
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		movedThisSweep := false
 		for v := int32(0); v < n; v++ {
 			cv := comm[v]
 			// Weights from v into each neighboring community.
-			for k := range neighWeight {
-				delete(neighWeight, k)
-			}
+			neighWeight.Reset()
 			ns := g.Neighbors(v)
 			ws := g.NeighborWeights(v)
 			for i, u := range ns {
@@ -140,14 +131,14 @@ func louvainLevel(g *graph.Graph, maxSweeps int) (bool, []int32) {
 				if ws != nil {
 					w = float64(ws[i])
 				}
-				neighWeight[comm[u]] += w
+				neighWeight.Add(comm[u], w)
 			}
 			// Remove v from its community.
 			commWeight[cv] -= wdeg[v]
 			// Best gain: ΔQ ∝ w(v→C) − wdeg[v]·Σ_C / 2m.
-			bestC, bestGain := cv, neighWeight[cv]-wdeg[v]*commWeight[cv]/m2
-			for c, wvc := range neighWeight {
-				gain := wvc - wdeg[v]*commWeight[c]/m2
+			bestC, bestGain := cv, neighWeight.Value(cv)-wdeg[v]*commWeight[cv]/m2
+			for _, c := range neighWeight.Touched() {
+				gain := neighWeight.Value(c) - wdeg[v]*commWeight[c]/m2
 				if gain > bestGain || (gain == bestGain && c < bestC) {
 					bestC, bestGain = c, gain
 				}

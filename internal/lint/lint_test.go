@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// hotPathAllow lists the files in internal/kernels and internal/matrix that
+// may allocate maps: cold-path kernels where a map is the honest structure
+// (string-keyed motif tables, per-query candidate sets, partition metadata)
+// and the hot loop never touches it. Adding a file here needs a review
+// argument for why a scratch accumulator does not fit.
+var hotPathAllow = map[string]bool{
+	"bc.go":        true, // per-source predecessor lists, rebuilt per traversal
+	"mst.go":       true, // Borůvka component-edge maps, O(components) per round
+	"partition.go": true, // partition metadata, not per-edge
+	"ppr.go":       true, // sparse residual over a few touched vertices
+	"subiso.go":    true, // per-candidate match state, exponential search anyway
+	"temporal.go":  true, // time-indexed adjacency, build-time only
+}
+
+// TestHotPathsHaveNoMapAccumulators is the CI gate: the migrated hot-path
+// packages must stay free of `make(map[...])` outside the allowlist.
+func TestHotPathsHaveNoMapAccumulators(t *testing.T) {
+	dirs := []string{
+		filepath.Join("..", "kernels"),
+		filepath.Join("..", "matrix"),
+	}
+	findings, err := NoMapAccumulators(dirs, hotPathAllow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Error(f.String())
+	}
+}
+
+// TestNoMapAccumulatorsDetects checks the analyzer itself on synthetic
+// sources: a map make is flagged with the right line, non-map makes and
+// test files are ignored, and the allowlist suppresses.
+func TestNoMapAccumulatorsDetects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("bad.go", "package p\n\nfunc f() {\n\tm := make(map[int64]int32, 8)\n\t_ = m\n}\n")
+	write("ok.go", "package p\n\nfunc g() []int { return make([]int, 4) }\n")
+	write("bad_test.go", "package p\n\nfunc h() { _ = make(map[int]int) }\n")
+	write("allowed.go", "package p\n\nfunc i() { _ = make(map[string]bool) }\n")
+
+	findings, err := NoMapAccumulators([]string{dir}, map[string]bool{"allowed.go": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly bad.go", findings)
+	}
+	f := findings[0]
+	if filepath.Base(f.File) != "bad.go" || f.Line != 4 {
+		t.Errorf("finding = %+v, want bad.go:4", f)
+	}
+	if f.Expr != "make(map[int64]int32, 8)" {
+		t.Errorf("expr = %q", f.Expr)
+	}
+}

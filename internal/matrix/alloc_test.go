@@ -1,0 +1,23 @@
+package matrix
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestAllocBudgetSpGEMMRows pins the allocation budget of Gustavson SpGEMM
+// row accumulation (A²) on a small fixed graph. The budget is generous
+// (several × the measured steady state, which is dominated by the output CSR
+// and the row-emission appends) so GC timing and sync.Pool eviction cannot
+// flake it, but a reintroduced per-row map accumulator — thousands of
+// allocations here — trips it immediately.
+func TestAllocBudgetSpGEMMRows(t *testing.T) {
+	g := gen.RMAT(8, 8, gen.Graph500RMAT, 42, false)
+	a := AdjacencyMatrix(g)
+	avg := testing.AllocsPerRun(10, func() { SpGEMMGustavson(PlusTimes, a, a) })
+	t.Logf("SpGEMMGustavson allocs/run = %.1f", avg)
+	if avg > 120 {
+		t.Errorf("SpGEMMGustavson allocated %.1f times per run, budget 120", avg)
+	}
+}

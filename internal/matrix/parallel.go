@@ -1,6 +1,9 @@
 package matrix
 
-import "repro/internal/par"
+import (
+	"repro/internal/par"
+	"repro/internal/scratch"
+)
 
 // Row-parallel operations: each chunk of rows is computed into a private
 // block (local row pointers + column/value arrays) through the par
@@ -38,39 +41,33 @@ func stitchBlocks(rows, cols int32, blocks []rowBlock) *CSR {
 }
 
 // SpGEMMParallel computes C = A ⊕.⊗ B with row-parallel Gustavson: each
-// chunk of A's rows runs the sequential Gustavson inner loop with its own
-// dense accumulator. Same output as SpGEMMGustavson for any worker count;
-// used by the scaling ablation and anywhere a whole-machine SpGEMM is
-// wanted.
+// worker reuses one SPA accumulator across all chunks of A's rows it
+// pulls (par.ChunksWithScratch), so the per-chunk allocation is just the
+// output block. Same output as SpGEMMGustavson for any worker count; used
+// by the scaling ablation and anywhere a whole-machine SpGEMM is wanted.
 func SpGEMMParallel(sr Semiring, a, b *CSR) *CSR {
-	blocks := par.Chunks(int(a.Rows), par.Opt{Name: "spgemm.rows"},
-		func(_, lo, hi int) rowBlock {
-			accVal := make([]float64, b.Cols)
-			accSet := make([]bool, b.Cols)
-			var touched []int32
+	blocks := par.ChunksWithScratch(int(a.Rows), par.Opt{Name: "spgemm.rows"},
+		func() *scratch.SPA[float64] { return scratch.NewSPA[float64](int(b.Cols)) },
+		func(acc *scratch.SPA[float64], _, lo, hi int) rowBlock {
 			out := rowBlock{lo: int32(lo), hi: int32(hi), rowPtr: make([]int64, hi-lo+1)}
 			for i := int32(lo); i < int32(hi); i++ {
-				touched = touched[:0]
+				acc.Reset()
 				aCols, aVals := a.Row(i)
 				for k, j := range aCols {
 					av := aVals[k]
 					bCols, bVals := b.Row(j)
 					for t, col := range bCols {
 						prod := sr.Times(av, bVals[t])
-						if !accSet[col] {
-							accSet[col] = true
-							accVal[col] = prod
-							touched = append(touched, col)
+						if p, fresh := acc.Probe(col); fresh {
+							*p = prod
 						} else {
-							accVal[col] = sr.Plus(accVal[col], prod)
+							*p = sr.Plus(*p, prod)
 						}
 					}
 				}
-				sortIdx(touched)
-				for _, col := range touched {
+				for _, col := range acc.SortedTouched() {
 					out.colIdx = append(out.colIdx, col)
-					out.vals = append(out.vals, accVal[col])
-					accSet[col] = false
+					out.vals = append(out.vals, acc.Value(col))
 				}
 				out.rowPtr[i-int32(lo)+1] = int64(len(out.colIdx))
 			}

@@ -98,7 +98,8 @@ func (v *SparseVec) NNZ() int { return len(v.Idx) }
 // complement" semantics used by direction-optimizing BFS in GraphBLAS).
 // at must be the transpose of the logical A so column access is contiguous.
 func SpMSpV(sr Semiring, at *CSR, x *SparseVec, mask []bool) *SparseVec {
-	acc := make(map[int32]float64)
+	acc := borrowSPA(at.Cols)
+	defer returnSPA(acc)
 	for k, j := range x.Idx {
 		xv := x.Vals[k]
 		rows, vals := at.Row(j) // column j of A
@@ -107,20 +108,18 @@ func SpMSpV(sr Semiring, at *CSR, x *SparseVec, mask []bool) *SparseVec {
 				continue
 			}
 			prod := sr.Times(vals[t], xv)
-			if cur, ok := acc[i]; ok {
-				acc[i] = sr.Plus(cur, prod)
+			if p, fresh := acc.Probe(i); fresh {
+				*p = prod
 			} else {
-				acc[i] = prod
+				*p = sr.Plus(*p, prod)
 			}
 		}
 	}
-	out := &SparseVec{Idx: make([]int32, 0, len(acc)), Vals: make([]float64, 0, len(acc))}
-	for i := range acc {
-		out.Idx = append(out.Idx, i)
-	}
-	sortIdx(out.Idx)
-	for _, i := range out.Idx {
-		out.Vals = append(out.Vals, acc[i])
+	touched := acc.SortedTouched()
+	out := &SparseVec{Idx: make([]int32, len(touched)), Vals: make([]float64, len(touched))}
+	copy(out.Idx, touched)
+	for t, i := range touched {
+		out.Vals[t] = acc.Value(i)
 	}
 	return out
 }

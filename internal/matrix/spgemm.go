@@ -21,31 +21,26 @@ func MulFlops(a, b *CSR) int64 {
 // inputs is the random scatter into the accumulator.
 func SpGEMMGustavson(sr Semiring, a, b *CSR) *CSR {
 	c := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int64, a.Rows+1)}
-	accVal := make([]float64, b.Cols)
-	accSet := make([]bool, b.Cols)
-	var touched []int32
+	acc := borrowSPA(b.Cols)
+	defer returnSPA(acc)
 	for i := int32(0); i < a.Rows; i++ {
-		touched = touched[:0]
+		acc.Reset()
 		aCols, aVals := a.Row(i)
 		for k, j := range aCols {
 			av := aVals[k]
 			bCols, bVals := b.Row(j)
 			for t, col := range bCols {
 				prod := sr.Times(av, bVals[t])
-				if !accSet[col] {
-					accSet[col] = true
-					accVal[col] = prod
-					touched = append(touched, col)
+				if p, fresh := acc.Probe(col); fresh {
+					*p = prod
 				} else {
-					accVal[col] = sr.Plus(accVal[col], prod)
+					*p = sr.Plus(*p, prod)
 				}
 			}
 		}
-		sortIdx(touched)
-		for _, col := range touched {
+		for _, col := range acc.SortedTouched() {
 			c.ColIdx = append(c.ColIdx, col)
-			c.Vals = append(c.Vals, accVal[col])
-			accSet[col] = false
+			c.Vals = append(c.Vals, acc.Value(col))
 		}
 		c.RowPtr[i+1] = int64(len(c.ColIdx))
 	}

@@ -113,19 +113,29 @@ func ReadBenchFile(path string) (*BenchFile, error) {
 	return &f, nil
 }
 
-// Regression is one case that slowed beyond the threshold.
+// Metric names a compared benchmark dimension.
+const (
+	MetricNsPerOp    = "ns_per_op"
+	MetricAllocBytes = "alloc_bytes"
+)
+
+// Regression is one (case, metric) pair that worsened beyond its threshold.
 type Regression struct {
-	Case       string  `json:"case"`
-	BaselineNs int64   `json:"baseline_ns"`
-	CurrentNs  int64   `json:"current_ns"`
-	Ratio      float64 `json:"ratio"`
+	Case     string  `json:"case"`
+	Metric   string  `json:"metric"` // MetricNsPerOp or MetricAllocBytes
+	Baseline int64   `json:"baseline"`
+	Current  int64   `json:"current"`
+	Ratio    float64 `json:"ratio"`
 }
 
 // RegressionReport is the outcome of comparing a run against a baseline.
+// Time and allocation are gated independently: a kernel that got faster by
+// allocating much more (or vice versa) is still flagged.
 type RegressionReport struct {
-	Threshold   float64      `json:"threshold"`
-	Compared    int          `json:"compared"`
-	Regressions []Regression `json:"regressions"`
+	Threshold      float64      `json:"threshold"`       // ns/op ratio gate
+	AllocThreshold float64      `json:"alloc_threshold"` // alloc_bytes ratio gate
+	Compared       int          `json:"compared"`
+	Regressions    []Regression `json:"regressions"`
 	// Improved lists cases at least (2 - threshold)× faster — surfaced so
 	// speedups get re-baselined instead of silently masking later drift.
 	Improved []string `json:"improved,omitempty"`
@@ -136,13 +146,19 @@ type RegressionReport struct {
 }
 
 // CompareBench flags every case whose current ns/op exceeds threshold ×
-// baseline ns/op. threshold <= 1 defaults to 1.30 (30% slack — generous
-// because CI hosts are noisy; tighten locally).
-func CompareBench(baseline, current *BenchFile, threshold float64) *RegressionReport {
+// baseline ns/op, and every case whose current alloc_bytes exceeds
+// allocThreshold × baseline alloc_bytes. threshold <= 1 defaults to 1.30
+// (30% slack — generous because CI hosts are noisy; tighten locally);
+// allocThreshold <= 1 defaults to 1.50 (allocation is exact per run, but
+// pooled scratch makes the steady-state bill sensitive to GC timing).
+func CompareBench(baseline, current *BenchFile, threshold, allocThreshold float64) *RegressionReport {
 	if threshold <= 1 {
 		threshold = 1.30
 	}
-	rep := &RegressionReport{Threshold: threshold}
+	if allocThreshold <= 1 {
+		allocThreshold = 1.50
+	}
+	rep := &RegressionReport{Threshold: threshold, AllocThreshold: allocThreshold}
 	base := make(map[string]BenchCase, len(baseline.Cases))
 	for _, c := range baseline.Cases {
 		base[c.Name] = c
@@ -156,16 +172,25 @@ func CompareBench(baseline, current *BenchFile, threshold float64) *RegressionRe
 			continue
 		}
 		rep.Compared++
-		if b.NsPerOp <= 0 {
-			continue
+		if b.NsPerOp > 0 {
+			ratio := float64(c.NsPerOp) / float64(b.NsPerOp)
+			if ratio > threshold {
+				rep.Regressions = append(rep.Regressions, Regression{
+					Case: c.Name, Metric: MetricNsPerOp,
+					Baseline: b.NsPerOp, Current: c.NsPerOp, Ratio: ratio,
+				})
+			} else if ratio < 1/threshold {
+				rep.Improved = append(rep.Improved, c.Name)
+			}
 		}
-		ratio := float64(c.NsPerOp) / float64(b.NsPerOp)
-		if ratio > threshold {
-			rep.Regressions = append(rep.Regressions, Regression{
-				Case: c.Name, BaselineNs: b.NsPerOp, CurrentNs: c.NsPerOp, Ratio: ratio,
-			})
-		} else if ratio < 1/threshold {
-			rep.Improved = append(rep.Improved, c.Name)
+		if b.Account.AllocBytes > 0 {
+			ratio := float64(c.Account.AllocBytes) / float64(b.Account.AllocBytes)
+			if ratio > allocThreshold {
+				rep.Regressions = append(rep.Regressions, Regression{
+					Case: c.Name, Metric: MetricAllocBytes,
+					Baseline: b.Account.AllocBytes, Current: c.Account.AllocBytes, Ratio: ratio,
+				})
+			}
 		}
 	}
 	for name := range base {
@@ -174,7 +199,10 @@ func CompareBench(baseline, current *BenchFile, threshold float64) *RegressionRe
 		}
 	}
 	sort.Slice(rep.Regressions, func(i, j int) bool {
-		return rep.Regressions[i].Ratio > rep.Regressions[j].Ratio
+		if rep.Regressions[i].Ratio != rep.Regressions[j].Ratio {
+			return rep.Regressions[i].Ratio > rep.Regressions[j].Ratio
+		}
+		return rep.Regressions[i].Case < rep.Regressions[j].Case
 	})
 	sort.Strings(rep.Improved)
 	sort.Strings(rep.MissingFromRun)
@@ -187,14 +215,18 @@ func (r *RegressionReport) Failed() bool { return len(r.Regressions) > 0 }
 
 // Render writes the human-readable comparison summary.
 func (r *RegressionReport) Render(w io.Writer) {
-	fmt.Fprintf(w, "baseline comparison: %d cases compared, threshold %.2fx\n",
-		r.Compared, r.Threshold)
+	fmt.Fprintf(w, "baseline comparison: %d cases compared, thresholds %.2fx ns/op, %.2fx alloc\n",
+		r.Compared, r.Threshold, r.AllocThreshold)
 	if len(r.Regressions) > 0 {
 		fmt.Fprintf(w, "REGRESSIONS (%d):\n", len(r.Regressions))
-		fmt.Fprintf(w, "  %-32s %14s %14s %7s\n", "case", "baseline", "current", "ratio")
+		fmt.Fprintf(w, "  %-32s %-12s %14s %14s %7s\n", "case", "metric", "baseline", "current", "ratio")
 		for _, g := range r.Regressions {
-			fmt.Fprintf(w, "  %-32s %12dns %12dns %6.2fx\n",
-				g.Case, g.BaselineNs, g.CurrentNs, g.Ratio)
+			unit := "ns"
+			if g.Metric == MetricAllocBytes {
+				unit = "B"
+			}
+			fmt.Fprintf(w, "  %-32s %-12s %12d%-2s %12d%-2s %6.2fx\n",
+				g.Case, g.Metric, g.Baseline, unit, g.Current, unit, g.Ratio)
 		}
 	} else {
 		fmt.Fprintln(w, "no regressions")

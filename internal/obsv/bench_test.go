@@ -15,7 +15,7 @@ func sampleFile(stamp string, ns ...int64) *BenchFile {
 		cases[i] = BenchCase{
 			Name:    []string{"bfs/rmat-s10-ef8", "wcc/er-s10-ef8", "spgemm/rmat-s10-ef8"}[i%3],
 			Kernel:  "k", Graph: "g", Reps: 3, NsPerOp: n,
-			Account: Account{Op: "k", Wall: time.Duration(n), Items: 100},
+			Account: Account{Op: "k", Wall: time.Duration(n), Items: 100, AllocBytes: n * 10},
 			TEPS:    1,
 		}
 	}
@@ -66,7 +66,7 @@ func TestCompareBenchDetectsInjectedSlowdown(t *testing.T) {
 	current := sampleFile("cur", 1000, 2000, 3000)
 	current.Cases[1].NsPerOp *= 2 // injected 2x slowdown on wcc/er-s10-ef8
 
-	rep := CompareBench(baseline, current, 0) // 0 -> default 1.30
+	rep := CompareBench(baseline, current, 0, 0) // 0 -> defaults 1.30 / 1.50
 	if !rep.Failed() {
 		t.Fatal("2x slowdown not detected")
 	}
@@ -74,8 +74,8 @@ func TestCompareBenchDetectsInjectedSlowdown(t *testing.T) {
 		t.Fatalf("regressions = %+v, want exactly the injected one", rep.Regressions)
 	}
 	g := rep.Regressions[0]
-	if g.Case != "wcc/er-s10-ef8" {
-		t.Errorf("flagged case = %q", g.Case)
+	if g.Case != "wcc/er-s10-ef8" || g.Metric != MetricNsPerOp {
+		t.Errorf("flagged case = %q metric = %q", g.Case, g.Metric)
 	}
 	if g.Ratio < 1.99 || g.Ratio > 2.01 {
 		t.Errorf("ratio = %v, want ~2.0", g.Ratio)
@@ -85,10 +85,38 @@ func TestCompareBenchDetectsInjectedSlowdown(t *testing.T) {
 	}
 }
 
+// TestCompareBenchDetectsAllocRegression checks the allocation gate: a case
+// whose wall time is unchanged but whose alloc_bytes doubled must be flagged
+// under the alloc threshold, independent of the ns/op gate.
+func TestCompareBenchDetectsAllocRegression(t *testing.T) {
+	baseline := sampleFile("base", 1000, 2000, 3000)
+	current := sampleFile("cur", 1000, 2000, 3000)
+	current.Cases[2].Account.AllocBytes *= 2 // injected 2x alloc blowup on spgemm
+
+	rep := CompareBench(baseline, current, 1.30, 1.50)
+	if !rep.Failed() {
+		t.Fatal("2x alloc regression not detected")
+	}
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the injected one", rep.Regressions)
+	}
+	g := rep.Regressions[0]
+	if g.Case != "spgemm/rmat-s10-ef8" || g.Metric != MetricAllocBytes {
+		t.Errorf("flagged case = %q metric = %q", g.Case, g.Metric)
+	}
+	if g.Ratio < 1.99 || g.Ratio > 2.01 {
+		t.Errorf("ratio = %v, want ~2.0", g.Ratio)
+	}
+	// Under a looser alloc threshold the same run must pass.
+	if rep2 := CompareBench(baseline, current, 1.30, 2.5); rep2.Failed() {
+		t.Errorf("alloc threshold 2.5 still failed: %+v", rep2.Regressions)
+	}
+}
+
 func TestCompareBenchCleanRunPasses(t *testing.T) {
 	baseline := sampleFile("base", 1000, 2000, 3000)
 	current := sampleFile("cur", 1100, 1900, 3100) // within 30% slack
-	rep := CompareBench(baseline, current, 1.30)
+	rep := CompareBench(baseline, current, 1.30, 1.50)
 	if rep.Failed() {
 		t.Errorf("clean run flagged: %+v", rep.Regressions)
 	}
@@ -98,7 +126,7 @@ func TestCompareBenchImprovedAndMissing(t *testing.T) {
 	baseline := sampleFile("base", 1000, 2000, 3000)
 	current := sampleFile("cur", 400, 2000) // case 0 improved 2.5x, case 2 missing
 	current.Cases = append(current.Cases, BenchCase{Name: "new/case", NsPerOp: 5})
-	rep := CompareBench(baseline, current, 1.30)
+	rep := CompareBench(baseline, current, 1.30, 1.50)
 	if len(rep.Improved) != 1 || rep.Improved[0] != "bfs/rmat-s10-ef8" {
 		t.Errorf("improved = %v", rep.Improved)
 	}
@@ -116,7 +144,7 @@ func TestCompareBenchImprovedAndMissing(t *testing.T) {
 func TestRegressionReportRender(t *testing.T) {
 	baseline := sampleFile("base", 1000)
 	current := sampleFile("cur", 5000)
-	rep := CompareBench(baseline, current, 1.30)
+	rep := CompareBench(baseline, current, 1.30, 1.50)
 	var buf bytes.Buffer
 	rep.Render(&buf)
 	out := buf.String()
@@ -124,7 +152,7 @@ func TestRegressionReportRender(t *testing.T) {
 		t.Errorf("render missing regression detail:\n%s", out)
 	}
 	var clean bytes.Buffer
-	CompareBench(baseline, baseline, 1.30).Render(&clean)
+	CompareBench(baseline, baseline, 1.30, 1.50).Render(&clean)
 	if !strings.Contains(clean.String(), "no regressions") {
 		t.Errorf("clean render:\n%s", clean.String())
 	}

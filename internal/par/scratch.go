@@ -1,0 +1,53 @@
+package par
+
+// Per-worker scratch hooks: primitives whose chunk bodies need a reusable
+// accumulator (a SPA, a flat map, a visited bitmap) run through these
+// instead of allocating per chunk. Scratch values are created lazily, one
+// per pulling worker, and reused across all chunks that worker executes —
+// so an invocation allocates at most WorkerCount() scratch structures
+// regardless of chunk count, and nothing on the steady-state path.
+//
+// Determinism contract: chunk-to-worker assignment is nondeterministic, so
+// a body must Reset (or otherwise fully overwrite) the scratch state it
+// reads — anything that leaks from one chunk's scratch into another
+// chunk's output would depend on the schedule. The primitives here keep
+// par's worker-count-independence guarantee as long as bodies honor that.
+
+// WithScratch is For with a lazily created per-worker scratch value: body
+// sees the same s for every chunk its worker pulls.
+func WithScratch[S any](n int, opt Opt, mk func() S, body func(s S, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	ws := make([]S, opt.WorkerCount())
+	made := make([]bool, len(ws))
+	run(n, opt, func(w, lo, hi int) {
+		if !made[w] {
+			ws[w] = mk()
+			made[w] = true
+		}
+		body(ws[w], lo, hi)
+	})
+}
+
+// ChunksWithScratch is Chunks with a lazily created per-worker scratch
+// value. Results are returned in chunk-index order, so output remains
+// byte-identical for any worker count provided body's result does not
+// depend on scratch state left over from other chunks.
+func ChunksWithScratch[S, T any](n int, opt Opt, mk func() S, body func(s S, chunk, lo, hi int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	grain := grainFor(n, opt.Grain)
+	out := make([]T, (n+grain-1)/grain)
+	ws := make([]S, opt.WorkerCount())
+	made := make([]bool, len(ws))
+	run(n, opt, func(w, lo, hi int) {
+		if !made[w] {
+			ws[w] = mk()
+			made[w] = true
+		}
+		out[lo/grain] = body(ws[w], lo/grain, lo, hi)
+	})
+	return out
+}

@@ -1,0 +1,66 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWithScratchCoversAllIndices(t *testing.T) {
+	const n = 10000
+	seen := make([]int32, n)
+	var created atomic.Int32
+	opt := Opt{Workers: 4, Grain: 64}
+	WithScratch(n, opt,
+		func() *[]int { created.Add(1); buf := make([]int, 0, 8); return &buf },
+		func(s *[]int, lo, hi int) {
+			*s = (*s)[:0] // scratch must be usable per chunk
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+	if got := created.Load(); got < 1 || got > 4 {
+		t.Fatalf("created %d scratches, want 1..4 (lazy per worker)", got)
+	}
+}
+
+func TestChunksWithScratchDeterministicAcrossWorkers(t *testing.T) {
+	const n = 5000
+	sum := func(workers int) []int {
+		return ChunksWithScratch(n, Opt{Workers: workers, Grain: 37},
+			func() *int { v := 0; return &v },
+			func(s *int, chunk, lo, hi int) int {
+				*s = 0 // reset per chunk: leftover state must not leak
+				for i := lo; i < hi; i++ {
+					*s += i
+				}
+				return *s
+			})
+	}
+	a, b := sum(1), sum(8)
+	if len(a) != len(b) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunk %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWithScratchEmpty(t *testing.T) {
+	called := false
+	WithScratch(0, Opt{}, func() int { called = true; return 0 },
+		func(int, int, int) { called = true })
+	if called {
+		t.Fatal("body or mk called for n=0")
+	}
+	if got := ChunksWithScratch(0, Opt{}, func() int { return 0 },
+		func(int, int, int, int) int { return 1 }); got != nil {
+		t.Fatalf("ChunksWithScratch(0) = %v want nil", got)
+	}
+}

@@ -1,0 +1,128 @@
+package scratch
+
+// Map64 is a flat open-addressing hash accumulator for int64 keys — the
+// unbounded-domain sibling of SPA, used where keys are packed vertex pairs
+// rather than IDs from [0, n). Linear probing over power-of-two flat
+// arrays, multiplicative (Fibonacci) hashing, generation-stamped slots so
+// Reset is O(1) without freeing. There is no delete; growth rehashes live
+// entries only.
+//
+// Not safe for concurrent use — give each worker its own.
+type Map64[V Number] struct {
+	keys    []int64
+	vals    []V
+	gen     []uint32
+	cur     uint32
+	mask    uint64
+	touched []int64 // keys in first-insert order
+}
+
+// NewMap64 returns a Map64 pre-sized for about capHint live keys.
+func NewMap64[V Number](capHint int) *Map64[V] {
+	n := 16
+	for n*3/4 < capHint {
+		n <<= 1
+	}
+	return &Map64[V]{
+		keys: make([]int64, n),
+		vals: make([]V, n),
+		gen:  make([]uint32, n),
+		cur:  1,
+		mask: uint64(n - 1),
+	}
+}
+
+// hash64 is Fibonacci hashing: a single multiply whose high bits are
+// well-mixed; the shift keeps the bits the mask selects.
+func hash64(k int64) uint64 {
+	h := uint64(k) * 0x9e3779b97f4a7c15
+	return h >> 17
+}
+
+// Reset forgets every entry in O(1) via a generation bump.
+func (m *Map64[V]) Reset() {
+	m.touched = m.touched[:0]
+	m.cur++
+	if m.cur == 0 {
+		clear(m.gen)
+		m.cur = 1
+	}
+}
+
+// slot returns the index holding k, or the empty slot where k belongs.
+func (m *Map64[V]) slot(k int64) int {
+	i := hash64(k) & m.mask
+	for {
+		if m.gen[i] != m.cur || m.keys[i] == k {
+			return int(i)
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Probe returns the accumulation slot for k and whether this is its first
+// touch since Reset (fresh slots hold the zero V). The pointer is
+// invalidated by the next Probe or Add (growth may move slots).
+func (m *Map64[V]) Probe(k int64) (*V, bool) {
+	i := m.slot(k)
+	if m.gen[i] == m.cur {
+		return &m.vals[i], false
+	}
+	if (len(m.touched)+1)*4 > len(m.keys)*3 {
+		m.grow()
+		i = m.slot(k)
+	}
+	m.gen[i] = m.cur
+	m.keys[i] = k
+	var zero V
+	m.vals[i] = zero
+	m.touched = append(m.touched, k)
+	return &m.vals[i], true
+}
+
+// Add accumulates delta into key k (inserting it at delta if fresh).
+func (m *Map64[V]) Add(k int64, delta V) {
+	p, _ := m.Probe(k)
+	*p += delta
+}
+
+// Get returns the value for k and whether it is live.
+func (m *Map64[V]) Get(k int64) (V, bool) {
+	i := m.slot(k)
+	if m.gen[i] == m.cur {
+		return m.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Len returns the number of live keys.
+func (m *Map64[V]) Len() int { return len(m.touched) }
+
+// ForEach visits live entries in first-insert order.
+func (m *Map64[V]) ForEach(fn func(k int64, v V)) {
+	for _, k := range m.touched {
+		fn(k, m.vals[m.slot(k)])
+	}
+}
+
+// grow doubles the table and reinserts live entries. The touched list is
+// keys, not slots, so it survives rehashing unchanged.
+func (m *Map64[V]) grow() {
+	oldKeys, oldVals, oldGen, oldCur := m.keys, m.vals, m.gen, m.cur
+	n := len(oldKeys) << 1
+	m.keys = make([]int64, n)
+	m.vals = make([]V, n)
+	m.gen = make([]uint32, n)
+	m.cur = 1
+	m.mask = uint64(n - 1)
+	for i, g := range oldGen {
+		if g != oldCur {
+			continue
+		}
+		j := m.slot(oldKeys[i])
+		m.gen[j] = m.cur
+		m.keys[j] = oldKeys[i]
+		m.vals[j] = oldVals[i]
+	}
+}

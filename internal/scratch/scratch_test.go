@@ -1,0 +1,260 @@
+package scratch
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSPABasics(t *testing.T) {
+	s := NewSPA[int32](16)
+	if s.Cap() != 16 || s.Len() != 0 {
+		t.Fatalf("fresh SPA: cap=%d len=%d", s.Cap(), s.Len())
+	}
+	s.Add(3, 2)
+	s.Add(7, 1)
+	s.Add(3, 5)
+	if v, ok := s.Get(3); !ok || v != 7 {
+		t.Fatalf("Get(3) = %d,%v want 7,true", v, ok)
+	}
+	if v, ok := s.Get(4); ok || v != 0 {
+		t.Fatalf("Get(4) = %d,%v want 0,false", v, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d want 2", s.Len())
+	}
+	if got := s.Touched(); got[0] != 3 || got[1] != 7 {
+		t.Fatalf("Touched = %v want [3 7] (first-insert order)", got)
+	}
+	s.Add(1, 9)
+	if got := s.SortedTouched(); got[0] != 1 || got[1] != 3 || got[2] != 7 {
+		t.Fatalf("SortedTouched = %v", got)
+	}
+}
+
+func TestSPAResetAndWrap(t *testing.T) {
+	s := NewSPA[float64](8)
+	s.Add(5, 1.5)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", s.Len())
+	}
+	if _, ok := s.Get(5); ok {
+		t.Fatal("stale entry visible after Reset")
+	}
+	// Force the generation counter to wrap and check stale stamps cannot
+	// resurrect entries.
+	s.Add(2, 3.0)
+	s.cur = ^uint32(0)
+	s.gen[2] = s.cur
+	s.Reset() // wraps to 0 -> clears stamps, cur=1
+	if _, ok := s.Get(2); ok {
+		t.Fatal("entry survived generation wrap")
+	}
+	s.Add(2, 4.0)
+	if v := s.Value(2); v != 4.0 {
+		t.Fatalf("Value(2) = %v want 4", v)
+	}
+}
+
+func TestSPAGrow(t *testing.T) {
+	s := NewSPA[int64](4)
+	s.Add(1, 10)
+	s.Grow(100)
+	if s.Cap() != 100 {
+		t.Fatalf("Cap = %d want 100", s.Cap())
+	}
+	if v := s.Value(1); v != 10 {
+		t.Fatalf("entry lost across Grow: %d", v)
+	}
+	s.Add(99, 7)
+	if v := s.Value(99); v != 7 {
+		t.Fatalf("Value(99) = %d", v)
+	}
+}
+
+func TestSPAProbeFresh(t *testing.T) {
+	s := NewSPA[int32](4)
+	p, fresh := s.Probe(2)
+	if !fresh || *p != 0 {
+		t.Fatalf("first Probe: fresh=%v val=%d", fresh, *p)
+	}
+	*p = 42
+	p2, fresh2 := s.Probe(2)
+	if fresh2 || *p2 != 42 {
+		t.Fatalf("second Probe: fresh=%v val=%d", fresh2, *p2)
+	}
+}
+
+func TestMap64MatchesGoMap(t *testing.T) {
+	m := NewMap64[int32](4)
+	ref := make(map[int64]int32)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		k := int64(rng.Intn(800)) - 400 // include negative keys
+		m.Add(k, 1)
+		ref[k]++
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d want %d", m.Len(), len(ref))
+	}
+	seen := 0
+	m.ForEach(func(k int64, v int32) {
+		if ref[k] != v {
+			t.Fatalf("key %d: %d want %d", k, v, ref[k])
+		}
+		seen++
+	})
+	if seen != len(ref) {
+		t.Fatalf("ForEach visited %d of %d", seen, len(ref))
+	}
+	for k, want := range ref {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("Get(%d) = %d,%v want %d", k, got, ok, want)
+		}
+	}
+	if _, ok := m.Get(1 << 40); ok {
+		t.Fatal("absent key reported live")
+	}
+}
+
+func TestMap64ResetReuse(t *testing.T) {
+	m := NewMap64[float32](0)
+	for round := 0; round < 3; round++ {
+		m.Reset()
+		for i := 0; i < 100; i++ {
+			m.Add(int64(i*31), 0.5)
+		}
+		if m.Len() != 100 {
+			t.Fatalf("round %d: Len = %d", round, m.Len())
+		}
+		if v, ok := m.Get(31); !ok || v != 0.5 {
+			t.Fatalf("round %d: Get(31) = %v,%v", round, v, ok)
+		}
+	}
+}
+
+func TestMap64InsertOrderIteration(t *testing.T) {
+	m := NewMap64[int32](0)
+	keys := []int64{9, -3, 1 << 33, 0, 12345}
+	for i, k := range keys {
+		m.Add(k, int32(i))
+	}
+	var got []int64
+	m.ForEach(func(k int64, _ int32) { got = append(got, k) })
+	for i, k := range keys {
+		if got[i] != k {
+			t.Fatalf("iteration order %v want %v", got, keys)
+		}
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := NewBitset(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	for _, i := range []int32{0, 64, 129} {
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Test(1) || b.Test(128) {
+		t.Fatal("unset bit reads set")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	b.Grow(300)
+	if !b.Test(129) || b.Len() != 300 {
+		t.Fatalf("Grow lost state: len=%d", b.Len())
+	}
+	b.Clear()
+	if b.Count() != 0 {
+		t.Fatal("Clear left bits set")
+	}
+}
+
+func TestBitsetSetAtomicConcurrent(t *testing.T) {
+	const n = 1 << 12
+	b := NewBitset(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int32(w); i < n; i += 8 {
+				b.SetAtomic(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Count() != n {
+		t.Fatalf("Count = %d want %d", b.Count(), n)
+	}
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	p := NewPool(func() *SPA[int32] { return NewSPA[int32](8) })
+	s := p.Get()
+	s.Add(1, 1)
+	s.Reset()
+	p.Put(s)
+	s2 := p.Get()
+	if s2.Len() != 0 {
+		t.Fatal("pooled SPA not reset")
+	}
+}
+
+func BenchmarkSPACount(b *testing.B) {
+	s := NewSPA[int32](1 << 12)
+	keys := make([]int32, 1<<10)
+	rng := rand.New(rand.NewSource(7))
+	for i := range keys {
+		keys[i] = int32(rng.Intn(1 << 12))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		for _, k := range keys {
+			s.Add(k, 1)
+		}
+	}
+}
+
+func BenchmarkGoMapCount(b *testing.B) {
+	keys := make([]int32, 1<<10)
+	rng := rand.New(rand.NewSource(7))
+	for i := range keys {
+		keys[i] = int32(rng.Intn(1 << 12))
+	}
+	m := make(map[int32]int32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := range m {
+			delete(m, k)
+		}
+		for _, k := range keys {
+			m[k]++
+		}
+	}
+}
+
+func BenchmarkMap64Count(b *testing.B) {
+	keys := make([]int64, 1<<10)
+	rng := rand.New(rand.NewSource(7))
+	for i := range keys {
+		keys[i] = int64(rng.Intn(1 << 20))
+	}
+	m := NewMap64[int32](1 << 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		for _, k := range keys {
+			m.Add(k, 1)
+		}
+	}
+}

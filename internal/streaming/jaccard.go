@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dyngraph"
 	"repro/internal/gen"
+	"repro/internal/scratch"
 	"repro/internal/telemetry"
 )
 
@@ -29,8 +30,10 @@ type JaccardScore struct {
 //     Jaccard coefficient".
 type StreamingJaccard struct {
 	g *dyngraph.DynGraph
-	// scratch map reused across queries to avoid per-query allocation
-	scratch map[int32]int32
+	// common-neighbor SPA reused across queries: flat array indexing
+	// instead of map scatter on the per-query hot path, grown lazily as
+	// the dynamic graph grows.
+	common *scratch.SPA[int32]
 
 	queryHist  *telemetry.Histogram
 	updateHist *telemetry.Histogram
@@ -39,7 +42,7 @@ type StreamingJaccard struct {
 // NewStreamingJaccard wraps a dynamic graph, uninstrumented; call
 // Instrument to record latencies.
 func NewStreamingJaccard(g *dyngraph.DynGraph) *StreamingJaccard {
-	return &StreamingJaccard{g: g, scratch: make(map[int32]int32)}
+	return &StreamingJaccard{g: g, common: scratch.NewSPA[int32](int(g.NumVertices()))}
 }
 
 // Instrument records per-query and per-update latency histograms into reg
@@ -89,19 +92,19 @@ func (sj *StreamingJaccard) Query(v int32, threshold float64) []JaccardScore {
 		start := time.Now()
 		defer func() { sj.queryHist.ObserveSince(start) }()
 	}
-	for k := range sj.scratch {
-		delete(sj.scratch, k)
-	}
+	sj.common.Grow(int(sj.g.NumVertices()))
+	sj.common.Reset()
 	sj.g.ForEachNeighbor(v, func(x int32, _ float32, _ int64) {
 		sj.g.ForEachNeighbor(x, func(w int32, _ float32, _ int64) {
 			if w != v {
-				sj.scratch[w]++
+				sj.common.Add(w, 1)
 			}
 		})
 	})
 	dv := sj.g.Degree(v)
-	out := make([]JaccardScore, 0, len(sj.scratch))
-	for w, c := range sj.scratch {
+	out := make([]JaccardScore, 0, sj.common.Len())
+	for _, w := range sj.common.Touched() {
+		c := sj.common.Value(w)
 		union := dv + sj.g.Degree(w) - c
 		if union <= 0 {
 			continue
