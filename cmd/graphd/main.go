@@ -1,0 +1,118 @@
+// Command graphd is the long-running graph query/ingest daemon over the
+// paper's Fig. 2 canonical flow: a persistent dynamic graph continuously
+// fed by streaming edge/property updates (with in-line dedup, bounded
+// queues, and 429 backpressure) while a concurrent HTTP+JSON query API
+// serves per-vertex Jaccard, k-hop neighborhoods, top-k degree, component
+// lookups, and PageRank scores against fresh immutable snapshots. The
+// telemetry endpoints (/metrics, /debug/spans, /debug/pprof) share the
+// same listener. SIGTERM/SIGINT drain the ingest queue and write a final
+// snapshot before exit. See docs/OPERATIONS.md for the runbook.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/par"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := server.DefaultConfig()
+	var (
+		listen        = flag.String("listen", ":8090", "HTTP address serving the query/ingest API and telemetry")
+		vertices      = flag.Int("vertices", int(cfg.Vertices), "vertex-ID space [0,n); ingest outside it is rejected")
+		directed      = flag.Bool("directed", cfg.Directed, "store a directed graph")
+		snapshot      = flag.String("snapshot", "", "snapshot file for periodic persistence and crash recovery (empty = volatile)")
+		snapEvery     = flag.Duration("snapshot-interval", cfg.SnapshotEvery, "periodic snapshot interval (<=0 = only on shutdown)")
+		queueCap      = flag.Int("queue", cfg.QueueCap, "ingest queue capacity in updates (full queue = 429 backpressure)")
+		batchSize     = flag.Int("batch", cfg.BatchSize, "max updates applied to the graph per batch")
+		flushEvery    = flag.Duration("flush-interval", cfg.FlushEvery, "max time an update waits in a partial batch")
+		maxInflight   = flag.Int("max-inflight", 0, "concurrent query budget (0 = par worker count)")
+		defTimeout    = flag.Duration("default-timeout", cfg.DefaultTimeout, "query deadline when the client sends no ?timeout=")
+		maxTimeout    = flag.Duration("max-timeout", cfg.MaxTimeout, "upper clamp on client-supplied ?timeout=")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max time to drain the ingest queue on shutdown")
+		metricsSample = flag.Duration("runtime-sample", 5*time.Second, "runtime/metrics sampling interval for runtime_* gauges")
+	)
+	par.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "usage: graphd [flags]\nunexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := telemetry.Default()
+	sampler := obsv.StartSampler(reg, *metricsSample)
+	defer sampler.Stop()
+
+	cfg.Vertices = int32(*vertices)
+	cfg.Directed = *directed
+	cfg.SnapshotPath = *snapshot
+	cfg.SnapshotEvery = *snapEvery
+	cfg.QueueCap = *queueCap
+	cfg.BatchSize = *batchSize
+	cfg.FlushEvery = *flushEvery
+	cfg.MaxInflight = *maxInflight
+	cfg.DefaultTimeout = *defTimeout
+	cfg.MaxTimeout = *maxTimeout
+	cfg.Registry = reg
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	if srv.Recovered() {
+		st := srv.StatsNow()
+		fmt.Fprintf(os.Stderr, "graphd: recovered %d edges over %d vertices from %s\n",
+			st.Edges, st.Vertices, *snapshot)
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "graphd: serving on %s\n", *listen)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "graphd: %v — draining\n", sig)
+	}
+
+	// Graceful drain: stop the listener first (in-flight requests finish),
+	// then drain the ingest queue and write the final snapshot.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "graphd: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	st := srv.StatsNow()
+	fmt.Fprintf(os.Stderr, "graphd: drained; %d updates applied, %d edges persisted\n",
+		st.Applied, st.Edges)
+	return nil
+}

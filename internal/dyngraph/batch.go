@@ -35,6 +35,46 @@ func (g *DynGraph) ApplyBatch(updates []gen.EdgeUpdate) BatchResult {
 	return res
 }
 
+// Edit is one weighted graph modification, the serving-layer superset of
+// gen.EdgeUpdate: an insert with Weight == 0 is normalized to weight 1 (a
+// plain topology edge), an insert on an existing edge updates its weight
+// and timestamp (the paper's "updating some properties" path), and Delete
+// removes the edge.
+type Edit struct {
+	Src, Dst int32
+	Weight   float32
+	Time     int64
+	Delete   bool
+}
+
+// ApplyEdits applies a batch of weighted edits in order, the entry point
+// the graphd ingest pipeline batches into. Accounting matches ApplyBatch:
+// property refreshes of existing edges count as Updated, deletes of absent
+// edges as NoOps.
+func (g *DynGraph) ApplyEdits(edits []Edit) BatchResult {
+	var res BatchResult
+	for _, e := range edits {
+		if e.Delete {
+			if g.DeleteEdge(e.Src, e.Dst) {
+				res.Deleted++
+			} else {
+				res.NoOps++
+			}
+			continue
+		}
+		w := e.Weight
+		if w == 0 {
+			w = 1
+		}
+		if g.InsertEdge(e.Src, e.Dst, w, e.Time) {
+			res.Inserted++
+		} else {
+			res.Updated++
+		}
+	}
+	return res
+}
+
 // Compact rebuilds every vertex's block chain into fully packed blocks,
 // reclaiming slack left by deletions (swap-with-last keeps blocks dense
 // individually but chains can hold many partially filled blocks after

@@ -1,11 +1,3 @@
-// Package dyngraph provides the mutable graph substrate for streaming
-// analytics: a STINGER-inspired blocked adjacency store supporting edge
-// insertion, deletion, timestamps, and O(degree) neighbor iteration, plus
-// snapshotting into the immutable CSR form for batch kernels.
-//
-// The paper's streaming path (Fig. 2, left side) performs "incremental
-// targeted graph updates" against the persistent graph; this package is that
-// persistent, update-in-place representation.
 package dyngraph
 
 import (

@@ -1,22 +1,3 @@
-// Package flow implements the paper's canonical graph processing flow
-// (Fig. 2), the combined batch + streaming pipeline over one persistent
-// property graph:
-//
-//	bulk data ──dedup──▶ persistent graph ◀──stream of updates
-//	                         │       ▲  └─ triggers (threshold crossings)
-//	  selection criteria ─▶ seeds    │            │
-//	                         ▼       │            ▼
-//	                 subgraph extraction (+ projection)
-//	                         ▼       │
-//	                  batch analytic ─┴─▶ property write-back / alerts
-//
-// The engine is explicitly instrumented: every stage reports operation
-// counts and wall time through the shared internal/telemetry registry,
-// providing the "reference implementation, with explicit instrumentation,
-// of a combined benchmark" the paper's conclusion calls for. Stats is a
-// read-only view over those registry metrics, and each composed stage runs
-// under a recorded span, so a flow's full activity can be exported as a
-// JSON-lines artifact or scraped live from /metrics.
 package flow
 
 import (

@@ -1,0 +1,230 @@
+package kernels
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Context-aware kernel entry points for the serving path (internal/server).
+// Each variant produces output byte-identical to its batch counterpart when
+// it runs to completion, and returns the cancellation error promptly after
+// cancellation: parallel loops go through par.ForCtx/ReduceCtx
+// (cancellation observed at chunk boundaries, overshoot bounded to one
+// chunk per worker), sequential loops check the context every
+// ctxCheckEvery iterations. All checks go through par.CtxErr, which also
+// compares time.Now() against the context deadline directly, so expiry is
+// enforced even when a single-P runtime never services the context timer.
+// A cancelled call returns a nil result; partial work is discarded.
+
+// ctxCheckEvery is how many sequential-loop iterations run between context
+// checks — coarse enough to keep the check off the hot path, fine enough
+// that a deadline stops a scan within tens of microseconds.
+const ctxCheckEvery = 4096
+
+// PageRankCtx is PageRank with cooperative cancellation at chunk and
+// iteration boundaries. A completed run returns the same (bit-identical)
+// rank vector and iteration count as PageRank for any worker count.
+func PageRankCtx(ctx context.Context, g *graph.Graph, opt PageRankOptions) ([]float64, int, error) {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, 0, par.CtxErr(ctx)
+	}
+	gt := g.Transpose()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	invN := 1.0 / float64(n)
+	for i := range rank {
+		rank[i] = invN
+	}
+	outDeg := make([]float64, n)
+	for v := int32(0); v < n; v++ {
+		outDeg[v] = float64(g.Degree(v))
+	}
+	add := func(a, b float64) float64 { return a + b }
+	iters := 0
+	for ; iters < opt.MaxIters; iters++ {
+		dangling, err := par.ReduceCtx(ctx, int(n), par.Opt{Name: "pagerank.dangling"},
+			func(lo, hi int) float64 {
+				s := 0.0
+				for v := lo; v < hi; v++ {
+					if outDeg[v] == 0 {
+						s += rank[v]
+					}
+				}
+				return s
+			}, add)
+		if err != nil {
+			return nil, 0, err
+		}
+		base := (1-opt.Damping)*invN + opt.Damping*dangling*invN
+		if err := par.ForCtx(ctx, int(n), par.Opt{Name: "pagerank.pull"}, func(lo, hi int) {
+			for v := int32(lo); v < int32(hi); v++ {
+				sum := 0.0
+				for _, u := range gt.Neighbors(v) {
+					sum += rank[u] / outDeg[u]
+				}
+				next[v] = base + opt.Damping*sum
+			}
+		}); err != nil {
+			return nil, 0, err
+		}
+		delta, err := par.ReduceCtx(ctx, int(n), par.Opt{Name: "pagerank.delta"},
+			func(lo, hi int) float64 {
+				s := 0.0
+				for v := lo; v < hi; v++ {
+					s += math.Abs(next[v] - rank[v])
+				}
+				return s
+			}, add)
+		if err != nil {
+			return nil, 0, err
+		}
+		rank, next = next, rank
+		if delta < opt.Tolerance {
+			iters++
+			break
+		}
+	}
+	return rank, iters, nil
+}
+
+// WCCCtx computes weakly connected components with the WCCParallel
+// hook-and-compress algorithm under cooperative cancellation. A completed
+// run returns the same canonical min-member labels as WCC/WCCParallel.
+func WCCCtx(ctx context.Context, g *graph.Graph) (*CCResult, error) {
+	n := g.NumVertices()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find, hook := wccHookFuncs(parent)
+
+	if err := par.ForCtx(ctx, int(n), par.Opt{Name: "wcc.hook"}, func(lo, hi int) {
+		for v := int32(lo); v < int32(hi); v++ {
+			for _, u := range g.Neighbors(v) {
+				hook(v, u)
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	label := make([]int32, n)
+	numComp, err := par.ReduceCtx(ctx, int(n), par.Opt{Name: "wcc.sweep"},
+		func(lo, hi int) int32 {
+			var local int32
+			for v := int32(lo); v < int32(hi); v++ {
+				label[v] = find(v)
+				if label[v] == v {
+					local++
+				}
+			}
+			return local
+		},
+		func(a, b int32) int32 { return a + b })
+	if err != nil {
+		return nil, err
+	}
+	return &CCResult{Label: label, NumComponents: numComp}, nil
+}
+
+// KHopNeighborhoodCtx is KHopNeighborhood with a context check per BFS
+// level and every ctxCheckEvery frontier expansions.
+func KHopNeighborhoodCtx(ctx context.Context, g *graph.Graph, seeds []int32, k int32) ([]int32, error) {
+	n := g.NumVertices()
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = Unreached
+	}
+	var order []int32
+	var frontier []int32
+	for _, s := range seeds {
+		if depth[s] == Unreached {
+			depth[s] = 0
+			frontier = append(frontier, s)
+			order = append(order, s)
+		}
+	}
+	steps := 0
+	for d := int32(1); d <= k && len(frontier) > 0; d++ {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
+		var next []int32
+		for _, v := range frontier {
+			if steps++; steps%ctxCheckEvery == 0 {
+				if err := par.CtxErr(ctx); err != nil {
+					return nil, err
+				}
+			}
+			for _, w := range g.Neighbors(v) {
+				if depth[w] == Unreached {
+					depth[w] = d
+					next = append(next, w)
+					order = append(order, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return order, nil
+}
+
+// JaccardFromVertexCtx is JaccardFromVertex with a context check every
+// ctxCheckEvery wedge expansions — the query cost is the 2-hop
+// neighborhood of u, which on a hub vertex can be most of the graph. A
+// completed run returns the same scores in the same order as
+// JaccardFromVertex.
+func JaccardFromVertexCtx(ctx context.Context, g *graph.Graph, u int32, threshold float64) ([]JaccardPairScore, error) {
+	if err := par.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	nu := g.Neighbors(u)
+	common := borrowSPAI32(g.NumVertices())
+	defer returnSPAI32(common)
+	steps := 0
+	for _, x := range nu {
+		for _, v := range g.Neighbors(x) {
+			if steps++; steps%ctxCheckEvery == 0 {
+				if err := par.CtxErr(ctx); err != nil {
+					return nil, err
+				}
+			}
+			if v != u {
+				common.Add(v, 1)
+			}
+		}
+	}
+	out := make([]JaccardPairScore, 0, common.Len())
+	du := g.Degree(u)
+	for _, v := range common.Touched() {
+		c := common.Value(v)
+		union := du + g.Degree(v) - c
+		score := 0.0
+		if union > 0 {
+			score = float64(c) / float64(union)
+		}
+		if score >= threshold && score > 0 {
+			out = append(out, JaccardPairScore{U: u, V: v, Inter: c, Score: score})
+		}
+	}
+	sortJaccardScores(out)
+	return out, par.CtxErr(ctx)
+}
+
+// TopKByDegreeCtx is TopKByDegree bracketed by context checks. The scan is
+// one cheap O(n) pass, so a mid-scan deadline at worst finishes the pass
+// and reports the expiry on return.
+func TopKByDegreeCtx(ctx context.Context, g *graph.Graph, k int) ([]ScoredVertex, error) {
+	if err := par.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	out := TopKByDegree(g, k)
+	if err := par.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package kernels
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/par"
+)
+
+// TestCtxVariantsMatchBatch: every ctx-aware entry point, run to
+// completion, is byte-identical to its batch counterpart.
+func TestCtxVariantsMatchBatch(t *testing.T) {
+	g := gen.RMAT(10, 8, gen.Graph500RMAT, 7, false)
+	ctx := context.Background()
+
+	wantPR, wantIters := PageRank(g, DefaultPageRankOptions())
+	gotPR, gotIters, err := PageRankCtx(ctx, g, DefaultPageRankOptions())
+	if err != nil {
+		t.Fatalf("PageRankCtx: %v", err)
+	}
+	if gotIters != wantIters {
+		t.Fatalf("PageRankCtx iters = %d, want %d", gotIters, wantIters)
+	}
+	for v := range wantPR {
+		if gotPR[v] != wantPR[v] {
+			t.Fatalf("PageRankCtx rank[%d] = %x, want %x", v, gotPR[v], wantPR[v])
+		}
+	}
+
+	wantCC := WCC(g)
+	gotCC, err := WCCCtx(ctx, g)
+	if err != nil {
+		t.Fatalf("WCCCtx: %v", err)
+	}
+	if gotCC.NumComponents != wantCC.NumComponents {
+		t.Fatalf("WCCCtx components = %d, want %d", gotCC.NumComponents, wantCC.NumComponents)
+	}
+	for v := range wantCC.Label {
+		if gotCC.Label[v] != wantCC.Label[v] {
+			t.Fatalf("WCCCtx label[%d] = %d, want %d", v, gotCC.Label[v], wantCC.Label[v])
+		}
+	}
+
+	wantHop := KHopNeighborhood(g, []int32{0, 5}, 2)
+	gotHop, err := KHopNeighborhoodCtx(ctx, g, []int32{0, 5}, 2)
+	if err != nil {
+		t.Fatalf("KHopNeighborhoodCtx: %v", err)
+	}
+	if len(gotHop) != len(wantHop) {
+		t.Fatalf("KHopNeighborhoodCtx: %d vertices, want %d", len(gotHop), len(wantHop))
+	}
+	for i := range wantHop {
+		if gotHop[i] != wantHop[i] {
+			t.Fatalf("KHopNeighborhoodCtx[%d] = %d, want %d", i, gotHop[i], wantHop[i])
+		}
+	}
+
+	wantJ := JaccardFromVertex(g, 3, 0)
+	gotJ, err := JaccardFromVertexCtx(ctx, g, 3, 0)
+	if err != nil {
+		t.Fatalf("JaccardFromVertexCtx: %v", err)
+	}
+	if len(gotJ) != len(wantJ) {
+		t.Fatalf("JaccardFromVertexCtx: %d scores, want %d", len(gotJ), len(wantJ))
+	}
+	for i := range wantJ {
+		if gotJ[i] != wantJ[i] {
+			t.Fatalf("JaccardFromVertexCtx[%d] = %+v, want %+v", i, gotJ[i], wantJ[i])
+		}
+	}
+
+	wantTop := TopKByDegree(g, 10)
+	gotTop, err := TopKByDegreeCtx(ctx, g, 10)
+	if err != nil {
+		t.Fatalf("TopKByDegreeCtx: %v", err)
+	}
+	for i := range wantTop {
+		if gotTop[i] != wantTop[i] {
+			t.Fatalf("TopKByDegreeCtx[%d] = %+v, want %+v", i, gotTop[i], wantTop[i])
+		}
+	}
+}
+
+// TestPageRankCtxDeadline: an expiring deadline aborts PageRank with
+// DeadlineExceeded, a nil result, and scheduler-visible skipped chunks.
+func TestPageRankCtxDeadline(t *testing.T) {
+	g := gen.RMAT(12, 16, gen.Graph500RMAT, 3, false)
+	before := par.TotalsSnapshot()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Microsecond)
+	defer cancel()
+	rank, _, err := PageRankCtx(ctx, g, DefaultPageRankOptions())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if rank != nil {
+		t.Fatal("cancelled PageRankCtx returned a partial rank vector")
+	}
+	d := par.TotalsSnapshot().Sub(before)
+	if d.Cancellations == 0 {
+		t.Fatalf("scheduler saw no cancellations: %+v", d)
+	}
+}
+
+// TestWCCCtxPreCancelled: an already-cancelled context returns immediately.
+func TestWCCCtxPreCancelled(t *testing.T) {
+	g := gen.RMAT(8, 8, gen.Graph500RMAT, 1, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := WCCCtx(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if _, err := KHopNeighborhoodCtx(ctx, g, []int32{0}, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("khop err = %v, want Canceled", err)
+	}
+	if _, err := JaccardFromVertexCtx(ctx, g, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("jaccard err = %v, want Canceled", err)
+	}
+	if _, err := TopKByDegreeCtx(ctx, g, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("topk err = %v, want Canceled", err)
+	}
+}

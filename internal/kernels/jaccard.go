@@ -126,13 +126,20 @@ func JaccardFromVertex(g *graph.Graph, u int32, threshold float64) []JaccardPair
 			out = append(out, JaccardPairScore{U: u, V: v, Inter: c, Score: score})
 		}
 	}
+	sortJaccardScores(out)
+	return out
+}
+
+// sortJaccardScores orders per-vertex query results canonically: score
+// descending, partner id ascending on ties. Shared by the batch and ctx
+// query paths so their outputs cannot drift.
+func sortJaccardScores(out []JaccardPairScore) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}
 		return out[i].V < out[j].V
 	})
-	return out
 }
 
 // MaxJaccardFor returns the best-scoring partner of u, or ok=false when u

@@ -21,41 +21,7 @@ func WCCParallel(g *graph.Graph) *CCResult {
 	for i := range parent {
 		parent[i] = int32(i)
 	}
-
-	find := func(v int32) int32 {
-		for {
-			p := atomic.LoadInt32(&parent[v])
-			if p == v {
-				return v
-			}
-			gp := atomic.LoadInt32(&parent[p])
-			if gp == p {
-				return p
-			}
-			// Path halving; benign race — any stored value is a valid
-			// ancestor.
-			atomic.CompareAndSwapInt32(&parent[v], p, gp)
-			v = gp
-		}
-	}
-
-	// hook links the larger root under the smaller so labels converge to
-	// component minima without a separate canonicalization pass over roots.
-	hook := func(a, b int32) {
-		for {
-			ra, rb := find(a), find(b)
-			if ra == rb {
-				return
-			}
-			if ra > rb {
-				ra, rb = rb, ra
-			}
-			// Try to make the larger root point at the smaller.
-			if atomic.CompareAndSwapInt32(&parent[rb], rb, ra) {
-				return
-			}
-		}
-	}
+	find, hook := wccHookFuncs(parent)
 
 	par.For(int(n), par.Opt{Name: "wcc.hook"}, func(lo, hi int) {
 		for v := int32(lo); v < int32(hi); v++ {
@@ -81,4 +47,44 @@ func WCCParallel(g *graph.Graph) *CCResult {
 		},
 		func(a, b int32) int32 { return a + b })
 	return &CCResult{Label: label, NumComponents: numComp}
+}
+
+// wccHookFuncs returns the lock-free find (path halving) and hook (link
+// larger root under smaller) closures over a shared atomic parent array.
+// Shared by WCCParallel and WCCCtx so both run the identical algorithm.
+func wccHookFuncs(parent []int32) (find func(v int32) int32, hook func(a, b int32)) {
+	find = func(v int32) int32 {
+		for {
+			p := atomic.LoadInt32(&parent[v])
+			if p == v {
+				return v
+			}
+			gp := atomic.LoadInt32(&parent[p])
+			if gp == p {
+				return p
+			}
+			// Path halving; benign race — any stored value is a valid
+			// ancestor.
+			atomic.CompareAndSwapInt32(&parent[v], p, gp)
+			v = gp
+		}
+	}
+	// hook links the larger root under the smaller so labels converge to
+	// component minima without a separate canonicalization pass over roots.
+	hook = func(a, b int32) {
+		for {
+			ra, rb := find(a), find(b)
+			if ra == rb {
+				return
+			}
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			// Try to make the larger root point at the smaller.
+			if atomic.CompareAndSwapInt32(&parent[rb], rb, ra) {
+				return
+			}
+		}
+	}
+	return find, hook
 }

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DocFinding is one exported identifier (or package clause) that lacks a
+// doc comment.
+type DocFinding struct {
+	File string // path as passed in
+	Line int
+	Name string // qualified identifier, e.g. "Server.Shutdown" or "package server"
+}
+
+func (f DocFinding) String() string {
+	return fmt.Sprintf("%s:%d: %s has no doc comment", f.File, f.Line, f.Name)
+}
+
+// MissingDocs scans every non-test .go file directly inside each dir and
+// reports exported package-level identifiers — funcs, methods, types, and
+// const/var names — that carry no doc comment (neither on the declaration
+// nor, for grouped const/var/type specs, on the enclosing group). It also
+// requires each package to have a package comment on at least one file.
+// This is the serving-layer documentation gate: internal/server is an API
+// other layers build on, so every exported name must say what it promises.
+func MissingDocs(dirs []string) ([]DocFinding, error) {
+	var findings []DocFinding
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgDoc := false
+		var firstFile string
+		var firstLine int
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			if file.Doc != nil {
+				pkgDoc = true
+			}
+			if firstFile == "" {
+				firstFile = path
+				firstLine = fset.Position(file.Package).Line
+			}
+			findings = append(findings, fileDocFindings(fset, path, file)...)
+		}
+		if firstFile != "" && !pkgDoc {
+			findings = append(findings, DocFinding{
+				File: firstFile,
+				Line: firstLine,
+				Name: "package " + filepath.Base(dir),
+			})
+		}
+	}
+	return findings, nil
+}
+
+// fileDocFindings reports the undocumented exported declarations of one
+// parsed file.
+func fileDocFindings(fset *token.FileSet, path string, file *ast.File) []DocFinding {
+	var findings []DocFinding
+	report := func(pos token.Pos, name string) {
+		findings = append(findings, DocFinding{
+			File: path,
+			Line: fset.Position(pos).Line,
+			Name: name,
+		})
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			report(d.Pos(), funcDisplayName(d))
+		case *ast.GenDecl:
+			if d.Tok == token.IMPORT {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil {
+						report(sp.Pos(), sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if d.Doc != nil || sp.Doc != nil {
+						continue
+					}
+					for _, n := range sp.Names {
+						if n.IsExported() {
+							report(n.Pos(), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// funcDisplayName renders "Func" or "Recv.Method" for a func declaration.
+func funcDisplayName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}

@@ -13,8 +13,8 @@ func sampleFile(stamp string, ns ...int64) *BenchFile {
 	cases := make([]BenchCase, len(ns))
 	for i, n := range ns {
 		cases[i] = BenchCase{
-			Name:    []string{"bfs/rmat-s10-ef8", "wcc/er-s10-ef8", "spgemm/rmat-s10-ef8"}[i%3],
-			Kernel:  "k", Graph: "g", Reps: 3, NsPerOp: n,
+			Name:   []string{"bfs/rmat-s10-ef8", "wcc/er-s10-ef8", "spgemm/rmat-s10-ef8"}[i%3],
+			Kernel: "k", Graph: "g", Reps: 3, NsPerOp: n,
 			Account: Account{Op: "k", Wall: time.Duration(n), Items: 100, AllocBytes: n * 10},
 			TEPS:    1,
 		}

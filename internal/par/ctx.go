@@ -1,0 +1,200 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Context-aware scheduler variants for long-running kernels that serve
+// request traffic (internal/server). Cancellation is observed at chunk
+// boundaries: each worker checks ctx.Done() — and, when the context
+// carries a deadline, compares time.Now() against it directly (CtxErr) —
+// before pulling its next chunk, so after cancellation no worker executes
+// more than the single chunk it already held. That bounds deadline
+// overshoot to one chunk per worker — the property the graphd deadline
+// tests assert via the scheduler counters below
+// (Totals.Cancellations / Totals.SkippedChunks).
+//
+// The determinism contract is unchanged: chunk boundaries still depend only
+// on n and Opt.Grain, so a run that completes produces output
+// byte-identical to the non-ctx primitive for any worker count. A run that
+// is cancelled returns ctx.Err() and its partial side effects must be
+// discarded by the caller.
+
+// CtxErr reports ctx's effective cancellation state. Unlike ctx.Err() it
+// also treats a context whose deadline has passed as expired even when the
+// runtime has not yet serviced the context's timer: on a GOMAXPROCS=1 host
+// a busy kernel goroutine can hold the only P past the deadline without
+// the timer goroutine ever running, leaving Done() open while the deadline
+// is long gone. Cooperative checks in this package and in the kernels' ctx
+// variants use this instead of ctx.Err() so deadline enforcement does not
+// depend on the scheduler preempting the very work being cancelled.
+func CtxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// runCtx is the cancellable scheduler core: identical chunking to run, plus
+// a cancellation check (Done() select + direct deadline comparison, see
+// CtxErr) before every chunk pull. Returns nil when every chunk executed
+// (even if ctx fired during the final chunk — the work is done), the
+// cancellation error otherwise.
+func runCtx(ctx context.Context, n int, opt Opt, body func(w, lo, hi int)) error {
+	if n <= 0 {
+		return CtxErr(ctx)
+	}
+	if err := CtxErr(ctx); err != nil {
+		m := metricsFor(opt.Name)
+		m.observeCancel(n, (n+grainFor(n, opt.Grain)-1)/grainFor(n, opt.Grain), 0, 0, 0)
+		return err
+	}
+	grain := grainFor(n, opt.Grain)
+	nc := (n + grain - 1) / grain
+	workers := opt.WorkerCount()
+	if workers > nc {
+		workers = nc
+	}
+	m := metricsFor(opt.Name)
+	start := time.Now()
+	done := ctx.Done()
+	dl, hasDL := ctx.Deadline()
+	expired := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+		}
+		return hasDL && !time.Now().Before(dl)
+	}
+
+	if workers <= 1 {
+		executed := 0
+		for c := 0; c < nc; c++ {
+			if expired() {
+				m.observeCancel(n, nc, executed, 1, time.Since(start))
+				return CtxErr(ctx)
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(0, lo, hi)
+			executed++
+		}
+		m.observe(n, nc, 1, time.Since(start), 1)
+		return nil
+	}
+
+	var cursor, executed atomic.Int64
+	var cancelled atomic.Bool
+	busy := make([]struct {
+		d time.Duration
+		_ [7]int64
+	}, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t0 := time.Now()
+			for {
+				if expired() {
+					cancelled.Store(true)
+					busy[w].d = time.Since(t0)
+					return
+				}
+				c := int(cursor.Add(1) - 1)
+				if c >= nc {
+					break
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(w, lo, hi)
+				executed.Add(1)
+			}
+			busy[w].d = time.Since(t0)
+		}(w)
+	}
+	wg.Wait()
+
+	ex := int(executed.Load())
+	if cancelled.Load() && ex < nc {
+		m.observeCancel(n, nc, ex, workers, time.Since(start))
+		return CtxErr(ctx)
+	}
+	var maxBusy, totalBusy time.Duration
+	for w := 0; w < workers; w++ {
+		totalBusy += busy[w].d
+		if busy[w].d > maxBusy {
+			maxBusy = busy[w].d
+		}
+	}
+	imbalance := 1.0
+	if totalBusy > 0 {
+		imbalance = float64(maxBusy) * float64(workers) / float64(totalBusy)
+	}
+	m.observe(n, nc, workers, time.Since(start), imbalance)
+	return nil
+}
+
+// ForCtx is For with cooperative cancellation: body still runs over
+// disjoint subranges covering [0, n), but workers stop pulling chunks once
+// ctx is done. Returns nil when all chunks executed, ctx.Err() after a
+// cancellation that skipped work. Partial side effects of a cancelled run
+// are the caller's to discard.
+func ForCtx(ctx context.Context, n int, opt Opt, body func(lo, hi int)) error {
+	return runCtx(ctx, n, opt, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ForWCtx is ForW with cooperative cancellation (see ForCtx).
+func ForWCtx(ctx context.Context, n int, opt Opt, body func(w, lo, hi int)) error {
+	return runCtx(ctx, n, opt, body)
+}
+
+// ChunksCtx is Chunks with cooperative cancellation. A completed run
+// returns the per-chunk results in chunk-index order, byte-identical to
+// Chunks for any worker count; a cancelled run returns (nil, ctx.Err()).
+func ChunksCtx[T any](ctx context.Context, n int, opt Opt, body func(chunk, lo, hi int) T) ([]T, error) {
+	if n <= 0 {
+		return nil, CtxErr(ctx)
+	}
+	grain := grainFor(n, opt.Grain)
+	out := make([]T, (n+grain-1)/grain)
+	err := runCtx(ctx, n, opt, func(_, lo, hi int) {
+		out[lo/grain] = body(lo/grain, lo, hi)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReduceCtx is Reduce with cooperative cancellation: partials still fold in
+// chunk-index order, so a completed run is byte-identical to Reduce. A
+// cancelled run returns (zero T, ctx.Err()).
+func ReduceCtx[T any](ctx context.Context, n int, opt Opt, leaf func(lo, hi int) T, combine func(acc, next T) T) (T, error) {
+	var zero T
+	parts, err := ChunksCtx(ctx, n, opt, func(_, lo, hi int) T { return leaf(lo, hi) })
+	if err != nil {
+		return zero, err
+	}
+	if len(parts) == 0 {
+		return zero, nil
+	}
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		acc = combine(acc, p)
+	}
+	return acc, nil
+}

@@ -1,0 +1,169 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForCtxCompletes: an uncancelled ForCtx covers [0, n) exactly once and
+// returns nil.
+func TestForCtxCompletes(t *testing.T) {
+	const n = 1000
+	var hits [n]atomic.Int32
+	err := ForCtx(context.Background(), n, Opt{Workers: 4, Name: "test.forctx"}, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+	})
+	if err != nil {
+		t.Fatalf("ForCtx: %v", err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d executed %d times", i, got)
+		}
+	}
+}
+
+// TestChunksCtxMatchesChunks: a completed ChunksCtx is byte-identical to
+// Chunks for several worker counts.
+func TestChunksCtxMatchesChunks(t *testing.T) {
+	const n = 777
+	body := func(chunk, lo, hi int) int { return chunk*1000 + (hi - lo) }
+	want := Chunks(n, Opt{Grain: 10}, body)
+	for _, w := range []int{1, 2, 8} {
+		got, err := ChunksCtx(context.Background(), n, Opt{Grain: 10, Workers: w}, body)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d chunks, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d chunk %d: got %d want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReduceCtxMatchesReduce: float fold order (and therefore the bits of
+// the result) is identical to Reduce.
+func TestReduceCtxMatchesReduce(t *testing.T) {
+	const n = 5000
+	leaf := func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += 1.0 / float64(i+1)
+		}
+		return s
+	}
+	add := func(a, b float64) float64 { return a + b }
+	want := Reduce(n, Opt{}, leaf, add)
+	for _, w := range []int{1, 3, 8} {
+		got, err := ReduceCtx(context.Background(), n, Opt{Workers: w}, leaf, add)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: got %x want %x", w, got, want)
+		}
+	}
+}
+
+// TestForCtxCancellation: cancelling mid-run stops the scheduler at a chunk
+// boundary — the error is ctx.Err(), some chunks are skipped, and the
+// skipped chunks are visible in the process totals.
+func TestForCtxCancellation(t *testing.T) {
+	const n = 10000
+	ctx, cancel := context.WithCancel(context.Background())
+	before := TotalsSnapshot()
+	var executed atomic.Int64
+	err := ForCtx(ctx, n, Opt{Workers: 2, Grain: 10, Name: "test.cancel"}, func(lo, hi int) {
+		if executed.Add(1) == 3 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	d := TotalsSnapshot().Sub(before)
+	if d.Cancellations != 1 {
+		t.Fatalf("Cancellations = %d, want 1", d.Cancellations)
+	}
+	if d.SkippedChunks == 0 {
+		t.Fatal("SkippedChunks = 0, want > 0")
+	}
+	// Executed + skipped must account for every chunk: nothing ran past the
+	// cancellation beyond the chunks already in flight.
+	nc := int64((n + 9) / 10)
+	if d.Chunks+d.SkippedChunks != nc {
+		t.Fatalf("chunks %d + skipped %d != %d total", d.Chunks, d.SkippedChunks, nc)
+	}
+	// With 2 workers, at most 2 chunks can have been in flight when cancel
+	// fired; everything executed was pulled before the cancellation was
+	// observable, and executed counts stay far below the total.
+	if d.Chunks >= nc {
+		t.Fatalf("all %d chunks executed despite cancellation", nc)
+	}
+}
+
+// TestForCtxPreCancelled: an already-cancelled context runs nothing.
+func TestForCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := TotalsSnapshot()
+	ran := false
+	err := ForCtx(ctx, 100, Opt{Name: "test.precancel"}, func(lo, hi int) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("body ran under a pre-cancelled context")
+	}
+	d := TotalsSnapshot().Sub(before)
+	if d.Cancellations != 1 || d.Chunks != 0 {
+		t.Fatalf("totals delta = %+v, want 1 cancellation, 0 chunks", d)
+	}
+}
+
+// TestChunksCtxCancelledReturnsNil: a cancelled ChunksCtx must not hand the
+// caller a partially filled result slice.
+func TestChunksCtxCancelledReturnsNil(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := ChunksCtx(ctx, 100, Opt{}, func(chunk, lo, hi int) int { return hi })
+	if err == nil || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, error)", out, err)
+	}
+}
+
+// TestDeadlineOvershootBounded: with a deadline that fires mid-run, the
+// number of chunks executed after the deadline is at most the worker count
+// (one in-flight chunk per worker).
+func TestDeadlineOvershootBounded(t *testing.T) {
+	const n, grain, workers = 400, 1, 4
+	deadline := 5 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	var after atomic.Int64
+	err := ForCtx(ctx, n, Opt{Workers: workers, Grain: grain, Name: "test.deadline"}, func(lo, hi int) {
+		if time.Since(start) > deadline {
+			after.Add(1)
+		}
+		time.Sleep(500 * time.Microsecond)
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// Each worker may start at most one chunk before noticing the expired
+	// context at its next pull.
+	if got := after.Load(); got > workers {
+		t.Fatalf("%d chunks started after the deadline, want <= %d", got, workers)
+	}
+}

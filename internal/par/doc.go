@@ -1,0 +1,51 @@
+// Package par is the repository's shared parallel substrate: one worker-pool
+// scheduler that every batch kernel and matrix operation fans out through
+// instead of hand-rolling sync.WaitGroup chunking. The paper's NORA model
+// (Figs. 3 & 6) assumes each CPU-bound analytic step saturates the cores;
+// par is the single place where that saturation is implemented, measured,
+// and tuned.
+//
+// Design:
+//
+//   - Work is an index range [0, n) split into fixed chunks. Workers pull
+//     chunks off a shared atomic cursor ("work-stealing-lite"): cheap dynamic
+//     load balancing without per-task channels or deques.
+//   - Chunk boundaries depend only on n (and an explicit Grain override),
+//     never on the worker count. Primitives that combine per-chunk results
+//     (Chunks, Reduce) therefore produce byte-identical output for any
+//     worker count — including floating-point reductions, which are folded
+//     in chunk-index order. This is what makes the differential and
+//     determinism suites in internal/kernels possible.
+//   - The worker count defaults to runtime.GOMAXPROCS and is configurable
+//     process-wide (SetDefaultWorkers, the -workers flag via RegisterFlags)
+//     or per call site (Opt.Workers).
+//   - Every invocation publishes telemetry into internal/telemetry:
+//     invocation/task/chunk counters, wall-time and imbalance histograms,
+//     labeled by the call site's Opt.Name.
+//
+// For n below a small threshold or one worker, primitives run inline on the
+// calling goroutine (still chunk-by-chunk, preserving determinism).
+//
+// # Determinism contract
+//
+// A run that completes produces output that depends only on (n, Opt.Grain)
+// and the body — never on the worker count, chunk interleaving, or wall
+// time. Bodies receive disjoint index ranges; any cross-chunk combination
+// the package performs (Chunks, Reduce, Map, Flatten) happens in
+// chunk-index order.
+//
+// # Cancellation contract (ForCtx, ChunksCtx, ReduceCtx)
+//
+// The ctx-aware variants serve request traffic (internal/server): workers
+// observe cancellation at chunk boundaries, so after a deadline no worker
+// executes more than the single chunk it already held — overshoot is
+// bounded to one chunk per worker, and the skipped remainder is visible in
+// Totals.Cancellations / Totals.SkippedChunks and the
+// par_cancellations_total / par_chunks_skipped_total metric families.
+// Checks go through CtxErr, which compares time.Now() against the context
+// deadline directly as well as selecting on Done(), so expiry is enforced
+// even when a single-P runtime never preempts the running kernel to fire
+// the context's timer. A completed ctx run is byte-identical to its
+// non-ctx counterpart; a cancelled run returns ctx's error and the caller
+// must discard any partial side effects.
+package par

@@ -1,30 +1,3 @@
-// Package par is the repository's shared parallel substrate: one worker-pool
-// scheduler that every batch kernel and matrix operation fans out through
-// instead of hand-rolling sync.WaitGroup chunking. The paper's NORA model
-// (Figs. 3 & 6) assumes each CPU-bound analytic step saturates the cores;
-// par is the single place where that saturation is implemented, measured,
-// and tuned.
-//
-// Design:
-//
-//   - Work is an index range [0, n) split into fixed chunks. Workers pull
-//     chunks off a shared atomic cursor ("work-stealing-lite"): cheap dynamic
-//     load balancing without per-task channels or deques.
-//   - Chunk boundaries depend only on n (and an explicit Grain override),
-//     never on the worker count. Primitives that combine per-chunk results
-//     (Chunks, Reduce) therefore produce byte-identical output for any
-//     worker count — including floating-point reductions, which are folded
-//     in chunk-index order. This is what makes the differential and
-//     determinism suites in internal/kernels possible.
-//   - The worker count defaults to runtime.GOMAXPROCS and is configurable
-//     process-wide (SetDefaultWorkers, the -workers flag via RegisterFlags)
-//     or per call site (Opt.Workers).
-//   - Every invocation publishes telemetry into internal/telemetry:
-//     invocation/task/chunk counters, wall-time and imbalance histograms,
-//     labeled by the call site's Opt.Name.
-//
-// For n below a small threshold or one worker, primitives run inline on the
-// calling goroutine (still chunk-by-chunk, preserving determinism).
 package par
 
 import (

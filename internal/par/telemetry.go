@@ -16,6 +16,8 @@ import (
 //	par_workers{op}            workers used by the last invocation (gauge)
 //	par_wall_seconds{op}       per-invocation wall time
 //	par_imbalance{op}          max worker busy time / mean worker busy time
+//	par_cancellations_total{op}   ctx-variant invocations cut short
+//	par_chunks_skipped_total{op}  chunks never executed due to cancellation
 //
 // Handles are resolved once per op name and cached; the hot path costs one
 // sync.Map load plus a few atomic adds per *invocation* (not per task).
@@ -28,6 +30,8 @@ type opMetrics struct {
 	workers     *telemetry.Gauge
 	wall        *telemetry.Histogram
 	imbalance   *telemetry.Histogram
+	cancels     *telemetry.Counter
+	skipped     *telemetry.Counter
 }
 
 func (m *opMetrics) observe(n, nc, workers int, wall time.Duration, imbalance float64) {
@@ -46,6 +50,29 @@ func (m *opMetrics) observe(n, nc, workers int, wall time.Duration, imbalance fl
 	m.imbalance.Observe(imbalance)
 }
 
+// observeCancel records a ctx-variant invocation that was cut short after
+// `executed` of `nc` chunks. Executed chunks are charged to the usual chunk
+// counters; the remainder lands in the skipped counters so tests (and
+// operators) can verify a deadline stopped the kernel at a chunk boundary.
+func (m *opMetrics) observeCancel(n, nc, executed, workers int, wall time.Duration) {
+	totInvocations.Add(1)
+	totTasks.Add(int64(n))
+	totChunks.Add(int64(executed))
+	totBusyNs.Add(wall.Nanoseconds())
+	totCancels.Add(1)
+	totSkipped.Add(int64(nc - executed))
+	if m == nil {
+		return
+	}
+	m.invocations.Inc()
+	m.tasks.Add(int64(n))
+	m.chunks.Add(int64(executed))
+	m.workers.Set(float64(workers))
+	m.wall.ObserveDuration(wall)
+	m.cancels.Inc()
+	m.skipped.Add(int64(nc - executed))
+}
+
 // Process-wide scheduler totals, independent of which registry (if any)
 // receives the labeled metrics. Resource-account meters (internal/obsv)
 // delta these around a kernel invocation to attribute scheduler activity
@@ -55,34 +82,42 @@ var (
 	totTasks       atomic.Int64
 	totChunks      atomic.Int64
 	totBusyNs      atomic.Int64
+	totCancels     atomic.Int64
+	totSkipped     atomic.Int64
 )
 
 // Totals is a snapshot of the process-wide scheduler counters.
 type Totals struct {
-	Invocations int64 // scheduler invocations
-	Tasks       int64 // indices scheduled
-	Chunks      int64 // chunks executed
-	WallNs      int64 // summed per-invocation wall time
+	Invocations   int64 // scheduler invocations
+	Tasks         int64 // indices scheduled
+	Chunks        int64 // chunks executed
+	WallNs        int64 // summed per-invocation wall time
+	Cancellations int64 // ctx-variant invocations cut short by cancellation
+	SkippedChunks int64 // chunks never executed due to cancellation
 }
 
 // TotalsSnapshot returns the cumulative scheduler totals for this process.
 // Subtract two snapshots to attribute scheduler activity to a code region.
 func TotalsSnapshot() Totals {
 	return Totals{
-		Invocations: totInvocations.Load(),
-		Tasks:       totTasks.Load(),
-		Chunks:      totChunks.Load(),
-		WallNs:      totBusyNs.Load(),
+		Invocations:   totInvocations.Load(),
+		Tasks:         totTasks.Load(),
+		Chunks:        totChunks.Load(),
+		WallNs:        totBusyNs.Load(),
+		Cancellations: totCancels.Load(),
+		SkippedChunks: totSkipped.Load(),
 	}
 }
 
 // Sub returns t - o, field-wise.
 func (t Totals) Sub(o Totals) Totals {
 	return Totals{
-		Invocations: t.Invocations - o.Invocations,
-		Tasks:       t.Tasks - o.Tasks,
-		Chunks:      t.Chunks - o.Chunks,
-		WallNs:      t.WallNs - o.WallNs,
+		Invocations:   t.Invocations - o.Invocations,
+		Tasks:         t.Tasks - o.Tasks,
+		Chunks:        t.Chunks - o.Chunks,
+		WallNs:        t.WallNs - o.WallNs,
+		Cancellations: t.Cancellations - o.Cancellations,
+		SkippedChunks: t.SkippedChunks - o.SkippedChunks,
 	}
 }
 
@@ -126,6 +161,8 @@ func metricsFor(op string) *opMetrics {
 		workers:     st.reg.Gauge("par_workers", l),
 		wall:        st.reg.Histogram("par_wall_seconds", l),
 		imbalance:   st.reg.Histogram("par_imbalance", l),
+		cancels:     st.reg.Counter("par_cancellations_total", l),
+		skipped:     st.reg.Counter("par_chunks_skipped_total", l),
 	}
 	actual, _ := st.cache.LoadOrStore(op, m)
 	return actual.(*opMetrics)

@@ -1,0 +1,48 @@
+// Package server is the long-running serving layer over the paper's Fig. 2
+// canonical flow: one persistent dyngraph.DynGraph continuously fed by a
+// streaming ingest path while a concurrent query API re-mines it — the
+// "continuously operating system" the one-shot cmds (flowdemo, streambench)
+// only sample. cmd/graphd is the daemon binary.
+//
+// Concurrency contract (single-writer, snapshot-reader):
+//
+//   - The dynamic graph has exactly one writer, the ingest loop goroutine,
+//     which drains a bounded queue into dyngraph.ApplyEdits batches under
+//     the write lock. dyngraph itself is not safe for concurrent mutation;
+//     this loop is the only code path that mutates it.
+//   - Queries never touch the dynamic graph. They run against an immutable
+//     CSR snapshot (graph.Graph) rebuilt lazily — under the read lock, so
+//     rebuilds exclude batch application — whenever the graph version has
+//     advanced. A query admitted after a batch applies therefore observes
+//     that batch (ingest→query freshness), and all queries at one version
+//     see bit-identical state.
+//   - Derived results (WCC labels, PageRank vector) are cached per graph
+//     version and recomputed through the ctx-aware kernels, so they inherit
+//     the par package's determinism contract: the same version yields
+//     byte-identical answers regardless of worker count or which request
+//     triggered the recompute.
+//
+// Production mechanics:
+//
+//   - Backpressure: the ingest queue is bounded; when it fills, POST
+//     /ingest returns 429 with Retry-After instead of buffering unboundedly
+//     (memory stays bounded by queue capacity + one batch).
+//   - Admission control: query execution is gated by a semaphore sized to
+//     the par scheduler's worker budget, so concurrent queries cannot
+//     oversubscribe the pool the kernels fan out through. Waiting for
+//     admission respects the request deadline.
+//   - Deadlines: every query runs under a context deadline (client-supplied
+//     ?timeout=, clamped, defaulted). Expiry returns 504 and cancels the
+//     kernel at a chunk boundary via par.ForCtx — overshoot is bounded to
+//     one chunk per worker and visible in par_cancellations_total /
+//     par_chunks_skipped_total.
+//   - Durability: the graph is persisted with dyngraph.Save periodically
+//     and on graceful shutdown (atomic tmp+rename, never a torn file), and
+//     recovered with dyngraph.Load on restart. Shutdown drains the ingest
+//     queue before the final snapshot, so acknowledged-and-queued updates
+//     are not lost on SIGTERM.
+//   - Observability: every request runs under a telemetry span, the
+//     server_* metric families land on the shared registry, and the
+//     registry's own HTTP handler (/metrics, /metrics.json, /debug/...) is
+//     mounted on the same listener.
+package server

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/dyngraph"
+)
+
+// EnqueueResult reports how much of one ingest request entered the queue.
+type EnqueueResult struct {
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	Deduped  int `json:"deduped"` // filled per batch at apply time, 0 here
+	Depth    int `json:"queue_depth"`
+}
+
+// enqueue admits updates into the bounded ingest queue without blocking.
+// Admission is per update and in order: once one update is refused (queue
+// full), the rest of the request is refused too, so the client retries a
+// contiguous tail. Accepted updates are durable from the next applied
+// batch's snapshot onward.
+func (s *Server) enqueue(edits []dyngraph.Edit) EnqueueResult {
+	var res EnqueueResult
+	for i, e := range edits {
+		select {
+		case s.queue <- e:
+			res.Accepted++
+		default:
+			res.Rejected = len(edits) - i
+			s.m.enqueued.Add(int64(res.Accepted))
+			s.m.rejected.Add(int64(res.Rejected))
+			s.m.depth.Set(float64(len(s.queue)))
+			return res
+		}
+	}
+	s.m.enqueued.Add(int64(res.Accepted))
+	s.m.depth.Set(float64(len(s.queue)))
+	return res
+}
+
+// ingestLoop is the single writer of the dynamic graph: it drains the
+// queue into batches of at most Config.BatchSize, collapses in-batch
+// duplicates, applies each batch under the write lock, and bumps the graph
+// version. On shutdown it drains whatever remains before exiting, so every
+// acknowledged update reaches the final snapshot.
+func (s *Server) ingestLoop() {
+	defer close(s.ingestEnd)
+	batch := make([]dyngraph.Edit, 0, s.cfg.BatchSize)
+	flush := time.NewTimer(s.cfg.FlushEvery)
+	defer flush.Stop()
+
+	apply := func() {
+		if len(batch) == 0 {
+			return
+		}
+		s.applyBatch(batch)
+		batch = batch[:0]
+	}
+
+	for {
+		select {
+		case e := <-s.queue:
+			batch = append(batch, e)
+			// Opportunistically drain without blocking up to the batch cap.
+			for len(batch) < s.cfg.BatchSize {
+				select {
+				case e := <-s.queue:
+					batch = append(batch, e)
+				default:
+					goto drained
+				}
+			}
+		drained:
+			if len(batch) >= s.cfg.BatchSize {
+				apply()
+			}
+		case <-flush.C:
+			apply()
+			flush.Reset(s.cfg.FlushEvery)
+		case <-s.stopCh:
+			// Drain: everything already admitted must land in the graph.
+			for {
+				select {
+				case e := <-s.queue:
+					batch = append(batch, e)
+					if len(batch) >= s.cfg.BatchSize {
+						apply()
+					}
+				default:
+					apply()
+					return
+				}
+			}
+		}
+	}
+}
+
+// applyBatch dedups one batch in place, applies it under the write lock,
+// and publishes the accounting. In-batch dedup keeps the *last* operation
+// per (src,dst) pair — semantically identical to applying all of them in
+// order (dyngraph updates in place), minus the redundant intermediate
+// writes. This is the serving-layer form of the paper's in-line dedup:
+// redundant updates are discarded before they reach the graph.
+func (s *Server) applyBatch(batch []dyngraph.Edit) {
+	if s.cfg.applyGate != nil {
+		<-s.cfg.applyGate
+	}
+	dedup := batch
+	if len(batch) > 1 {
+		directed := s.cfg.Directed
+		last := make(map[int64]int, len(batch))
+		for i, e := range batch {
+			last[editKey(e, directed)] = i
+		}
+		if len(last) < len(batch) {
+			dedup = batch[:0]
+			for i, e := range batch {
+				if last[editKey(e, directed)] == i {
+					dedup = append(dedup, e)
+				}
+			}
+		}
+	}
+	dropped := len(batch) - len(dedup)
+
+	start := time.Now()
+	s.gmu.Lock()
+	res := s.dyn.ApplyEdits(dedup)
+	s.gmu.Unlock()
+	s.version.Add(1)
+	s.applied.Add(int64(len(dedup)))
+
+	s.m.deduped.Add(int64(dropped))
+	s.m.inserted.Add(res.Inserted)
+	s.m.updated.Add(res.Updated)
+	s.m.deleted.Add(res.Deleted)
+	s.m.noops.Add(res.NoOps)
+	s.m.batches.Inc()
+	s.m.batchSize.Observe(float64(len(dedup)))
+	s.m.applySec.ObserveDuration(time.Since(start))
+	s.m.depth.Set(float64(len(s.queue)))
+}
+
+// editKey packs the dedup identity of an edit: the endpoint pair,
+// normalized when the graph is undirected (where (u,v) and (v,u) are the
+// same edge). Insert and delete on the same pair share a key — the last
+// operation decides the edge's fate, exactly as in-order application would.
+func editKey(e dyngraph.Edit, directed bool) int64 {
+	u, v := e.Src, e.Dst
+	if !directed && u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(uint32(v))
+}

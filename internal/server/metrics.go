@@ -1,0 +1,79 @@
+package server
+
+import "repro/internal/telemetry"
+
+// Metric families published by the server, all on the registry passed in
+// Config (shared with par_*, runtime_* and the rest of the process):
+//
+//	server_ingest_enqueued_total            updates accepted into the queue
+//	server_ingest_rejected_total            updates refused with 429 (queue full)
+//	server_ingest_deduped_total             updates collapsed by in-batch dedup
+//	server_ingest_applied_total{op}         applied updates by outcome
+//	                                        (insert|update|delete|noop)
+//	server_ingest_batches_total             batches applied
+//	server_ingest_batch_size                updates per applied batch
+//	server_ingest_apply_seconds             batch application latency
+//	server_ingest_queue_depth               current queue occupancy (gauge)
+//	server_queries_total{op,code}           queries by endpoint and HTTP status
+//	server_query_seconds{op}                end-to-end query latency
+//	server_queries_inflight                 admitted queries now running (gauge)
+//	server_admission_wait_seconds           time spent waiting for a query slot
+//	server_snapshot_rebuilds_total          CSR snapshot rebuilds (version changes)
+//	server_persist_total                    snapshot files written
+//	server_persist_seconds                  snapshot write latency
+//	server_drain_seconds                    time the shutdown drain took (gauge)
+type metricsSet struct {
+	enqueued  *telemetry.Counter
+	rejected  *telemetry.Counter
+	deduped   *telemetry.Counter
+	inserted  *telemetry.Counter
+	updated   *telemetry.Counter
+	deleted   *telemetry.Counter
+	noops     *telemetry.Counter
+	batches   *telemetry.Counter
+	batchSize *telemetry.Histogram
+	applySec  *telemetry.Histogram
+	depth     *telemetry.Gauge
+
+	inflight  *telemetry.Gauge
+	admitWait *telemetry.Histogram
+	rebuilds  *telemetry.Counter
+
+	persists   *telemetry.Counter
+	persistSec *telemetry.Histogram
+	drainSec   *telemetry.Gauge
+}
+
+func newMetricsSet(reg *telemetry.Registry) *metricsSet {
+	op := func(v string) telemetry.Label { return telemetry.L("op", v) }
+	return &metricsSet{
+		enqueued:  reg.Counter("server_ingest_enqueued_total"),
+		rejected:  reg.Counter("server_ingest_rejected_total"),
+		deduped:   reg.Counter("server_ingest_deduped_total"),
+		inserted:  reg.Counter("server_ingest_applied_total", op("insert")),
+		updated:   reg.Counter("server_ingest_applied_total", op("update")),
+		deleted:   reg.Counter("server_ingest_applied_total", op("delete")),
+		noops:     reg.Counter("server_ingest_applied_total", op("noop")),
+		batches:   reg.Counter("server_ingest_batches_total"),
+		batchSize: reg.Histogram("server_ingest_batch_size"),
+		applySec:  reg.Histogram("server_ingest_apply_seconds"),
+		depth:     reg.Gauge("server_ingest_queue_depth"),
+
+		inflight:  reg.Gauge("server_queries_inflight"),
+		admitWait: reg.Histogram("server_admission_wait_seconds"),
+		rebuilds:  reg.Counter("server_snapshot_rebuilds_total"),
+
+		persists:   reg.Counter("server_persist_total"),
+		persistSec: reg.Histogram("server_persist_seconds"),
+		drainSec:   reg.Gauge("server_drain_seconds"),
+	}
+}
+
+// queryMetrics resolves the labeled handles for one (endpoint, status)
+// pair. Handles are cheap to resolve (registry lookup) relative to query
+// cost, so no per-op cache is kept.
+func (s *Server) countQuery(op string, code int, seconds float64) {
+	s.reg.Counter("server_queries_total",
+		telemetry.L("op", op), telemetry.L("code", httpCodeLabel(code))).Inc()
+	s.reg.Histogram("server_query_seconds", telemetry.L("op", op)).Observe(seconds)
+}

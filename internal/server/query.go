@@ -1,0 +1,371 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dyngraph"
+	"repro/internal/kernels"
+	"repro/internal/telemetry"
+)
+
+// Handler returns the daemon's HTTP API, with the telemetry registry's own
+// endpoints (/metrics, /metrics.json, /debug/spans, /debug/pprof/...)
+// mounted on the same mux — one listener serves traffic and observability.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/query/jaccard", s.query("jaccard", s.handleJaccard))
+	mux.HandleFunc("/query/khop", s.query("khop", s.handleKHop))
+	mux.HandleFunc("/query/topdegree", s.query("topdegree", s.handleTopDegree))
+	mux.HandleFunc("/query/component", s.query("component", s.handleComponent))
+	mux.HandleFunc("/query/pagerank", s.query("pagerank", s.handlePageRank))
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.StatsNow())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	tel := s.reg.Handler()
+	mux.Handle("/metrics", tel)
+	mux.Handle("/metrics.json", tel)
+	mux.Handle("/debug/", tel)
+	return mux
+}
+
+// httpError is a handler-returned error carrying its status code.
+type httpError struct {
+	code int
+	msg  string
+}
+
+// Error implements the error interface.
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// query wraps one query endpoint with the full serving discipline:
+// deadline resolution, admission control, a request span, metrics, and
+// error-to-status mapping (deadline exceeded → 504).
+func (s *Server) query(op string, h func(ctx context.Context, r *http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code := http.StatusOK
+
+		d, err := s.requestTimeout(r)
+		if err != nil {
+			code = http.StatusBadRequest
+			http.Error(w, err.Error(), code)
+			s.countQuery(op, code, time.Since(start).Seconds())
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+
+		sp := s.reg.Tracer().Start("server.query", telemetry.L("op", op))
+		defer sp.End()
+
+		// Admission: a slot in the worker-budget semaphore, bounded by the
+		// same deadline the kernel will run under.
+		select {
+		case s.admit <- struct{}{}:
+			s.m.admitWait.ObserveDuration(time.Since(start))
+			s.m.inflight.Add(1)
+			defer func() {
+				<-s.admit
+				s.m.inflight.Add(-1)
+			}()
+		case <-ctx.Done():
+			code = http.StatusGatewayTimeout
+			sp.SetAttr("status", "admission-timeout")
+			http.Error(w, "deadline exceeded while waiting for admission", code)
+			s.countQuery(op, code, time.Since(start).Seconds())
+			return
+		}
+
+		out, err := h(ctx, r)
+		if err != nil {
+			var he *httpError
+			switch {
+			case errors.As(err, &he):
+				code = he.code
+			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+				code = http.StatusGatewayTimeout
+			default:
+				code = http.StatusInternalServerError
+			}
+			sp.SetAttr("status", strconv.Itoa(code))
+			http.Error(w, err.Error(), code)
+			s.countQuery(op, code, time.Since(start).Seconds())
+			return
+		}
+		sp.SetAttr("status", "200")
+		writeJSON(w, code, out)
+		s.countQuery(op, code, time.Since(start).Seconds())
+	}
+}
+
+// requestTimeout resolves the query deadline: ?timeout= (Go duration),
+// clamped to Config.MaxTimeout, defaulting to Config.DefaultTimeout.
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return s.cfg.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, badRequest("bad timeout %q: %v", raw, err)
+	}
+	if d <= 0 {
+		return 0, badRequest("timeout must be positive, got %q", raw)
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// IngestUpdate is the wire form of one streaming update.
+type IngestUpdate struct {
+	Src    int32   `json:"src"`
+	Dst    int32   `json:"dst"`
+	Weight float32 `json:"weight,omitempty"`
+	Time   int64   `json:"time,omitempty"`
+	Delete bool    `json:"delete,omitempty"`
+}
+
+// maxIngestBody bounds one ingest request (16 MiB ≈ 300k updates) so a
+// runaway client cannot balloon the decoder.
+const maxIngestBody = 16 << 20
+
+// handleIngest admits a JSON array of updates into the ingest queue.
+// Responses: 202 all accepted, 429 queue full (with Retry-After; the
+// accepted count tells the client which suffix to retry), 503 draining,
+// 400 malformed or out-of-range updates.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	op := "ingest"
+	if r.Method != http.MethodPost {
+		code := http.StatusMethodNotAllowed
+		http.Error(w, "POST only", code)
+		s.countQuery(op, code, time.Since(start).Seconds())
+		return
+	}
+	if s.draining.Load() {
+		code := http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server is draining", code)
+		s.countQuery(op, code, time.Since(start).Seconds())
+		return
+	}
+	sp := s.reg.Tracer().Start("server.ingest")
+	defer sp.End()
+
+	var updates []IngestUpdate
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	if err := dec.Decode(&updates); err != nil {
+		code := http.StatusBadRequest
+		http.Error(w, fmt.Sprintf("bad ingest body: %v", err), code)
+		s.countQuery(op, code, time.Since(start).Seconds())
+		return
+	}
+	edits := make([]dyngraph.Edit, len(updates))
+	for i, u := range updates {
+		if u.Src < 0 || u.Src >= s.cfg.Vertices || u.Dst < 0 || u.Dst >= s.cfg.Vertices {
+			code := http.StatusBadRequest
+			http.Error(w, fmt.Sprintf("update %d: vertex out of range [0,%d)", i, s.cfg.Vertices), code)
+			s.countQuery(op, code, time.Since(start).Seconds())
+			return
+		}
+		edits[i] = dyngraph.Edit{Src: u.Src, Dst: u.Dst, Weight: u.Weight, Time: u.Time, Delete: u.Delete}
+	}
+
+	res := s.enqueue(edits)
+	sp.SetAttr("accepted", strconv.Itoa(res.Accepted))
+	code := http.StatusAccepted
+	if res.Rejected > 0 {
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+		sp.SetAttr("status", "backpressure")
+	}
+	writeJSON(w, code, res)
+	s.countQuery(op, code, time.Since(start).Seconds())
+}
+
+func (s *Server) handleJaccard(ctx context.Context, r *http.Request) (any, error) {
+	u, err := s.vertexParam(r, "u")
+	if err != nil {
+		return nil, err
+	}
+	threshold := 0.0
+	if raw := r.URL.Query().Get("threshold"); raw != "" {
+		threshold, err = strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, badRequest("bad threshold %q", raw)
+		}
+	}
+	g := s.snapshot()
+	scores, err := kernels.JaccardFromVertexCtx(ctx, g, u, threshold)
+	if err != nil {
+		return nil, err
+	}
+	type pair struct {
+		V     int32   `json:"v"`
+		Score float64 `json:"score"`
+		Inter int32   `json:"common_neighbors"`
+	}
+	out := make([]pair, len(scores))
+	for i, sc := range scores {
+		out[i] = pair{V: sc.V, Score: sc.Score, Inter: sc.Inter}
+	}
+	return map[string]any{"u": u, "results": out}, nil
+}
+
+func (s *Server) handleKHop(ctx context.Context, r *http.Request) (any, error) {
+	seeds, err := s.seedsParam(r)
+	if err != nil {
+		return nil, err
+	}
+	k := int64(1)
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err = strconv.ParseInt(raw, 10, 32)
+		if err != nil || k < 0 {
+			return nil, badRequest("bad k %q", raw)
+		}
+	}
+	g := s.snapshot()
+	order, err := kernels.KHopNeighborhoodCtx(ctx, g, seeds, int32(k))
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{"seeds": seeds, "k": k, "count": len(order), "vertices": order}, nil
+}
+
+func (s *Server) handleTopDegree(ctx context.Context, r *http.Request) (any, error) {
+	k, err := s.kParam(r, 10)
+	if err != nil {
+		return nil, err
+	}
+	g := s.snapshot()
+	top, err := kernels.TopKByDegreeCtx(ctx, g, k)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{"k": k, "results": top}, nil
+}
+
+func (s *Server) handleComponent(ctx context.Context, r *http.Request) (any, error) {
+	v, err := s.vertexParam(r, "v")
+	if err != nil {
+		return nil, err
+	}
+	version := s.version.Load()
+	g := s.snapshot()
+	st, err := s.components(ctx, g, version)
+	if err != nil {
+		return nil, err
+	}
+	label := st.cc.Label[v]
+	return map[string]any{
+		"v":              v,
+		"component":      label,
+		"size":           st.sizes[label],
+		"num_components": st.cc.NumComponents,
+		"version":        st.version,
+	}, nil
+}
+
+func (s *Server) handlePageRank(ctx context.Context, r *http.Request) (any, error) {
+	version := s.version.Load()
+	g := s.snapshot()
+	st, err := s.pagerank(ctx, g, version)
+	if err != nil {
+		return nil, err
+	}
+	if raw := r.URL.Query().Get("v"); raw != "" {
+		v, err := s.vertexParam(r, "v")
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"v": v, "rank": st.rank[v], "iterations": st.iters, "version": st.version}, nil
+	}
+	k, err := s.kParam(r, 10)
+	if err != nil {
+		return nil, err
+	}
+	top := kernels.TopKByScore(st.rank, k)
+	return map[string]any{"k": k, "results": top, "iterations": st.iters, "version": st.version}, nil
+}
+
+// vertexParam parses a required in-range vertex id query parameter.
+func (s *Server) vertexParam(r *http.Request, name string) (int32, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, badRequest("missing required parameter %q", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, badRequest("bad vertex %q", raw)
+	}
+	if v < 0 || int32(v) >= s.cfg.Vertices {
+		return 0, badRequest("vertex %d out of range [0,%d)", v, s.cfg.Vertices)
+	}
+	return int32(v), nil
+}
+
+// seedsParam parses ?v= (single) or ?seeds=a,b,c (list) for k-hop queries.
+func (s *Server) seedsParam(r *http.Request) ([]int32, error) {
+	if raw := r.URL.Query().Get("seeds"); raw != "" {
+		parts := strings.Split(raw, ",")
+		seeds := make([]int32, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
+			if err != nil || v < 0 || int32(v) >= s.cfg.Vertices {
+				return nil, badRequest("bad seed %q", p)
+			}
+			seeds = append(seeds, int32(v))
+		}
+		return seeds, nil
+	}
+	v, err := s.vertexParam(r, "v")
+	if err != nil {
+		return nil, err
+	}
+	return []int32{v}, nil
+}
+
+// kParam parses the optional ?k= result-count parameter.
+func (s *Server) kParam(r *http.Request, def int) (int, error) {
+	raw := r.URL.Query().Get("k")
+	if raw == "" {
+		return def, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 {
+		return 0, badRequest("bad k %q", raw)
+	}
+	return k, nil
+}
+
+// writeJSON writes v with the given status; an encode failure after the
+// header is logged into the payload stream (too late for a status change).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// httpCodeLabel renders a status code as a metric label value.
+func httpCodeLabel(code int) string { return strconv.Itoa(code) }

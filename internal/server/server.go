@@ -1,0 +1,387 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dyngraph"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/par"
+	"repro/internal/telemetry"
+)
+
+// Config sizes one graphd instance. The zero value is not runnable; use
+// DefaultConfig as the base and override.
+type Config struct {
+	// Vertices fixes the vertex-ID space [0, Vertices). Updates referencing
+	// IDs outside it are rejected with 400.
+	Vertices int32
+	// Directed selects the stored graph's directedness.
+	Directed bool
+
+	// SnapshotPath is where the graph is persisted (tmp+rename). Empty
+	// disables persistence and recovery.
+	SnapshotPath string
+	// SnapshotEvery is the periodic persistence interval; <= 0 persists
+	// only on shutdown.
+	SnapshotEvery time.Duration
+
+	// QueueCap bounds the ingest queue in updates; a full queue is the
+	// backpressure signal (429).
+	QueueCap int
+	// BatchSize is the most updates applied to the graph per batch.
+	BatchSize int
+	// FlushEvery bounds how long an update may sit in a partial batch
+	// before it is applied (ingest→query freshness under trickle load).
+	FlushEvery time.Duration
+
+	// MaxInflight is the admission budget: concurrent queries actually
+	// executing. <= 0 resolves to par.DefaultWorkers(), tying query
+	// concurrency to the scheduler's worker pool.
+	MaxInflight int
+	// DefaultTimeout applies when a query carries no ?timeout=.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-supplied ?timeout=.
+	MaxTimeout time.Duration
+
+	// Registry receives the server_* metric families and request spans;
+	// nil uses telemetry.Default().
+	Registry *telemetry.Registry
+
+	// applyGate, when non-nil, is received from before every batch
+	// application. Tests use it to stall the ingest loop and deterministically
+	// fill the queue; close it to release the loop for good.
+	applyGate chan struct{}
+}
+
+// DefaultConfig returns production-shaped defaults for a scale-16 graph.
+func DefaultConfig() Config {
+	return Config{
+		Vertices:       1 << 16,
+		Directed:       false,
+		SnapshotEvery:  30 * time.Second,
+		QueueCap:       1 << 16,
+		BatchSize:      1024,
+		FlushEvery:     25 * time.Millisecond,
+		MaxInflight:    0,
+		DefaultTimeout: 2 * time.Second,
+		MaxTimeout:     30 * time.Second,
+	}
+}
+
+// snapState is one immutable CSR view of the graph at a version.
+type snapState struct {
+	g       *graph.Graph
+	version int64
+}
+
+// ccState caches WCC labels plus component sizes for one version.
+type ccState struct {
+	version int64
+	cc      *kernels.CCResult
+	sizes   []int64
+}
+
+// prState caches the PageRank vector for one version.
+type prState struct {
+	version int64
+	rank    []float64
+	iters   int
+}
+
+// Server owns the persistent graph and its serving machinery. Create with
+// New, mount Handler on an HTTP listener, and stop with Shutdown.
+type Server struct {
+	cfg Config
+	reg *telemetry.Registry
+	m   *metricsSet
+
+	// gmu serializes access to dyn: the ingest loop takes the write lock
+	// per batch; snapshot rebuilds and persistence take the read lock.
+	gmu sync.RWMutex
+	dyn *dyngraph.DynGraph
+
+	version atomic.Int64 // bumped once per applied batch
+	applied atomic.Int64 // updates applied since start (freshness probe)
+
+	snapMu sync.Mutex // serializes CSR rebuilds (rebuild work is done once)
+	snap   atomic.Pointer[snapState]
+
+	ccMu sync.Mutex
+	cc   atomic.Pointer[ccState]
+	prMu sync.Mutex
+	pr   atomic.Pointer[prState]
+
+	queue chan dyngraph.Edit
+	admit chan struct{}
+
+	started   time.Time
+	draining  atomic.Bool
+	stopOnce  sync.Once
+	stopCh    chan struct{} // closed to begin drain
+	ingestEnd chan struct{} // closed when the ingest loop has drained and exited
+	persistWG sync.WaitGroup
+	recovered bool
+}
+
+// New builds a server, recovering the graph from Config.SnapshotPath when
+// the file exists, and starts the ingest loop and periodic persister.
+func New(cfg Config) (*Server, error) {
+	if cfg.Vertices <= 0 {
+		return nil, fmt.Errorf("server: Vertices must be > 0, got %d", cfg.Vertices)
+	}
+	if cfg.QueueCap <= 0 {
+		return nil, fmt.Errorf("server: QueueCap must be > 0, got %d", cfg.QueueCap)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1024
+	}
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = 25 * time.Millisecond
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 2 * time.Second
+	}
+	if cfg.MaxTimeout < cfg.DefaultTimeout {
+		cfg.MaxTimeout = cfg.DefaultTimeout
+	}
+	inflight := cfg.MaxInflight
+	if inflight <= 0 {
+		inflight = par.DefaultWorkers()
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+
+	s := &Server{
+		cfg:       cfg,
+		reg:       reg,
+		m:         newMetricsSet(reg),
+		queue:     make(chan dyngraph.Edit, cfg.QueueCap),
+		admit:     make(chan struct{}, inflight),
+		started:   time.Now(),
+		stopCh:    make(chan struct{}),
+		ingestEnd: make(chan struct{}),
+	}
+
+	if cfg.SnapshotPath != "" {
+		if f, err := os.Open(cfg.SnapshotPath); err == nil {
+			g, lerr := dyngraph.Load(f)
+			f.Close()
+			if lerr != nil {
+				return nil, fmt.Errorf("server: recover %s: %w", cfg.SnapshotPath, lerr)
+			}
+			if g.NumVertices() != cfg.Vertices || g.Directed() != cfg.Directed {
+				return nil, fmt.Errorf("server: snapshot %s is %d vertices directed=%v, config wants %d/%v",
+					cfg.SnapshotPath, g.NumVertices(), g.Directed(), cfg.Vertices, cfg.Directed)
+			}
+			s.dyn = g
+			s.recovered = true
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("server: open snapshot: %w", err)
+		}
+	}
+	if s.dyn == nil {
+		s.dyn = dyngraph.New(cfg.Vertices, cfg.Directed)
+	}
+
+	go s.ingestLoop()
+	if cfg.SnapshotPath != "" && cfg.SnapshotEvery > 0 {
+		s.persistWG.Add(1)
+		go s.persistLoop()
+	}
+	return s, nil
+}
+
+// Recovered reports whether New loaded an existing snapshot.
+func (s *Server) Recovered() bool { return s.recovered }
+
+// Version returns the current graph version (one tick per applied batch).
+func (s *Server) Version() int64 { return s.version.Load() }
+
+// Applied returns the number of updates applied since start.
+func (s *Server) Applied() int64 { return s.applied.Load() }
+
+// snapshot returns an immutable CSR view no older than the last applied
+// batch. Rebuilds are serialized and done at most once per version; while
+// the read lock is held no batch can apply, so the version recorded with
+// the snapshot is exact.
+func (s *Server) snapshot() *graph.Graph {
+	if st := s.snap.Load(); st != nil && st.version == s.version.Load() {
+		return st.g
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if st := s.snap.Load(); st != nil && st.version == s.version.Load() {
+		return st.g
+	}
+	s.gmu.RLock()
+	v := s.version.Load()
+	g := s.dyn.Snapshot()
+	s.gmu.RUnlock()
+	s.snap.Store(&snapState{g: g, version: v})
+	s.m.rebuilds.Inc()
+	return g
+}
+
+// components returns the per-version cached WCC result (labels + component
+// sizes), computing it under ctx on a miss.
+func (s *Server) components(ctx context.Context, g *graph.Graph, version int64) (*ccState, error) {
+	if st := s.cc.Load(); st != nil && st.version == version {
+		return st, nil
+	}
+	s.ccMu.Lock()
+	defer s.ccMu.Unlock()
+	if st := s.cc.Load(); st != nil && st.version == version {
+		return st, nil
+	}
+	cc, err := kernels.WCCCtx(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int64, g.NumVertices())
+	for _, l := range cc.Label {
+		sizes[l]++
+	}
+	st := &ccState{version: version, cc: cc, sizes: sizes}
+	s.cc.Store(st)
+	return st, nil
+}
+
+// pagerank returns the per-version cached PageRank vector, computing it
+// under ctx on a miss.
+func (s *Server) pagerank(ctx context.Context, g *graph.Graph, version int64) (*prState, error) {
+	if st := s.pr.Load(); st != nil && st.version == version {
+		return st, nil
+	}
+	s.prMu.Lock()
+	defer s.prMu.Unlock()
+	if st := s.pr.Load(); st != nil && st.version == version {
+		return st, nil
+	}
+	rank, iters, err := kernels.PageRankCtx(ctx, g, kernels.DefaultPageRankOptions())
+	if err != nil {
+		return nil, err
+	}
+	st := &prState{version: version, rank: rank, iters: iters}
+	s.pr.Store(st)
+	return st, nil
+}
+
+// Persist writes the graph to Config.SnapshotPath via a temp file and
+// atomic rename, so a crash mid-write never leaves a torn snapshot. No-op
+// when persistence is disabled.
+func (s *Server) Persist() error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	start := time.Now()
+	tmp := s.cfg.SnapshotPath + ".tmp." + strconv.Itoa(os.Getpid())
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("server: persist: %w", err)
+	}
+	s.gmu.RLock()
+	err = s.dyn.Save(f)
+	s.gmu.RUnlock()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: persist: %w", err)
+	}
+	if err := os.Rename(tmp, s.cfg.SnapshotPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: persist: %w", err)
+	}
+	s.m.persists.Inc()
+	s.m.persistSec.ObserveDuration(time.Since(start))
+	return nil
+}
+
+// persistLoop writes periodic snapshots until shutdown (the final snapshot
+// is Shutdown's, after the drain).
+func (s *Server) persistLoop() {
+	defer s.persistWG.Done()
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = s.Persist() // periodic failure is retried next tick; shutdown's persist reports
+		case <-s.stopCh:
+			return
+		}
+	}
+}
+
+// Shutdown drains and stops the server: new ingest is refused (503), the
+// queued updates are applied, the periodic persister stops, and a final
+// snapshot is written. Safe to call more than once; ctx bounds the drain
+// wait. The HTTP listener itself is the caller's to close (http.Server
+// Shutdown order: listener first, then this).
+func (s *Server) Shutdown(ctx context.Context) error {
+	start := time.Now()
+	s.draining.Store(true)
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	select {
+	case <-s.ingestEnd:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+	s.persistWG.Wait()
+	err := s.Persist()
+	s.m.drainSec.Set(time.Since(start).Seconds())
+	return err
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	Vertices        int32   `json:"vertices"`
+	Edges           int64   `json:"edges"`
+	Arcs            int64   `json:"arcs"`
+	Directed        bool    `json:"directed"`
+	Version         int64   `json:"version"`
+	Applied         int64   `json:"applied"`
+	QueueDepth      int     `json:"queue_depth"`
+	QueueCap        int     `json:"queue_cap"`
+	SnapshotVersion int64   `json:"snapshot_version"`
+	Recovered       bool    `json:"recovered"`
+	Draining        bool    `json:"draining"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+}
+
+// StatsNow assembles the current serving stats.
+func (s *Server) StatsNow() Stats {
+	s.gmu.RLock()
+	edges := s.dyn.NumEdges()
+	arcs := s.dyn.NumArcs()
+	s.gmu.RUnlock()
+	var sv int64 = -1
+	if st := s.snap.Load(); st != nil {
+		sv = st.version
+	}
+	return Stats{
+		Vertices:        s.cfg.Vertices,
+		Edges:           edges,
+		Arcs:            arcs,
+		Directed:        s.cfg.Directed,
+		Version:         s.version.Load(),
+		Applied:         s.applied.Load(),
+		QueueDepth:      len(s.queue),
+		QueueCap:        s.cfg.QueueCap,
+		SnapshotVersion: sv,
+		Recovered:       s.recovered,
+		Draining:        s.draining.Load(),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+	}
+}

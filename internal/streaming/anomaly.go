@@ -1,10 +1,3 @@
-// Package streaming implements the paper's streaming graph analytics: the
-// three Firehose-style anomaly kernels (fixed key, unbounded key, two-level
-// key), incremental triangle counting, incremental connected components,
-// streaming Jaccard in both of the paper's forms (edge-update driven and
-// query-stream driven), top-k degree tracking, and the threshold-trigger
-// machinery that escalates local stream events into batch analytics
-// (Fig. 2's left-hand path).
 package streaming
 
 import (

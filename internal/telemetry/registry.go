@@ -42,6 +42,7 @@ const (
 	KindHistogram
 )
 
+// String renders the kind as its exporter name.
 func (k MetricKind) String() string {
 	switch k {
 	case KindCounter:
