@@ -48,6 +48,9 @@ func run() error {
 		maxTimeout    = flag.Duration("max-timeout", cfg.MaxTimeout, "upper clamp on client-supplied ?timeout=")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max time to drain the ingest queue on shutdown")
 		metricsSample = flag.Duration("runtime-sample", 5*time.Second, "runtime/metrics sampling interval for runtime_* gauges")
+		slowThreshold = flag.Duration("slow-query-threshold", 0, "capture requests at least this slow to /debug/slowqueries (0 = off)")
+		slowOut       = flag.String("slow-query-out", "", "append slow-query records as JSON lines to this file")
+		slowRing      = flag.Int("slow-query-ring", 0, "slow-query records retained in memory (0 = default 128)")
 	)
 	par.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -72,6 +75,16 @@ func run() error {
 	cfg.DefaultTimeout = *defTimeout
 	cfg.MaxTimeout = *maxTimeout
 	cfg.Registry = reg
+	cfg.SlowQueryThreshold = *slowThreshold
+	cfg.SlowQueryRing = *slowRing
+	if *slowOut != "" {
+		f, err := os.OpenFile(*slowOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open -slow-query-out: %w", err)
+		}
+		defer f.Close()
+		cfg.SlowQueryOut = f
+	}
 
 	srv, err := server.New(cfg)
 	if err != nil {

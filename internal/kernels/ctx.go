@@ -3,9 +3,11 @@ package kernels
 import (
 	"context"
 	"math"
+	"strconv"
 
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/telemetry"
 )
 
 // Context-aware kernel entry points for the serving path (internal/server).
@@ -24,10 +26,21 @@ import (
 // that a deadline stops a scan within tens of microseconds.
 const ctxCheckEvery = 4096
 
+// kernelSpan opens a kernel-exec child span under the request span carried
+// by ctx (nil, costing nothing, when the request is untraced) and returns a
+// context rebound to it so the par scheduler's per-invocation spans nest
+// under the kernel rather than the raw request.
+func kernelSpan(ctx context.Context, name string) (context.Context, *telemetry.Span) {
+	sp := telemetry.SpanFromContext(ctx).Child(name)
+	return telemetry.ContextWithSpan(ctx, sp), sp
+}
+
 // PageRankCtx is PageRank with cooperative cancellation at chunk and
 // iteration boundaries. A completed run returns the same (bit-identical)
 // rank vector and iteration count as PageRank for any worker count.
 func PageRankCtx(ctx context.Context, g *graph.Graph, opt PageRankOptions) ([]float64, int, error) {
+	ctx, sp := kernelSpan(ctx, "kernel.pagerank")
+	defer sp.End()
 	n := g.NumVertices()
 	if n == 0 {
 		return nil, 0, par.CtxErr(ctx)
@@ -88,6 +101,9 @@ func PageRankCtx(ctx context.Context, g *graph.Graph, opt PageRankOptions) ([]fl
 			break
 		}
 	}
+	if sp != nil {
+		sp.SetAttr("iters", strconv.Itoa(iters))
+	}
 	return rank, iters, nil
 }
 
@@ -95,6 +111,8 @@ func PageRankCtx(ctx context.Context, g *graph.Graph, opt PageRankOptions) ([]fl
 // hook-and-compress algorithm under cooperative cancellation. A completed
 // run returns the same canonical min-member labels as WCC/WCCParallel.
 func WCCCtx(ctx context.Context, g *graph.Graph) (*CCResult, error) {
+	ctx, sp := kernelSpan(ctx, "kernel.wcc")
+	defer sp.End()
 	n := g.NumVertices()
 	parent := make([]int32, n)
 	for i := range parent {
@@ -134,6 +152,8 @@ func WCCCtx(ctx context.Context, g *graph.Graph) (*CCResult, error) {
 // KHopNeighborhoodCtx is KHopNeighborhood with a context check per BFS
 // level and every ctxCheckEvery frontier expansions.
 func KHopNeighborhoodCtx(ctx context.Context, g *graph.Graph, seeds []int32, k int32) ([]int32, error) {
+	_, sp := kernelSpan(ctx, "kernel.khop")
+	defer sp.End()
 	n := g.NumVertices()
 	depth := make([]int32, n)
 	for i := range depth {
@@ -179,6 +199,8 @@ func KHopNeighborhoodCtx(ctx context.Context, g *graph.Graph, seeds []int32, k i
 // completed run returns the same scores in the same order as
 // JaccardFromVertex.
 func JaccardFromVertexCtx(ctx context.Context, g *graph.Graph, u int32, threshold float64) ([]JaccardPairScore, error) {
+	_, sp := kernelSpan(ctx, "kernel.jaccard")
+	defer sp.End()
 	if err := par.CtxErr(ctx); err != nil {
 		return nil, err
 	}
@@ -219,6 +241,8 @@ func JaccardFromVertexCtx(ctx context.Context, g *graph.Graph, u int32, threshol
 // one cheap O(n) pass, so a mid-scan deadline at worst finishes the pass
 // and reports the expiry on return.
 func TopKByDegreeCtx(ctx context.Context, g *graph.Graph, k int) ([]ScoredVertex, error) {
+	_, sp := kernelSpan(ctx, "kernel.topdegree")
+	defer sp.End()
 	if err := par.CtxErr(ctx); err != nil {
 		return nil, err
 	}

@@ -2,9 +2,12 @@ package par
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Context-aware scheduler variants for long-running kernels that serve
@@ -41,6 +44,37 @@ func CtxErr(ctx context.Context) error {
 	return nil
 }
 
+// spanForInvocation opens a child span for one scheduler invocation when
+// the context carries a request span (telemetry.SpanFromContext), so a
+// traced request's tree shows every kernel loop it ran. Untraced contexts
+// (the common case, and every non-ctx call) pay one allocation-free
+// ctx.Value lookup and nothing else.
+func spanForInvocation(ctx context.Context, opt Opt) *telemetry.Span {
+	parent := telemetry.SpanFromContext(ctx)
+	if parent == nil {
+		return nil
+	}
+	name := opt.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	return parent.Child("par." + name)
+}
+
+// endInvocationSpan closes an invocation span with the scheduler's verdict.
+func endInvocationSpan(sp *telemetry.Span, nc, executed, workers int, cancelled bool) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("chunks", strconv.Itoa(executed))
+	if cancelled {
+		sp.SetAttr("cancelled", "true")
+		sp.SetAttr("chunks_skipped", strconv.Itoa(nc-executed))
+	}
+	sp.SetAttr("workers", strconv.Itoa(workers))
+	sp.End()
+}
+
 // runCtx is the cancellable scheduler core: identical chunking to run, plus
 // a cancellation check (Done() select + direct deadline comparison, see
 // CtxErr) before every chunk pull. Returns nil when every chunk executed
@@ -62,6 +96,7 @@ func runCtx(ctx context.Context, n int, opt Opt, body func(w, lo, hi int)) error
 		workers = nc
 	}
 	m := metricsFor(opt.Name)
+	sp := spanForInvocation(ctx, opt)
 	start := time.Now()
 	done := ctx.Done()
 	dl, hasDL := ctx.Deadline()
@@ -79,6 +114,7 @@ func runCtx(ctx context.Context, n int, opt Opt, body func(w, lo, hi int)) error
 		for c := 0; c < nc; c++ {
 			if expired() {
 				m.observeCancel(n, nc, executed, 1, time.Since(start))
+				endInvocationSpan(sp, nc, executed, 1, true)
 				return CtxErr(ctx)
 			}
 			lo := c * grain
@@ -90,6 +126,7 @@ func runCtx(ctx context.Context, n int, opt Opt, body func(w, lo, hi int)) error
 			executed++
 		}
 		m.observe(n, nc, 1, time.Since(start), 1)
+		endInvocationSpan(sp, nc, nc, 1, false)
 		return nil
 	}
 
@@ -131,6 +168,7 @@ func runCtx(ctx context.Context, n int, opt Opt, body func(w, lo, hi int)) error
 	ex := int(executed.Load())
 	if cancelled.Load() && ex < nc {
 		m.observeCancel(n, nc, ex, workers, time.Since(start))
+		endInvocationSpan(sp, nc, ex, workers, true)
 		return CtxErr(ctx)
 	}
 	var maxBusy, totalBusy time.Duration
@@ -145,6 +183,7 @@ func runCtx(ctx context.Context, n int, opt Opt, body func(w, lo, hi int)) error
 		imbalance = float64(maxBusy) * float64(workers) / float64(totalBusy)
 	}
 	m.observe(n, nc, workers, time.Since(start), imbalance)
+	endInvocationSpan(sp, nc, nc, workers, false)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"strconv"
 	"time"
 
 	"repro/internal/dyngraph"
@@ -123,12 +124,22 @@ func (s *Server) applyBatch(batch []dyngraph.Edit) {
 	}
 	dropped := len(batch) - len(dedup)
 
+	sp := s.reg.Tracer().Start("server.apply")
 	start := time.Now()
 	s.gmu.Lock()
 	res := s.dyn.ApplyEdits(dedup)
 	s.gmu.Unlock()
-	s.version.Add(1)
+	version := s.version.Add(1)
 	s.applied.Add(int64(len(dedup)))
+	sp.SetAttr("batch", strconv.Itoa(len(batch)))
+	sp.SetAttr("dedup", strconv.Itoa(len(dedup)))
+	sp.SetAttr("version", strconv.FormatInt(version, 10))
+	sp.End()
+	// The served snapshot (if any) just went stale; publish its age so
+	// dashboards see staleness grow between rebuilds.
+	if st := s.snap.Load(); st != nil {
+		s.m.snapAge.Set(time.Since(st.built).Seconds())
+	}
 
 	s.m.deduped.Add(int64(dropped))
 	s.m.inserted.Add(res.Inserted)

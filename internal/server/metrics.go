@@ -19,6 +19,13 @@ import "repro/internal/telemetry"
 //	server_queries_inflight                 admitted queries now running (gauge)
 //	server_admission_wait_seconds           time spent waiting for a query slot
 //	server_snapshot_rebuilds_total          CSR snapshot rebuilds (version changes)
+//	server_snapshot_age_seconds             age of the served CSR snapshot (gauge)
+//	server_stage_seconds{endpoint,stage}    per-request lifecycle stage latency;
+//	                                        stages sum to request wall time
+//	                                        ("other" absorbs the remainder)
+//	server_cache_hit_total{kernel}          per-version result-cache hits
+//	server_cache_rebuilds_total{kernel}     per-version result-cache recomputes
+//	server_slow_queries_total{endpoint}     requests over the slow-query threshold
 //	server_persist_total                    snapshot files written
 //	server_persist_seconds                  snapshot write latency
 //	server_drain_seconds                    time the shutdown drain took (gauge)
@@ -38,6 +45,10 @@ type metricsSet struct {
 	inflight  *telemetry.Gauge
 	admitWait *telemetry.Histogram
 	rebuilds  *telemetry.Counter
+	snapAge   *telemetry.Gauge
+
+	ccRebuilds *telemetry.Counter
+	prRebuilds *telemetry.Counter
 
 	persists   *telemetry.Counter
 	persistSec *telemetry.Histogram
@@ -62,6 +73,10 @@ func newMetricsSet(reg *telemetry.Registry) *metricsSet {
 		inflight:  reg.Gauge("server_queries_inflight"),
 		admitWait: reg.Histogram("server_admission_wait_seconds"),
 		rebuilds:  reg.Counter("server_snapshot_rebuilds_total"),
+		snapAge:   reg.Gauge("server_snapshot_age_seconds"),
+
+		ccRebuilds: reg.Counter("server_cache_rebuilds_total", telemetry.L("kernel", "wcc")),
+		prRebuilds: reg.Counter("server_cache_rebuilds_total", telemetry.L("kernel", "pagerank")),
 
 		persists:   reg.Counter("server_persist_total"),
 		persistSec: reg.Histogram("server_persist_seconds"),

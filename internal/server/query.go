@@ -16,11 +16,14 @@ import (
 )
 
 // Handler returns the daemon's HTTP API, with the telemetry registry's own
-// endpoints (/metrics, /metrics.json, /debug/spans, /debug/pprof/...)
-// mounted on the same mux — one listener serves traffic and observability.
+// endpoints (/metrics, /metrics.json, /debug/spans, /debug/trace/{id},
+// /debug/pprof/...) mounted on the same mux — one listener serves traffic
+// and observability. The whole mux is wrapped in the traceparent middleware,
+// so every endpoint accepts and echoes a W3C trace identity.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/debug/slowqueries", s.handleSlowQueries)
 	mux.HandleFunc("/query/jaccard", s.query("jaccard", s.handleJaccard))
 	mux.HandleFunc("/query/khop", s.query("khop", s.handleKHop))
 	mux.HandleFunc("/query/topdegree", s.query("topdegree", s.handleTopDegree))
@@ -40,7 +43,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/metrics", tel)
 	mux.Handle("/metrics.json", tel)
 	mux.Handle("/debug/", tel)
-	return mux
+	return s.traceHeaders(mux)
 }
 
 // httpError is a handler-returned error carrying its status code.
@@ -57,8 +60,9 @@ func badRequest(format string, args ...any) error {
 }
 
 // query wraps one query endpoint with the full serving discipline:
-// deadline resolution, admission control, a request span, metrics, and
-// error-to-status mapping (deadline exceeded → 504).
+// deadline resolution, admission control, the request trace (root span +
+// lifecycle stages + slow-query capture), metrics, and error-to-status
+// mapping (deadline exceeded → 504).
 func (s *Server) query(op string, h func(ctx context.Context, r *http.Request) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -74,13 +78,19 @@ func (s *Server) query(op string, h func(ctx context.Context, r *http.Request) (
 		ctx, cancel := context.WithTimeout(r.Context(), d)
 		defer cancel()
 
-		sp := s.reg.Tracer().Start("server.query", telemetry.L("op", op))
-		defer sp.End()
+		ctx, rt := s.startRequestTrace(ctx, w, op, start)
+		finish := func() {
+			wall := time.Since(start)
+			rt.finish(code, wall)
+			s.countQuery(op, code, wall.Seconds())
+		}
 
 		// Admission: a slot in the worker-budget semaphore, bounded by the
 		// same deadline the kernel will run under.
+		endAdmit := rt.stage("admission")
 		select {
 		case s.admit <- struct{}{}:
+			endAdmit()
 			s.m.admitWait.ObserveDuration(time.Since(start))
 			s.m.inflight.Add(1)
 			defer func() {
@@ -88,10 +98,11 @@ func (s *Server) query(op string, h func(ctx context.Context, r *http.Request) (
 				s.m.inflight.Add(-1)
 			}()
 		case <-ctx.Done():
+			endAdmit()
 			code = http.StatusGatewayTimeout
-			sp.SetAttr("status", "admission-timeout")
+			rt.root.SetAttr("status", "admission-timeout")
 			http.Error(w, "deadline exceeded while waiting for admission", code)
-			s.countQuery(op, code, time.Since(start).Seconds())
+			finish()
 			return
 		}
 
@@ -106,14 +117,16 @@ func (s *Server) query(op string, h func(ctx context.Context, r *http.Request) (
 			default:
 				code = http.StatusInternalServerError
 			}
-			sp.SetAttr("status", strconv.Itoa(code))
+			rt.root.SetAttr("status", strconv.Itoa(code))
 			http.Error(w, err.Error(), code)
-			s.countQuery(op, code, time.Since(start).Seconds())
+			finish()
 			return
 		}
-		sp.SetAttr("status", "200")
+		rt.root.SetAttr("status", "200")
+		endEncode := rt.stage("encode")
 		writeJSON(w, code, out)
-		s.countQuery(op, code, time.Since(start).Seconds())
+		endEncode()
+		finish()
 	}
 }
 
@@ -170,38 +183,50 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.countQuery(op, code, time.Since(start).Seconds())
 		return
 	}
-	sp := s.reg.Tracer().Start("server.ingest")
-	defer sp.End()
+	_, rt := s.startRequestTrace(r.Context(), w, op, start)
+	finish := func(code int) {
+		wall := time.Since(start)
+		rt.finish(code, wall)
+		s.countQuery(op, code, wall.Seconds())
+	}
 
+	endDecode := rt.stage("decode")
 	var updates []IngestUpdate
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	if err := dec.Decode(&updates); err != nil {
+		endDecode()
 		code := http.StatusBadRequest
 		http.Error(w, fmt.Sprintf("bad ingest body: %v", err), code)
-		s.countQuery(op, code, time.Since(start).Seconds())
+		finish(code)
 		return
 	}
 	edits := make([]dyngraph.Edit, len(updates))
 	for i, u := range updates {
 		if u.Src < 0 || u.Src >= s.cfg.Vertices || u.Dst < 0 || u.Dst >= s.cfg.Vertices {
+			endDecode()
 			code := http.StatusBadRequest
 			http.Error(w, fmt.Sprintf("update %d: vertex out of range [0,%d)", i, s.cfg.Vertices), code)
-			s.countQuery(op, code, time.Since(start).Seconds())
+			finish(code)
 			return
 		}
 		edits[i] = dyngraph.Edit{Src: u.Src, Dst: u.Dst, Weight: u.Weight, Time: u.Time, Delete: u.Delete}
 	}
+	endDecode()
 
+	endEnqueue := rt.stage("enqueue")
 	res := s.enqueue(edits)
-	sp.SetAttr("accepted", strconv.Itoa(res.Accepted))
+	endEnqueue()
+	rt.root.SetAttr("accepted", strconv.Itoa(res.Accepted))
 	code := http.StatusAccepted
 	if res.Rejected > 0 {
 		code = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
-		sp.SetAttr("status", "backpressure")
+		rt.root.SetAttr("status", "backpressure")
 	}
+	endEncode := rt.stage("encode")
 	writeJSON(w, code, res)
-	s.countQuery(op, code, time.Since(start).Seconds())
+	endEncode()
+	finish(code)
 }
 
 func (s *Server) handleJaccard(ctx context.Context, r *http.Request) (any, error) {
@@ -216,8 +241,10 @@ func (s *Server) handleJaccard(ctx context.Context, r *http.Request) (any, error
 			return nil, badRequest("bad threshold %q", raw)
 		}
 	}
-	g := s.snapshot()
+	g := s.snapshotFor(ctx)
+	ctx, end := traceFrom(ctx).stageCtx(ctx, "kernel", telemetry.L("kernel", "jaccard"))
 	scores, err := kernels.JaccardFromVertexCtx(ctx, g, u, threshold)
+	end()
 	if err != nil {
 		return nil, err
 	}
@@ -245,8 +272,10 @@ func (s *Server) handleKHop(ctx context.Context, r *http.Request) (any, error) {
 			return nil, badRequest("bad k %q", raw)
 		}
 	}
-	g := s.snapshot()
+	g := s.snapshotFor(ctx)
+	ctx, end := traceFrom(ctx).stageCtx(ctx, "kernel", telemetry.L("kernel", "khop"))
 	order, err := kernels.KHopNeighborhoodCtx(ctx, g, seeds, int32(k))
+	end()
 	if err != nil {
 		return nil, err
 	}
@@ -258,8 +287,10 @@ func (s *Server) handleTopDegree(ctx context.Context, r *http.Request) (any, err
 	if err != nil {
 		return nil, err
 	}
-	g := s.snapshot()
+	g := s.snapshotFor(ctx)
+	ctx, end := traceFrom(ctx).stageCtx(ctx, "kernel", telemetry.L("kernel", "topdegree"))
 	top, err := kernels.TopKByDegreeCtx(ctx, g, k)
+	end()
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +303,7 @@ func (s *Server) handleComponent(ctx context.Context, r *http.Request) (any, err
 		return nil, err
 	}
 	version := s.version.Load()
-	g := s.snapshot()
+	g := s.snapshotFor(ctx)
 	st, err := s.components(ctx, g, version)
 	if err != nil {
 		return nil, err
@@ -289,7 +320,7 @@ func (s *Server) handleComponent(ctx context.Context, r *http.Request) (any, err
 
 func (s *Server) handlePageRank(ctx context.Context, r *http.Request) (any, error) {
 	version := s.version.Load()
-	g := s.snapshot()
+	g := s.snapshotFor(ctx)
 	st, err := s.pagerank(ctx, g, version)
 	if err != nil {
 		return nil, err

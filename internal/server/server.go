@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"sync"
@@ -55,6 +56,16 @@ type Config struct {
 	// nil uses telemetry.Default().
 	Registry *telemetry.Registry
 
+	// SlowQueryThreshold enables the slow-query log: requests whose wall
+	// time meets or exceeds it are retained in a bounded ring
+	// (/debug/slowqueries) with their stage breakdown and span tree, and
+	// appended to SlowQueryOut when set. <= 0 disables capture.
+	SlowQueryThreshold time.Duration
+	// SlowQueryOut, when non-nil, receives one JSON line per slow query.
+	SlowQueryOut io.Writer
+	// SlowQueryRing bounds the in-memory slow-query ring (default 128).
+	SlowQueryRing int
+
 	// applyGate, when non-nil, is received from before every batch
 	// application. Tests use it to stall the ingest loop and deterministically
 	// fill the queue; close it to release the loop for good.
@@ -80,6 +91,7 @@ func DefaultConfig() Config {
 type snapState struct {
 	g       *graph.Graph
 	version int64
+	built   time.Time
 }
 
 // ccState caches WCC labels plus component sizes for one version.
@@ -99,9 +111,10 @@ type prState struct {
 // Server owns the persistent graph and its serving machinery. Create with
 // New, mount Handler on an HTTP listener, and stop with Shutdown.
 type Server struct {
-	cfg Config
-	reg *telemetry.Registry
-	m   *metricsSet
+	cfg  Config
+	reg  *telemetry.Registry
+	m    *metricsSet
+	slow *slowLog
 
 	// gmu serializes access to dyn: the ingest loop takes the write lock
 	// per batch; snapshot rebuilds and persistence take the read lock.
@@ -165,6 +178,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		reg:       reg,
 		m:         newMetricsSet(reg),
+		slow:      newSlowLog(cfg.SlowQueryThreshold, cfg.SlowQueryRing, cfg.SlowQueryOut, reg),
 		queue:     make(chan dyngraph.Edit, cfg.QueueCap),
 		admit:     make(chan struct{}, inflight),
 		started:   time.Now(),
@@ -216,19 +230,35 @@ func (s *Server) Applied() int64 { return s.applied.Load() }
 // the snapshot is exact.
 func (s *Server) snapshot() *graph.Graph {
 	if st := s.snap.Load(); st != nil && st.version == s.version.Load() {
+		s.m.snapAge.Set(time.Since(st.built).Seconds())
 		return st.g
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	if st := s.snap.Load(); st != nil && st.version == s.version.Load() {
+		s.m.snapAge.Set(time.Since(st.built).Seconds())
 		return st.g
 	}
 	s.gmu.RLock()
 	v := s.version.Load()
 	g := s.dyn.Snapshot()
 	s.gmu.RUnlock()
-	s.snap.Store(&snapState{g: g, version: v})
+	s.snap.Store(&snapState{g: g, version: v, built: time.Now()})
 	s.m.rebuilds.Inc()
+	s.m.snapAge.Set(0)
+	return g
+}
+
+// snapshotFor is snapshot with any CSR rebuild attributed to the request's
+// "snapshot" lifecycle stage; the common cached path records no stage.
+func (s *Server) snapshotFor(ctx context.Context) *graph.Graph {
+	if st := s.snap.Load(); st != nil && st.version == s.version.Load() {
+		s.m.snapAge.Set(time.Since(st.built).Seconds())
+		return st.g
+	}
+	end := traceFrom(ctx).stage("snapshot")
+	g := s.snapshot()
+	end()
 	return g
 }
 
@@ -236,38 +266,60 @@ func (s *Server) snapshot() *graph.Graph {
 // sizes), computing it under ctx on a miss.
 func (s *Server) components(ctx context.Context, g *graph.Graph, version int64) (*ccState, error) {
 	if st := s.cc.Load(); st != nil && st.version == version {
+		s.cacheHit(ctx, "wcc")
 		return st, nil
 	}
 	s.ccMu.Lock()
 	defer s.ccMu.Unlock()
 	if st := s.cc.Load(); st != nil && st.version == version {
+		s.cacheHit(ctx, "wcc")
 		return st, nil
 	}
+	s.m.ccRebuilds.Inc()
+	ctx, end := traceFrom(ctx).stageCtx(ctx, "kernel",
+		telemetry.L("kernel", "wcc"), telemetry.L("cache", "miss"))
 	cc, err := kernels.WCCCtx(ctx, g)
 	if err != nil {
+		end()
 		return nil, err
 	}
 	sizes := make([]int64, g.NumVertices())
 	for _, l := range cc.Label {
 		sizes[l]++
 	}
+	end()
 	st := &ccState{version: version, cc: cc, sizes: sizes}
 	s.cc.Store(st)
 	return st, nil
+}
+
+// cacheHit publishes one per-version cache hit: the counter plus a root-span
+// attribute so traces show the request skipped the kernel.
+func (s *Server) cacheHit(ctx context.Context, kernel string) {
+	s.reg.Counter("server_cache_hit_total", telemetry.L("kernel", kernel)).Inc()
+	if rt := traceFrom(ctx); rt != nil {
+		rt.root.SetAttr("cache", "hit")
+	}
 }
 
 // pagerank returns the per-version cached PageRank vector, computing it
 // under ctx on a miss.
 func (s *Server) pagerank(ctx context.Context, g *graph.Graph, version int64) (*prState, error) {
 	if st := s.pr.Load(); st != nil && st.version == version {
+		s.cacheHit(ctx, "pagerank")
 		return st, nil
 	}
 	s.prMu.Lock()
 	defer s.prMu.Unlock()
 	if st := s.pr.Load(); st != nil && st.version == version {
+		s.cacheHit(ctx, "pagerank")
 		return st, nil
 	}
+	s.m.prRebuilds.Inc()
+	ctx, end := traceFrom(ctx).stageCtx(ctx, "kernel",
+		telemetry.L("kernel", "pagerank"), telemetry.L("cache", "miss"))
 	rank, iters, err := kernels.PageRankCtx(ctx, g, kernels.DefaultPageRankOptions())
+	end()
 	if err != nil {
 		return nil, err
 	}

@@ -38,9 +38,79 @@ type jsonSpan struct {
 	Name   string            `json:"name"`
 	ID     uint64            `json:"id"`
 	Parent uint64            `json:"parent,omitempty"`
+	Trace  string            `json:"trace,omitempty"`
 	Start  string            `json:"start"`
 	DurNs  int64             `json:"dur_ns"`
 	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// jsonSpanNode is the nested-tree schema for one span and its children.
+type jsonSpanNode struct {
+	Name     string            `json:"name"`
+	ID       uint64            `json:"id"`
+	Parent   uint64            `json:"parent,omitempty"`
+	Trace    string            `json:"trace,omitempty"`
+	Start    string            `json:"start"`
+	DurNs    int64             `json:"dur_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []jsonSpanNode    `json:"children,omitempty"`
+}
+
+func spanTreeNodes(trees []*SpanTree) []jsonSpanNode {
+	if len(trees) == 0 {
+		return nil
+	}
+	out := make([]jsonSpanNode, 0, len(trees))
+	for _, t := range trees {
+		n := jsonSpanNode{
+			Name: t.Name, ID: t.ID, Parent: t.Parent,
+			Start: t.Start.UTC().Format(spanTimeLayout),
+			DurNs: t.Dur.Nanoseconds(), Attrs: labelMap(t.Attrs),
+			Children: spanTreeNodes(t.Children),
+		}
+		if !t.Trace.IsZero() {
+			n.Trace = t.Trace.String()
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// spanTimeLayout is the fixed-width UTC timestamp format used by both the
+// flat span lines and the nested tree view.
+const spanTimeLayout = "2006-01-02T15:04:05.000000000Z"
+
+// SpanTreeDump is the JSON document served at /debug/spans and
+// /debug/trace/{id}: the retained spans assembled into parent→child trees,
+// plus the ring-eviction count so a truncated view is visible as such.
+type SpanTreeDump struct {
+	// Trace restricts the dump to one trace ID (empty for the full ring).
+	Trace string `json:"trace,omitempty"`
+	// Retained is how many spans the dump covers.
+	Retained int `json:"retained"`
+	// Dropped is how many finished spans the ring has evicted in total.
+	Dropped int64 `json:"dropped"`
+	// Spans are the root spans, children nested, in start order.
+	Spans []jsonSpanNode `json:"spans"`
+}
+
+// TreeDump assembles the retained spans (optionally restricted to one
+// trace) into the nested document served by the HTTP handler. The
+// trace-restricted form returns Retained == 0 when nothing from that trace
+// survives in the ring.
+func (t *Tracer) TreeDump(trace TraceID) SpanTreeDump {
+	var spans []SpanRecord
+	if trace.IsZero() {
+		spans = t.Snapshot()
+	} else {
+		spans = t.TraceSpans(trace)
+	}
+	d := SpanTreeDump{Retained: len(spans), Dropped: t.Dropped(),
+		Spans: spanTreeNodes(BuildSpanTree(spans))}
+	if !trace.IsZero() {
+		d.Trace = trace.String()
+	}
+	return d
 }
 
 func labelMap(labels []Label) map[string]string {
@@ -90,8 +160,11 @@ func (t *Tracer) WriteJSONLines(w io.Writer) error {
 	for _, s := range t.Snapshot() {
 		js := jsonSpan{
 			Type: "span", Name: s.Name, ID: s.ID, Parent: s.Parent,
-			Start: s.Start.UTC().Format("2006-01-02T15:04:05.000000000Z"),
+			Start: s.Start.UTC().Format(spanTimeLayout),
 			DurNs: s.Dur.Nanoseconds(), Attrs: labelMap(s.Attrs),
+		}
+		if !s.Trace.IsZero() {
+			js.Trace = s.Trace.String()
 		}
 		if err := enc.Encode(js); err != nil {
 			return err

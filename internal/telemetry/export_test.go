@@ -239,8 +239,12 @@ func TestHTTPHandler(t *testing.T) {
 		t.Fatalf("/metrics.json missing gauge:\n%s", body)
 	}
 	body, _ = get("/debug/spans")
-	if !strings.Contains(body, `"name":"op"`) {
+	if !strings.Contains(body, `"name": "op"`) || !strings.Contains(body, `"retained": 1`) {
 		t.Fatalf("/debug/spans missing span:\n%s", body)
+	}
+	body, _ = get("/debug/spans.raw")
+	if !strings.Contains(body, `"name":"op"`) {
+		t.Fatalf("/debug/spans.raw missing span:\n%s", body)
 	}
 	body, _ = get("/debug/vars")
 	if !strings.HasPrefix(strings.TrimSpace(body), "{") {

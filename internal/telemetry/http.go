@@ -1,20 +1,24 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
 // Handler returns an http.Handler exposing the registry for long-running
 // processes:
 //
-//	/metrics        Prometheus text exposition format
-//	/metrics.json   the same metrics as JSON lines
-//	/debug/spans    retained spans as JSON lines
-//	/debug/vars     expvar
-//	/debug/pprof/   runtime profiling endpoints
+//	/metrics           Prometheus text exposition format
+//	/metrics.json      the same metrics as JSON lines
+//	/debug/spans       retained spans as a parent→child tree + dropped count
+//	/debug/spans.raw   retained spans flat, as JSON lines
+//	/debug/trace/{id}  one trace's retained spans as a tree (32-hex-char id)
+//	/debug/vars        expvar
+//	/debug/pprof/      runtime profiling endpoints
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -26,8 +30,30 @@ func (r *Registry) Handler() http.Handler {
 		_ = r.WriteJSONLines(w)
 	})
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Tracer().TreeDump(TraceID{}))
+	})
+	mux.HandleFunc("/debug/spans.raw", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		_ = r.Tracer().WriteJSONLines(w)
+	})
+	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, req *http.Request) {
+		id, ok := ParseTraceID(strings.TrimPrefix(req.URL.Path, "/debug/trace/"))
+		if !ok {
+			http.Error(w, "trace id must be 32 hex characters", http.StatusBadRequest)
+			return
+		}
+		dump := r.Tracer().TreeDump(id)
+		if dump.Retained == 0 {
+			http.Error(w, "no retained spans for trace "+id.String(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(dump)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

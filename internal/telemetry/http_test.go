@@ -94,19 +94,100 @@ func TestHandlerMetricsJSON(t *testing.T) {
 func TestHandlerSpansEndpoint(t *testing.T) {
 	reg, srv := newTestServer(t)
 	sp := reg.Tracer().Start("test.span", L("kernel", "wcc"))
-	sp.SetAttr("items", "42")
+	child := sp.Child("test.child")
+	child.SetAttr("items", "42")
+	child.End()
 	sp.End()
 
 	resp, body := httpGet(t, srv, "/debug/spans")
-	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 		t.Errorf("Content-Type = %q", ct)
 	}
-	if !strings.Contains(body, "test.span") || !strings.Contains(body, `"items"`) {
-		t.Errorf("span body missing span or attr:\n%s", body)
+	var dump struct {
+		Retained int `json:"retained"`
+		Dropped  int `json:"dropped"`
+		Spans    []struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name  string            `json:"name"`
+				Attrs map[string]string `json:"attrs"`
+			} `json:"children"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("spans body not JSON: %v\n%s", err, body)
+	}
+	if dump.Retained != 2 {
+		t.Errorf("retained = %d, want 2", dump.Retained)
+	}
+	if len(dump.Spans) != 1 || dump.Spans[0].Name != "test.span" {
+		t.Fatalf("want one root test.span, got %+v", dump.Spans)
+	}
+	kids := dump.Spans[0].Children
+	if len(kids) != 1 || kids[0].Name != "test.child" || kids[0].Attrs["items"] != "42" {
+		t.Errorf("child not nested under root: %+v", kids)
+	}
+}
+
+func TestHandlerSpansRawEndpoint(t *testing.T) {
+	reg, srv := newTestServer(t)
+	sp := reg.Tracer().Start("raw.span")
+	sp.End()
+
+	resp, body := httpGet(t, srv, "/debug/spans.raw")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
 	}
 	var m map[string]any
 	if err := json.Unmarshal([]byte(strings.SplitN(strings.TrimSpace(body), "\n", 2)[0]), &m); err != nil {
 		t.Fatalf("span line not JSON: %v", err)
+	}
+	if m["name"] != "raw.span" {
+		t.Errorf("name = %v", m["name"])
+	}
+}
+
+func TestHandlerTraceEndpoint(t *testing.T) {
+	reg, srv := newTestServer(t)
+	tc := NewTraceContext()
+	root := reg.Tracer().StartWithTrace(tc, "traced.root")
+	root.Child("traced.child").End()
+	root.End()
+	// A second, unrelated trace that must not appear in the filtered view.
+	other := reg.Tracer().StartWithTrace(NewTraceContext(), "other.root")
+	other.End()
+
+	resp, body := httpGet(t, srv, "/debug/trace/"+tc.TraceID.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var dump struct {
+		Trace    string `json:"trace"`
+		Retained int    `json:"retained"`
+		Spans    []struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name string `json:"name"`
+			} `json:"children"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("trace body not JSON: %v\n%s", err, body)
+	}
+	if dump.Trace != tc.TraceID.String() || dump.Retained != 2 {
+		t.Errorf("trace=%q retained=%d, want %q/2", dump.Trace, dump.Retained, tc.TraceID.String())
+	}
+	if len(dump.Spans) != 1 || dump.Spans[0].Name != "traced.root" ||
+		len(dump.Spans[0].Children) != 1 || dump.Spans[0].Children[0].Name != "traced.child" {
+		t.Errorf("unexpected tree: %+v", dump.Spans)
+	}
+
+	if resp, _ := httpGet(t, srv, "/debug/trace/not-a-trace-id"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed id: status = %d, want 400", resp.StatusCode)
+	}
+	missing := "00000000000000000000000000000001"
+	if resp, _ := httpGet(t, srv, "/debug/trace/"+missing); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status = %d, want 404", resp.StatusCode)
 	}
 }
 

@@ -9,7 +9,8 @@ import (
 // SpanRecord is one finished span as retained by the tracer.
 type SpanRecord struct {
 	ID     uint64
-	Parent uint64 // 0 for root spans
+	Parent uint64  // 0 for root spans
+	Trace  TraceID // zero for spans outside any request trace
 	Name   string
 	Attrs  []Label
 	Start  time.Time
@@ -41,32 +42,46 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{ring: make([]SpanRecord, capacity)}
 }
 
-// Span is one in-flight operation. Create roots with Tracer.Start and
-// children with Span.Child; call End exactly once. A nil *Span is legal
-// and all its methods are no-ops, so call sites need no tracer-enabled
-// checks.
+// Span is one in-flight operation. Create roots with Tracer.Start (or
+// Tracer.StartWithTrace to join a request trace) and children with
+// Span.Child; call End exactly once. A nil *Span is legal and all its
+// methods are no-ops, so call sites need no tracer-enabled checks.
 type Span struct {
 	t      *Tracer
 	id     uint64
 	parent uint64
+	trace  TraceID
 	name   string
-	attrs  []Label
 	start  time.Time
 	ended  atomic.Bool
+
+	// attrMu guards attrs: SetAttr may race with End (which snapshots the
+	// attributes into the ring) when a request times out while a worker
+	// goroutine is still annotating the span.
+	attrMu sync.Mutex
+	attrs  []Label
 }
 
-// Start begins a root span.
+// Start begins a root span outside any trace.
 func (t *Tracer) Start(name string, attrs ...Label) *Span {
+	return t.StartWithTrace(TraceContext{}, name, attrs...)
+}
+
+// StartWithTrace begins a root span inside the trace identified by tc: the
+// span carries tc.TraceID on its record, and its recorded parent is
+// tc.Parent (the remote caller's span ID) so cross-process trees line up.
+// A zero tc is equivalent to Start.
+func (t *Tracer) StartWithTrace(tc TraceContext, name string, attrs ...Label) *Span {
 	if t == nil || t.noop {
 		return nil
 	}
 	return &Span{
-		t: t, id: t.nextID.Add(1), name: name,
-		attrs: append([]Label(nil), attrs...), start: time.Now(),
+		t: t, id: t.nextID.Add(1), parent: tc.Parent, trace: tc.TraceID,
+		name: name, attrs: append([]Label(nil), attrs...), start: time.Now(),
 	}
 }
 
-// Child begins a span nested under s.
+// Child begins a span nested under s, inheriting s's trace.
 func (s *Span) Child(name string, attrs ...Label) *Span {
 	if s == nil {
 		return nil
@@ -74,16 +89,23 @@ func (s *Span) Child(name string, attrs ...Label) *Span {
 	c := s.t.Start(name, attrs...)
 	if c != nil {
 		c.parent = s.id
+		c.trace = s.trace
 	}
 	return c
 }
 
-// SetAttr attaches (or appends) an attribute to an in-flight span.
+// SetAttr attaches (or appends) an attribute to an in-flight span. Safe to
+// call concurrently with End: an attribute set after the span ended is
+// dropped, never torn into the record.
 func (s *Span) SetAttr(key, value string) {
 	if s == nil || s.ended.Load() {
 		return
 	}
-	s.attrs = append(s.attrs, Label{Key: key, Value: value})
+	s.attrMu.Lock()
+	if !s.ended.Load() {
+		s.attrs = append(s.attrs, Label{Key: key, Value: value})
+	}
+	s.attrMu.Unlock()
 }
 
 // ID returns the span's identifier (0 for a nil span).
@@ -94,13 +116,25 @@ func (s *Span) ID() uint64 {
 	return s.id
 }
 
+// Trace returns the trace the span belongs to (zero for a nil or untraced
+// span).
+func (s *Span) Trace() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.trace
+}
+
 // End finishes the span and records it. Extra End calls are ignored.
 func (s *Span) End() {
 	if s == nil || !s.ended.CompareAndSwap(false, true) {
 		return
 	}
+	s.attrMu.Lock()
+	attrs := s.attrs
+	s.attrMu.Unlock()
 	rec := SpanRecord{
-		ID: s.id, Parent: s.parent, Name: s.name, Attrs: s.attrs,
+		ID: s.id, Parent: s.parent, Trace: s.trace, Name: s.name, Attrs: attrs,
 		Start: s.start, Dur: time.Since(s.start),
 	}
 	t := s.t

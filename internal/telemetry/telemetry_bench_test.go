@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+)
+
+// TestDisabledTracerAllocationFree gates the no-op observability path: with
+// a Nop registry, the whole span lifecycle a traced request would execute —
+// root start, context plumbing, child spans, attributes, end — must not
+// allocate, so always-on instrumentation costs untraced hot paths nothing
+// but predictable branches. CI runs this test; a regression here is a
+// hot-path regression for every kernel.
+func TestDisabledTracerAllocationFree(t *testing.T) {
+	tr := Nop().Tracer()
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := tr.StartWithTrace(TraceContext{}, "op")
+		c := ContextWithSpan(ctx, sp)
+		child := SpanFromContext(c).Child("child")
+		child.SetAttr("k", "v")
+		child.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestNilTracerAllocationFree covers the nil-receiver form of the same
+// contract (a nil *Tracer is legal everywhere a disabled one is).
+func TestNilTracerAllocationFree(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := tr.Start("op")
+		sp.SetAttr("k", "v")
+		sp.Child("child").End()
+		sp.End()
+		_ = tr.Snapshot()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	tr := Nop().Tracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("op")
+		sp.SetAttr("k", "v")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTracer(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("op")
+		sp.SetAttr("k", "v")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanEnabledChild(b *testing.B) {
+	tr := NewTracer(4096)
+	tc := NewTraceContext()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartWithTrace(tc, "op")
+		sp.Child("child").End()
+		sp.End()
+	}
+}
+
+func BenchmarkParseTraceparent(b *testing.B) {
+	tc := NewTraceContext()
+	tc.Parent = 0x00f067aa0ba902b7
+	h := tc.Traceparent()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ParseTraceparent(h); !ok {
+			b.Fatal("parse failed")
+		}
+	}
+}
+
+func BenchmarkTraceparentFormat(b *testing.B) {
+	tc := NewTraceContext()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tc.Traceparent()
+	}
+}

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if tc.TraceID.IsZero() {
+		t.Fatal("NewTraceContext returned a zero trace ID")
+	}
+	tc.Parent = 0xabcdef0123456789
+	h := tc.Traceparent()
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected own output", h)
+	}
+	if got != tc {
+		t.Fatalf("round trip: got %+v, want %+v", got, tc)
+	}
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") || len(h) != 55 {
+		t.Fatalf("header %q is not version-00 traceparent shaped", h)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("valid header %q rejected", valid)
+	}
+	bad := []string{
+		"",
+		"00",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // missing flags
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // forbidden version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero parent
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",   // non-hex trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902zz-01",   // non-hex parent
+		"00-4bf92f3577b34da6a3ce929d0e0e4736--00f067aa0ba902b7-01",  // wrong shape
+		"00-4bf92f3577b34da6a3ce929d0e0e473600-f067aa0ba902b7-01",   // shifted dashes
+		" 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01 ", // whitespace
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) = ok, want rejected", h)
+		}
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	tc := NewTraceContext()
+	id, ok := ParseTraceID(tc.TraceID.String())
+	if !ok || id != tc.TraceID {
+		t.Fatalf("ParseTraceID round trip failed: %v %v", id, ok)
+	}
+	for _, bad := range []string{"", "abc", strings.Repeat("g", 32), strings.Repeat("0", 32)} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) = ok, want rejected", bad)
+		}
+	}
+}
+
+func TestNewTraceContextUnique(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 100; i++ {
+		tc := NewTraceContext()
+		if seen[tc.TraceID] {
+			t.Fatalf("duplicate trace ID %s after %d draws", tc.TraceID, i)
+		}
+		seen[tc.TraceID] = true
+	}
+}
+
+func TestContextWithSpan(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Start("root")
+	ctx := ContextWithSpan(t.Context(), sp)
+	if got := SpanFromContext(ctx); got != sp {
+		t.Fatalf("SpanFromContext = %p, want %p", got, sp)
+	}
+	// A nil span must not shadow an enclosing one (and must not allocate a
+	// new context).
+	if ctx2 := ContextWithSpan(ctx, nil); SpanFromContext(ctx2) != sp {
+		t.Fatal("nil span replaced the context's span")
+	}
+	if SpanFromContext(t.Context()) != nil {
+		t.Fatal("SpanFromContext on empty context != nil")
+	}
+}
+
+func TestTraceSpansAndBuildSpanTree(t *testing.T) {
+	tr := NewTracer(32)
+	tc := NewTraceContext()
+	root := tr.StartWithTrace(tc, "root")
+	a := root.Child("a")
+	a.Child("a1").End()
+	a.End()
+	root.Child("b").End()
+	root.End()
+	tr.StartWithTrace(NewTraceContext(), "unrelated").End()
+
+	spans := tr.TraceSpans(tc.TraceID)
+	if len(spans) != 4 {
+		t.Fatalf("TraceSpans retained %d spans, want 4", len(spans))
+	}
+	for _, s := range spans {
+		if s.Trace != tc.TraceID {
+			t.Fatalf("span %q carries trace %v, want %v", s.Name, s.Trace, tc.TraceID)
+		}
+	}
+	trees := BuildSpanTree(spans)
+	if len(trees) != 1 || trees[0].Name != "root" {
+		t.Fatalf("want a single root tree, got %+v", trees)
+	}
+	kids := trees[0].Children
+	if len(kids) != 2 || kids[0].Name != "a" || kids[1].Name != "b" {
+		t.Fatalf("root children = %+v, want [a b] in start order", kids)
+	}
+	if len(kids[0].Children) != 1 || kids[0].Children[0].Name != "a1" {
+		t.Fatalf("a's children = %+v, want [a1]", kids[0].Children)
+	}
+}
+
+func TestBuildSpanTreeOrphans(t *testing.T) {
+	// A child whose parent was evicted from the ring must surface as a root
+	// rather than vanish.
+	trees := BuildSpanTree([]SpanRecord{{ID: 7, Parent: 3, Name: "orphan"}})
+	if len(trees) != 1 || trees[0].Name != "orphan" {
+		t.Fatalf("orphan not promoted to root: %+v", trees)
+	}
+}
+
+// TestSpanSetAttrEndRace is the regression test for the SetAttr/End data
+// race: a worker annotating a span while the request goroutine ends it must
+// never tear the attribute slice into the recorded span. Run under -race.
+func TestSpanSetAttrEndRace(t *testing.T) {
+	tr := NewTracer(256)
+	for i := 0; i < 50; i++ {
+		sp := tr.Start("racy")
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				sp.SetAttr("k", "v")
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			sp.End()
+		}()
+		wg.Wait()
+	}
+	for _, rec := range tr.Snapshot() {
+		for _, l := range rec.Attrs {
+			if l.Key != "k" || l.Value != "v" {
+				t.Fatalf("torn attribute %+v", l)
+			}
+		}
+	}
+}
+
+func TestTracerEvictionOrderAcrossWraps(t *testing.T) {
+	tr := NewTracer(4)
+	names := []string{"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9"}
+	for _, n := range names {
+		tr.Start(n).End()
+	}
+	// Capacity 4, 10 finished: the ring holds the newest 4, oldest first.
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained %d, want 4", len(snap))
+	}
+	for i, want := range []string{"s6", "s7", "s8", "s9"} {
+		if snap[i].Name != want {
+			t.Fatalf("snapshot[%d] = %q, want %q (oldest-first order)", i, snap[i].Name, want)
+		}
+	}
+	if d := tr.Dropped(); d != 6 {
+		t.Fatalf("Dropped = %d, want 6", d)
+	}
+	// A second wrap keeps the invariants.
+	for _, n := range []string{"t0", "t1", "t2", "t3", "t4"} {
+		tr.Start(n).End()
+	}
+	snap = tr.Snapshot()
+	for i, want := range []string{"t1", "t2", "t3", "t4"} {
+		if snap[i].Name != want {
+			t.Fatalf("after rewrap: snapshot[%d] = %q, want %q", i, snap[i].Name, want)
+		}
+	}
+	if d := tr.Dropped(); d != 11 {
+		t.Fatalf("after rewrap: Dropped = %d, want 11", d)
+	}
+}

@@ -67,12 +67,30 @@ done
 [ "$applied" = 10000 ] || die "only $applied of 10000 updates applied"
 
 echo "graphd_smoke: querying"
+# Request lifecycle tracing: a W3C traceparent header must be echoed back
+# with the same trace ID (the parent-id becomes the server's root span).
+TRACEID=4bf92f3577b34da6a3ce929d0e0e4736
+sent="00-$TRACEID-00f067aa0ba902b7-01"
+echoed=$(curl -fsS -D - -o /dev/null -H "traceparent: $sent" "$URL/query/component?v=2" \
+  | tr -d '\r' | sed -n 's/^[Tt]raceparent: //p')
+case "$echoed" in
+  00-$TRACEID-*) ;;
+  *) die "traceparent not echoed: sent $sent, got '$echoed'" ;;
+esac
+[ "$echoed" != "$sent" ] || die "traceparent echoed verbatim; parent-id should be the server root span"
+curl -fsS "$URL/debug/trace/$TRACEID" | grep -q '"server.component"' || die "/debug/trace/{id} missing request tree"
 curl -fsS "$URL/query/topdegree?k=3" | grep -q '"results"' || die "topdegree query"
 curl -fsS "$URL/query/khop?v=1&k=2" | grep -q '"count"' || die "khop query"
 curl -fsS "$URL/query/jaccard?u=1" | grep -q '"results"' || die "jaccard query"
 curl -fsS "$URL/query/component?v=1" | grep -q '"component"' || die "component query"
 curl -fsS "$URL/query/pagerank?v=1&timeout=30s" | grep -q '"rank"' || die "pagerank query"
-curl -fsS "$URL/metrics" | grep -q 'server_ingest_enqueued_total' || die "server metrics missing"
+# Fetch /metrics once; grep -q on a live pipe can close it before curl is
+# done writing, which pipefail turns into a spurious failure.
+metrics=$(curl -fsS "$URL/metrics")
+echo "$metrics" | grep -q 'server_ingest_enqueued_total' || die "server metrics missing"
+echo "$metrics" | grep -q 'server_stage_seconds_count{endpoint="component",stage="kernel"}' \
+  || die "server_stage_seconds{endpoint,stage} missing from /metrics"
+echo "$metrics" | grep -q 'server_snapshot_age_seconds' || die "snapshot age gauge missing"
 edges=$(curl -fsS "$URL/stats" | sed -n 's/.*"edges":\([0-9]*\).*/\1/p')
 [ -n "$edges" ] && [ "$edges" -gt 0 ] || die "stats reports no edges"
 
