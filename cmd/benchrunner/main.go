@@ -40,6 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "generator seed (0 = matrix default)")
 	reps := flag.Int("reps", 0, "repetitions per case, min wall wins (0 = matrix default)")
 	kernels := flag.String("kernels", "", "comma-separated kernel subset (default all)")
+	serve := flag.Bool("serve", true, "run the graphd serving-path cases (quiescent vs loaded, full vs incremental)")
 	nora := flag.Bool("nora", true, "print the model-vs-simulated NORA table")
 	par.RegisterFlags(flag.CommandLine)
 	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
@@ -80,9 +81,17 @@ func main() {
 		}
 	}
 
+	serveSpec := obsv.DefaultServeSpec()
+	if *quick {
+		serveSpec = obsv.QuickServeSpec()
+	}
+	if !*serve {
+		serveSpec.Queries = 0
+	}
+
 	err := tel.Run(func() error {
 		defer obsv.StartSampler(tel.Registry, 0).Stop()
-		return run(tel.Registry, spec, *out, *baseline, *threshold, *allocThreshold, *nora)
+		return run(tel.Registry, spec, serveSpec, *serve, *out, *baseline, *threshold, *allocThreshold, *nora)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
@@ -98,12 +107,19 @@ func (e errRegression) Error() string {
 	return fmt.Sprintf("%d case(s) regressed past the threshold", e.n)
 }
 
-func run(reg *telemetry.Registry, spec obsv.MatrixSpec, out, baseline string, threshold, allocThreshold float64, nora bool) error {
+func run(reg *telemetry.Registry, spec obsv.MatrixSpec, serveSpec obsv.ServeSpec, serve bool, out, baseline string, threshold, allocThreshold float64, nora bool) error {
 	stamp := time.Now().UTC().Format("2006-01-02T15-04-05Z")
 	fmt.Printf("benchrunner: scales=%v ef=%d seed=%d reps=%d workers=%d\n\n",
 		spec.Scales, spec.EdgeFactor, spec.Seed, spec.Reps, par.DefaultWorkers())
 
 	cases := obsv.RunMatrix(reg, spec)
+	if serve {
+		serveCases, err := obsv.RunServing(reg, serveSpec)
+		if err != nil {
+			return err
+		}
+		cases = append(cases, serveCases...)
+	}
 
 	tb := bench.NewTable("case", "ns/op", "TEPS", "alloc(MB)", "par-chunks", "gc")
 	for _, c := range cases {

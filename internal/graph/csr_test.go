@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A graph rebuilt through CSR() -> FromCSRArrays must be indistinguishable
+// from the original.
+func TestFromCSRArraysRoundTrip(t *testing.T) {
+	b := NewBuilder(6).Undirected().Weighted().Timestamped().DedupEdges()
+	b.AddEdge(Edge{Src: 0, Dst: 1, Weight: 2, Time: 10})
+	b.AddEdge(Edge{Src: 1, Dst: 2, Weight: 3, Time: 20})
+	b.AddEdge(Edge{Src: 4, Dst: 5, Weight: 1, Time: 30})
+	g := b.Build()
+
+	off, tgt, w, ts := g.CSR()
+	off2 := append([]int64(nil), off...)
+	tgt2 := append([]int32(nil), tgt...)
+	w2 := append([]float32(nil), w...)
+	ts2 := append([]int64(nil), ts...)
+	g2, err := FromCSRArrays(g.NumVertices(), g.Directed(), off2, tgt2, w2, ts2)
+	if err != nil {
+		t.Fatalf("FromCSRArrays: %v", err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !reflect.DeepEqual(g, g2) {
+		t.Fatalf("round trip changed graph: %+v vs %+v", g, g2)
+	}
+}
+
+func TestFromCSRArraysEmpty(t *testing.T) {
+	g, err := FromCSRArrays(0, false, nil, nil, nil, nil)
+	if err != nil {
+		t.Fatalf("empty: %v", err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has vertices/edges: %d %d", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestFromCSRArraysRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int32
+		offsets []int64
+		targets []int32
+		weights []float32
+	}{
+		{"short offsets", 2, []int64{0, 1}, []int32{1}, nil},
+		{"nonzero first offset", 1, []int64{1, 1}, nil, nil},
+		{"non-monotone", 2, []int64{0, 2, 1}, []int32{1, 0}, nil},
+		{"final offset mismatch", 2, []int64{0, 1, 3}, []int32{1, 0}, nil},
+		{"weights length mismatch", 2, []int64{0, 1, 2}, []int32{1, 0}, []float32{1}},
+	}
+	for _, tc := range cases {
+		if _, err := FromCSRArrays(tc.n, true, tc.offsets, tc.targets, tc.weights, nil); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package incr
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// DegreeState maintains the per-vertex degree score vector behind top-k
+// degree queries. Advancing patches only batch-touched entries, and feeding
+// the vector to kernels.TopKByScore yields output byte-identical to
+// kernels.TopKByDegree on the same snapshot (which builds exactly this
+// vector internally).
+type DegreeState struct {
+	version int64
+	degrees []float64
+}
+
+// NewDegreeState returns the all-zero vector for an edgeless n-vertex graph
+// at version 0.
+func NewDegreeState(n int32) *DegreeState {
+	return &DegreeState{degrees: make([]float64, n)}
+}
+
+// SeedDegrees anchors state at version by reading every degree from g.
+func SeedDegrees(g *graph.Graph, version int64) *DegreeState {
+	n := g.NumVertices()
+	st := &DegreeState{version: version, degrees: make([]float64, n)}
+	for v := int32(0); v < n; v++ {
+		st.degrees[v] = float64(g.Degree(v))
+	}
+	return st
+}
+
+// Version returns the graph version the state currently matches.
+func (st *DegreeState) Version() int64 { return st.version }
+
+// Degrees returns the current vector. It must not be mutated; the state
+// never writes to a previously returned slice.
+func (st *DegreeState) Degrees() []float64 { return st.degrees }
+
+// Advance patches the touched entries from g, the CSR snapshot at the
+// target version, and returns the new vector. A fresh copy is made so
+// previously returned vectors stay immutable. On error the state is
+// unchanged.
+func (st *DegreeState) Advance(ctx context.Context, g *graph.Graph, version int64, batches []Batch) ([]float64, error) {
+	n := g.NumVertices()
+	if int32(len(st.degrees)) != n {
+		return nil, fmt.Errorf("incr: degree state has %d vertices, snapshot has %d", len(st.degrees), n)
+	}
+	if err := validateAdvance(st.version, version, batches); err != nil {
+		return nil, err
+	}
+	if err := par.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	degrees := append([]float64(nil), st.degrees...)
+	for i, v := range TouchedVertices(batches, n) {
+		if i%ctxCheckEvery == ctxCheckEvery-1 {
+			if err := par.CtxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+		degrees[v] = float64(g.Degree(v))
+	}
+	st.degrees = degrees
+	st.version = version
+	return degrees, nil
+}

@@ -17,6 +17,7 @@ func TestServerExportedDocs(t *testing.T) {
 		filepath.Join("..", "scratch"),
 		filepath.Join("..", "dyngraph"),
 		filepath.Join("..", "telemetry"),
+		filepath.Join("..", "incr"),
 	}
 	findings, err := MissingDocs(dirs)
 	if err != nil {

@@ -1,0 +1,292 @@
+package obsv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// ServeSpec describes the serving-path benchmark: an in-process graphd
+// server is preloaded with a ring-and-chords graph and then queried under
+// three regimes — quiescent, loaded with full recompute per version, and
+// loaded with incremental maintenance (E13). Each regime contributes a
+// p50 and a p99 case to the trajectory, so the churn tax and its
+// incremental mitigation are both regression-gated.
+type ServeSpec struct {
+	Vertices int32 // vertex-ID space of the served graph
+	Preload  int   // ring chord distances 1..Preload preloaded per vertex
+	Queries  int   // measured queries per case (component/pagerank/topdegree round-robin)
+	// Loaded cases apply IngestBatch updates every IngestEvery — the E11
+	// sustained-rate regime (~5k updates/s at the defaults).
+	IngestBatch int
+	IngestEvery time.Duration
+	// QueryGap paces the measuring client so ingest batches interleave
+	// with queries instead of queueing behind a saturating reader.
+	QueryGap time.Duration
+}
+
+// DefaultServeSpec is the committed-baseline serving benchmark.
+func DefaultServeSpec() ServeSpec {
+	return ServeSpec{
+		Vertices: 1 << 13, Preload: 8, Queries: 150,
+		IngestBatch: 250, IngestEvery: 50 * time.Millisecond,
+		QueryGap: 2 * time.Millisecond,
+	}
+}
+
+// QuickServeSpec is a CI-sized serving benchmark (a few seconds).
+func QuickServeSpec() ServeSpec {
+	return ServeSpec{
+		Vertices: 1 << 11, Preload: 8, Queries: 60,
+		IngestBatch: 250, IngestEvery: 50 * time.Millisecond,
+		QueryGap: 2 * time.Millisecond,
+	}
+}
+
+// servingMode is one regime of the serving benchmark.
+type servingMode struct {
+	name        string
+	incremental bool
+	loaded      bool
+}
+
+var servingModes = []servingMode{
+	{"graphd-quiescent", false, false},
+	{"graphd-loaded-full", false, true},
+	{"graphd-loaded-incr", true, true},
+}
+
+// RunServing executes the serving benchmark and returns its cases for the
+// BenchFile: serve-p50/<mode> and serve-p99/<mode> for each regime, with
+// NsPerOp the latency percentile over spec.Queries requests (not a mean —
+// tail behavior is the point of the loaded cases). Requests go through
+// the full HTTP handler in-process (httptest, no sockets).
+func RunServing(reg *telemetry.Registry, spec ServeSpec) ([]BenchCase, error) {
+	if spec.Queries < 4 {
+		spec.Queries = 4
+	}
+	var cases []BenchCase
+	for _, mode := range servingModes {
+		p50, p99, acct, err := runServingMode(spec, mode)
+		if err != nil {
+			return nil, fmt.Errorf("obsv: serving case %s: %w", mode.name, err)
+		}
+		sp := reg.Tracer().Start("obsv.servecase", telemetry.L("mode", mode.name))
+		for _, l := range acct.SpanAttrs() {
+			sp.SetAttr(l.Key, l.Value)
+		}
+		sp.End()
+		acct.Publish(reg, telemetry.L("graph", mode.name))
+		for _, pc := range []struct {
+			kernel string
+			ns     int64
+		}{{"serve-p50", p50}, {"serve-p99", p99}} {
+			cases = append(cases, BenchCase{
+				Name:    pc.kernel + "/" + mode.name,
+				Kernel:  pc.kernel,
+				Graph:   mode.name,
+				Reps:    1,
+				NsPerOp: pc.ns,
+				Account: acct,
+				TEPS:    0,
+			})
+		}
+	}
+	return cases, nil
+}
+
+// runServingMode stands up one server, preloads it, optionally starts the
+// paced ingest writer, and measures the query latency distribution.
+func runServingMode(spec ServeSpec, mode servingMode) (p50, p99 int64, acct Account, err error) {
+	cfg := server.DefaultConfig()
+	cfg.Vertices = spec.Vertices
+	cfg.QueueCap = 1 << 14
+	cfg.FlushEvery = time.Millisecond
+	cfg.DefaultTimeout = 30 * time.Second
+	cfg.MaxTimeout = 30 * time.Second
+	cfg.Incremental = mode.incremental
+	// The server gets its own registry: three servers in one process would
+	// otherwise sum their counters into the benchrunner's registry.
+	cfg.Registry = telemetry.NewRegistry()
+	s, err := server.New(cfg)
+	if err != nil {
+		return 0, 0, Account{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if serr := s.Shutdown(ctx); serr != nil && err == nil {
+			err = serr
+		}
+	}()
+	h := s.Handler()
+
+	post := func(updates []server.IngestUpdate) error {
+		body, merr := json.Marshal(updates)
+		if merr != nil {
+			return merr
+		}
+		req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusAccepted {
+			return fmt.Errorf("ingest returned %d", rec.Code)
+		}
+		return nil
+	}
+	// postAll retries the contiguous rejected tail on 429 backpressure —
+	// the in-process writer can outrun the apply loop during preload.
+	postAll := func(updates []server.IngestUpdate) error {
+		for len(updates) > 0 {
+			body, merr := json.Marshal(updates)
+			if merr != nil {
+				return merr
+			}
+			req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			switch rec.Code {
+			case http.StatusAccepted:
+				return nil
+			case http.StatusTooManyRequests:
+				var res server.EnqueueResult
+				if derr := json.Unmarshal(rec.Body.Bytes(), &res); derr != nil {
+					return derr
+				}
+				updates = updates[res.Accepted:]
+				time.Sleep(2 * time.Millisecond)
+			default:
+				return fmt.Errorf("ingest returned %d", rec.Code)
+			}
+		}
+		return nil
+	}
+	get := func(path string) error {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("GET %s returned %d", path, rec.Code)
+		}
+		return nil
+	}
+
+	// Preload the ring-and-chords graph (distances 1..Preload), then wait
+	// for the apply loop to drain it.
+	n := spec.Vertices
+	var total int64
+	batch := make([]server.IngestUpdate, 0, 1<<12)
+	for v := int32(0); v < n; v++ {
+		for d := int32(1); d <= int32(spec.Preload); d++ {
+			batch = append(batch, server.IngestUpdate{Src: v, Dst: (v + d) % n})
+			if len(batch) == cap(batch) {
+				total += int64(len(batch))
+				if err := postAll(batch); err != nil {
+					return 0, 0, Account{}, err
+				}
+				batch = batch[:0]
+			}
+		}
+	}
+	if len(batch) > 0 {
+		total += int64(len(batch))
+		if err := postAll(batch); err != nil {
+			return 0, 0, Account{}, err
+		}
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for s.Applied() < total {
+		if time.Now().After(deadline) {
+			return 0, 0, Account{}, fmt.Errorf("preload of %d updates did not drain", total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Warm every measured endpoint once: the first query pays the one-off
+	// seed/compute; steady-state behavior is what the cases gate.
+	for _, p := range []string{"/query/component?v=0", "/query/pagerank?v=0", "/query/topdegree?k=10"} {
+		if err := get(p); err != nil {
+			return 0, 0, Account{}, err
+		}
+	}
+
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	if mode.loaded {
+		// Paced churn writer: each tick inserts a window of distance-9
+		// chords and deletes the previous window, so the graph stays
+		// bounded while every batch carries inserts and deletes.
+		go func() {
+			defer close(writerDone)
+			tick := time.NewTicker(spec.IngestEvery)
+			defer tick.Stop()
+			round := int32(0)
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				ups := make([]server.IngestUpdate, 0, 2*spec.IngestBatch)
+				half := int32(spec.IngestBatch / 2)
+				for i := int32(0); i < half; i++ {
+					v := (round*half + i) % n
+					ups = append(ups, server.IngestUpdate{Src: v, Dst: (v + 9) % n})
+				}
+				if round > 0 {
+					for i := int32(0); i < half; i++ {
+						v := ((round-1)*half + i) % n
+						ups = append(ups, server.IngestUpdate{Src: v, Dst: (v + 9) % n, Delete: true})
+					}
+				}
+				_ = post(ups) // 429 under overload is acceptable churn loss
+				round++
+			}
+		}()
+	} else {
+		close(writerDone)
+	}
+
+	lat := make([]time.Duration, 0, spec.Queries)
+	m := StartMeter("serve/" + mode.name)
+	for i := 0; i < spec.Queries; i++ {
+		v := (int32(i) * 37) % n
+		var path string
+		switch i % 3 {
+		case 0:
+			path = fmt.Sprintf("/query/component?v=%d", v)
+		case 1:
+			path = fmt.Sprintf("/query/pagerank?v=%d", v)
+		default:
+			path = "/query/topdegree?k=10"
+		}
+		start := time.Now()
+		if err := get(path); err != nil {
+			close(stop)
+			<-writerDone
+			return 0, 0, Account{}, err
+		}
+		lat = append(lat, time.Since(start))
+		if spec.QueryGap > 0 {
+			time.Sleep(spec.QueryGap)
+		}
+	}
+	acct = m.Stop(int64(spec.Queries))
+	close(stop)
+	<-writerDone
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 = lat[len(lat)/2].Nanoseconds()
+	p99 = lat[min(len(lat)-1, len(lat)*99/100)].Nanoseconds()
+	return p50, p99, acct, nil
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/dyngraph"
+	"repro/internal/graph"
+	"repro/internal/incr"
+	"repro/internal/telemetry"
+)
+
+// defaultMaxPendingEdits bounds the delta log when Config.MaxPendingEdits
+// is unset: 256k retained edits is minutes of history at the E11 sustained
+// ingest rate, far more than a query ever lags the writer.
+const defaultMaxPendingEdits = 1 << 18
+
+// deltaLog retains recently applied edit batches so incremental consumers —
+// the CSR snapshot patcher and the WCC/PageRank/degree states — can advance
+// from any recent version to the current one. It is bounded by total
+// retained edits; when eviction passes a consumer's cursor, take reports a
+// miss and that consumer falls back to a full recompute (re-anchoring its
+// state at the current version).
+type deltaLog struct {
+	mu       sync.Mutex
+	floor    int64        // every batch with version <= floor has been evicted
+	batches  []incr.Batch // contiguous versions floor+1 .. floor+len(batches)
+	edits    int
+	maxEdits int
+	depth    *telemetry.Gauge
+}
+
+func newDeltaLog(maxEdits int, depth *telemetry.Gauge) *deltaLog {
+	if maxEdits <= 0 {
+		maxEdits = defaultMaxPendingEdits
+	}
+	return &deltaLog{maxEdits: maxEdits, depth: depth}
+}
+
+// append records one applied batch. The edits are copied because the ingest
+// loop reuses its batch slice. Called with the graph write lock held, so no
+// reader ever observes a version whose batch has not yet been logged.
+func (l *deltaLog) append(version int64, edits []dyngraph.Edit, hadDeletes bool) {
+	cp := append([]dyngraph.Edit(nil), edits...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.batches = append(l.batches, incr.Batch{Version: version, Edits: cp, HadDeletes: hadDeletes})
+	l.edits += len(cp)
+	evicted := false
+	for l.edits > l.maxEdits && len(l.batches) > 1 {
+		l.edits -= len(l.batches[0].Edits)
+		l.floor = l.batches[0].Version
+		l.batches = l.batches[1:]
+		evicted = true
+	}
+	if evicted {
+		// Reallocate so the evicted prefix does not pin the backing array.
+		l.batches = append([]incr.Batch(nil), l.batches...)
+	}
+	if l.depth != nil {
+		l.depth.Set(float64(len(l.batches)))
+	}
+}
+
+// take returns copies of the batch headers spanning (from, to], or ok=false
+// when the log no longer covers that window — the caller's signal to fall
+// back to a full recompute. from == to returns an empty, ok window.
+func (l *deltaLog) take(from, to int64) ([]incr.Batch, bool) {
+	if l == nil {
+		return nil, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from > to || from < l.floor {
+		return nil, false
+	}
+	if from == to {
+		return nil, true
+	}
+	lo := from - l.floor
+	hi := to - l.floor
+	if hi > int64(len(l.batches)) {
+		return nil, false
+	}
+	return append([]incr.Batch(nil), l.batches[lo:hi]...), true
+}
+
+// stats returns the retained batch and edit counts for /stats.
+func (l *deltaLog) stats() (batches, edits int) {
+	if l == nil {
+		return 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.batches), l.edits
+}
+
+// tkState caches the degree score vector for one version (incremental mode
+// only; the recompute path reads degrees straight off the CSR per query).
+type tkState struct {
+	version int64
+	degrees []float64
+}
+
+// degreeVector returns the per-version degree vector behind top-k queries,
+// advancing the incremental state over the delta window on a miss, or
+// reseeding it from the snapshot when the window is gone. Only called in
+// incremental mode.
+func (s *Server) degreeVector(ctx context.Context, g *graph.Graph, version int64) (*tkState, error) {
+	if st := s.tk.Load(); st != nil && st.version == version {
+		s.cacheHit(ctx, "topdegree")
+		return st, nil
+	}
+	s.tkMu.Lock()
+	defer s.tkMu.Unlock()
+	if st := s.tk.Load(); st != nil && st.version == version {
+		s.cacheHit(ctx, "topdegree")
+		return st, nil
+	}
+	if s.incrDeg != nil {
+		if batches, ok := s.deltas.take(s.incrDeg.Version(), version); ok {
+			ctx2, end := traceFrom(ctx).stageCtx(ctx, "kernel",
+				telemetry.L("kernel", "topdegree"), telemetry.L("cache", "incremental"))
+			degrees, err := s.incrDeg.Advance(ctx2, g, version, batches)
+			end()
+			if err != nil {
+				return nil, err
+			}
+			s.m.tkAdvances.Inc()
+			st := &tkState{version: version, degrees: degrees}
+			s.tk.Store(st)
+			return st, nil
+		}
+		s.m.tkFallbacks.Inc()
+	}
+	s.m.tkRebuilds.Inc()
+	_, end := traceFrom(ctx).stageCtx(ctx, "kernel",
+		telemetry.L("kernel", "topdegree"), telemetry.L("cache", "miss"))
+	s.incrDeg = incr.SeedDegrees(g, version)
+	end()
+	st := &tkState{version: version, degrees: s.incrDeg.Degrees()}
+	s.tk.Store(st)
+	return st, nil
+}

@@ -128,8 +128,14 @@ func (s *Server) applyBatch(batch []dyngraph.Edit) {
 	start := time.Now()
 	s.gmu.Lock()
 	res := s.dyn.ApplyEdits(dedup)
-	s.gmu.Unlock()
+	// The version bump and delta-log append stay inside the write lock:
+	// snapshot/advance readers take gmu.RLock and must never observe a
+	// version whose batch is missing from the log (or vice versa).
 	version := s.version.Add(1)
+	if s.deltas != nil {
+		s.deltas.append(version, dedup, res.Deleted > 0)
+	}
+	s.gmu.Unlock()
 	s.applied.Add(int64(len(dedup)))
 	sp.SetAttr("batch", strconv.Itoa(len(batch)))
 	sp.SetAttr("dedup", strconv.Itoa(len(dedup)))

@@ -18,13 +18,22 @@ import "repro/internal/telemetry"
 //	server_query_seconds{op}                end-to-end query latency
 //	server_queries_inflight                 admitted queries now running (gauge)
 //	server_admission_wait_seconds           time spent waiting for a query slot
-//	server_snapshot_rebuilds_total          CSR snapshot rebuilds (version changes)
+//	server_snapshot_rebuilds_total          full CSR snapshot rebuilds
+//	server_snapshot_patches_total           incremental CSR snapshot patches
+//	                                        (touched rows only; Config.Incremental)
 //	server_snapshot_age_seconds             age of the served CSR snapshot (gauge)
 //	server_stage_seconds{endpoint,stage}    per-request lifecycle stage latency;
 //	                                        stages sum to request wall time
 //	                                        ("other" absorbs the remainder)
 //	server_cache_hit_total{kernel}          per-version result-cache hits
-//	server_cache_rebuilds_total{kernel}     per-version result-cache recomputes
+//	server_cache_rebuilds_total{kernel}     per-version result-cache full
+//	                                        recomputes (cache=miss stages)
+//	server_incr_advances_total{kernel}      incremental state advances over the
+//	                                        delta window (cache=incremental)
+//	server_incr_fallbacks_total{kernel}     delta-log misses that forced a full
+//	                                        recompute and state re-anchor
+//	server_incr_pending_batches             batches retained in the delta log
+//	                                        (gauge; Config.Incremental)
 //	server_slow_queries_total{endpoint}     requests over the slow-query threshold
 //	server_persist_total                    snapshot files written
 //	server_persist_seconds                  snapshot write latency
@@ -42,13 +51,24 @@ type metricsSet struct {
 	applySec  *telemetry.Histogram
 	depth     *telemetry.Gauge
 
-	inflight  *telemetry.Gauge
-	admitWait *telemetry.Histogram
-	rebuilds  *telemetry.Counter
-	snapAge   *telemetry.Gauge
+	inflight    *telemetry.Gauge
+	admitWait   *telemetry.Histogram
+	rebuilds    *telemetry.Counter
+	snapPatches *telemetry.Counter
+	snapAge     *telemetry.Gauge
 
 	ccRebuilds *telemetry.Counter
 	prRebuilds *telemetry.Counter
+	tkRebuilds *telemetry.Counter
+
+	ccAdvances  *telemetry.Counter
+	prAdvances  *telemetry.Counter
+	tkAdvances  *telemetry.Counter
+	ccFallbacks *telemetry.Counter
+	prFallbacks *telemetry.Counter
+	tkFallbacks *telemetry.Counter
+
+	pendingDeltas *telemetry.Gauge
 
 	persists   *telemetry.Counter
 	persistSec *telemetry.Histogram
@@ -70,13 +90,24 @@ func newMetricsSet(reg *telemetry.Registry) *metricsSet {
 		applySec:  reg.Histogram("server_ingest_apply_seconds"),
 		depth:     reg.Gauge("server_ingest_queue_depth"),
 
-		inflight:  reg.Gauge("server_queries_inflight"),
-		admitWait: reg.Histogram("server_admission_wait_seconds"),
-		rebuilds:  reg.Counter("server_snapshot_rebuilds_total"),
-		snapAge:   reg.Gauge("server_snapshot_age_seconds"),
+		inflight:    reg.Gauge("server_queries_inflight"),
+		admitWait:   reg.Histogram("server_admission_wait_seconds"),
+		rebuilds:    reg.Counter("server_snapshot_rebuilds_total"),
+		snapPatches: reg.Counter("server_snapshot_patches_total"),
+		snapAge:     reg.Gauge("server_snapshot_age_seconds"),
 
 		ccRebuilds: reg.Counter("server_cache_rebuilds_total", telemetry.L("kernel", "wcc")),
 		prRebuilds: reg.Counter("server_cache_rebuilds_total", telemetry.L("kernel", "pagerank")),
+		tkRebuilds: reg.Counter("server_cache_rebuilds_total", telemetry.L("kernel", "topdegree")),
+
+		ccAdvances:  reg.Counter("server_incr_advances_total", telemetry.L("kernel", "wcc")),
+		prAdvances:  reg.Counter("server_incr_advances_total", telemetry.L("kernel", "pagerank")),
+		tkAdvances:  reg.Counter("server_incr_advances_total", telemetry.L("kernel", "topdegree")),
+		ccFallbacks: reg.Counter("server_incr_fallbacks_total", telemetry.L("kernel", "wcc")),
+		prFallbacks: reg.Counter("server_incr_fallbacks_total", telemetry.L("kernel", "pagerank")),
+		tkFallbacks: reg.Counter("server_incr_fallbacks_total", telemetry.L("kernel", "topdegree")),
+
+		pendingDeltas: reg.Gauge("server_incr_pending_batches"),
 
 		persists:   reg.Counter("server_persist_total"),
 		persistSec: reg.Histogram("server_persist_seconds"),

@@ -287,6 +287,18 @@ func (s *Server) handleTopDegree(ctx context.Context, r *http.Request) (any, err
 	if err != nil {
 		return nil, err
 	}
+	if s.cfg.Incremental {
+		// The incremental path serves top-k from the per-version degree
+		// vector, advanced over the delta window instead of re-read from
+		// the CSR; the O(n log k) selection itself is too cheap to stage.
+		g, version := s.snapshotVersionedFor(ctx)
+		st, err := s.degreeVector(ctx, g, version)
+		if err != nil {
+			return nil, err
+		}
+		top := kernels.TopKByScore(st.degrees, k)
+		return map[string]any{"k": k, "results": top}, nil
+	}
 	g := s.snapshotFor(ctx)
 	ctx, end := traceFrom(ctx).stageCtx(ctx, "kernel", telemetry.L("kernel", "topdegree"))
 	top, err := kernels.TopKByDegreeCtx(ctx, g, k)
@@ -302,8 +314,7 @@ func (s *Server) handleComponent(ctx context.Context, r *http.Request) (any, err
 	if err != nil {
 		return nil, err
 	}
-	version := s.version.Load()
-	g := s.snapshotFor(ctx)
+	g, version := s.snapshotVersionedFor(ctx)
 	st, err := s.components(ctx, g, version)
 	if err != nil {
 		return nil, err
@@ -319,8 +330,7 @@ func (s *Server) handleComponent(ctx context.Context, r *http.Request) (any, err
 }
 
 func (s *Server) handlePageRank(ctx context.Context, r *http.Request) (any, error) {
-	version := s.version.Load()
-	g := s.snapshotFor(ctx)
+	g, version := s.snapshotVersionedFor(ctx)
 	st, err := s.pagerank(ctx, g, version)
 	if err != nil {
 		return nil, err

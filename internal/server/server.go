@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dyngraph"
 	"repro/internal/graph"
+	"repro/internal/incr"
 	"repro/internal/kernels"
 	"repro/internal/par"
 	"repro/internal/telemetry"
@@ -51,6 +52,20 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps client-supplied ?timeout=.
 	MaxTimeout time.Duration
+
+	// Incremental enables edit-batch-driven incremental maintenance: CSR
+	// snapshots are patched from the previous version instead of rebuilt,
+	// and the per-version WCC/PageRank/degree caches advance their state
+	// over the applied batch window instead of recomputing from scratch.
+	// Results are equivalent (held by the internal/incr differential
+	// oracle); requests served from advanced state are tagged
+	// cache=incremental in stage spans. Off by default: the recompute path
+	// stays byte-identical to previous releases.
+	Incremental bool
+	// MaxPendingEdits bounds the incremental delta log in retained edits;
+	// when eviction outruns a consumer it falls back to one full recompute
+	// and re-anchors. <= 0 uses the default (262144).
+	MaxPendingEdits int
 
 	// Registry receives the server_* metric families and request spans;
 	// nil uses telemetry.Default().
@@ -131,6 +146,18 @@ type Server struct {
 	cc   atomic.Pointer[ccState]
 	prMu sync.Mutex
 	pr   atomic.Pointer[prState]
+	tkMu sync.Mutex
+	tk   atomic.Pointer[tkState]
+
+	// Incremental maintenance (Config.Incremental): the delta log feeds the
+	// per-kernel states, each guarded by its cache's mutex above (incrCC by
+	// ccMu, incrPR by prMu, incrDeg by tkMu). States start nil and are
+	// seeded by the first full compute — also correct after crash recovery,
+	// where the graph is non-empty at version 0.
+	deltas  *deltaLog
+	incrCC  *incr.WCCState
+	incrPR  *incr.PRState
+	incrDeg *incr.DegreeState
 
 	queue chan dyngraph.Edit
 	admit chan struct{}
@@ -206,6 +233,9 @@ func New(cfg Config) (*Server, error) {
 	if s.dyn == nil {
 		s.dyn = dyngraph.New(cfg.Vertices, cfg.Directed)
 	}
+	if cfg.Incremental {
+		s.deltas = newDeltaLog(cfg.MaxPendingEdits, s.m.pendingDeltas)
+	}
 
 	go s.ingestLoop()
 	if cfg.SnapshotPath != "" && cfg.SnapshotEvery > 0 {
@@ -229,37 +259,71 @@ func (s *Server) Applied() int64 { return s.applied.Load() }
 // the read lock is held no batch can apply, so the version recorded with
 // the snapshot is exact.
 func (s *Server) snapshot() *graph.Graph {
+	return s.snapshotState().g
+}
+
+// snapshotState is the snapshot core. In incremental mode a stale snapshot
+// is patched from the previous one when the delta log still covers the
+// window — only touched adjacency rows are rebuilt, the rest is bulk-copied
+// (server_snapshot_patches_total); otherwise (and always in recompute mode)
+// the full O(m log m) builder runs (server_snapshot_rebuilds_total).
+func (s *Server) snapshotState() *snapState {
 	if st := s.snap.Load(); st != nil && st.version == s.version.Load() {
 		s.m.snapAge.Set(time.Since(st.built).Seconds())
-		return st.g
+		return st
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	if st := s.snap.Load(); st != nil && st.version == s.version.Load() {
 		s.m.snapAge.Set(time.Since(st.built).Seconds())
-		return st.g
+		return st
 	}
+	prev := s.snap.Load()
 	s.gmu.RLock()
 	v := s.version.Load()
-	g := s.dyn.Snapshot()
+	var g *graph.Graph
+	patched := false
+	if prev != nil && s.deltas != nil {
+		if batches, ok := s.deltas.take(prev.version, v); ok {
+			g = s.dyn.SnapshotDelta(prev.g, incr.TouchedVertices(batches, s.cfg.Vertices))
+			patched = true
+		}
+	}
+	if g == nil {
+		g = s.dyn.Snapshot()
+	}
 	s.gmu.RUnlock()
-	s.snap.Store(&snapState{g: g, version: v, built: time.Now()})
-	s.m.rebuilds.Inc()
+	st := &snapState{g: g, version: v, built: time.Now()}
+	s.snap.Store(st)
+	if patched {
+		s.m.snapPatches.Inc()
+	} else {
+		s.m.rebuilds.Inc()
+	}
 	s.m.snapAge.Set(0)
-	return g
+	return st
 }
 
 // snapshotFor is snapshot with any CSR rebuild attributed to the request's
 // "snapshot" lifecycle stage; the common cached path records no stage.
 func (s *Server) snapshotFor(ctx context.Context) *graph.Graph {
+	g, _ := s.snapshotVersionedFor(ctx)
+	return g
+}
+
+// snapshotVersionedFor returns the served snapshot together with the exact
+// version it was built at, so kernel caches key on a (graph, version) pair
+// that cannot skew when a batch applies between reading the version counter
+// and materializing the view.
+func (s *Server) snapshotVersionedFor(ctx context.Context) (*graph.Graph, int64) {
 	if st := s.snap.Load(); st != nil && st.version == s.version.Load() {
 		s.m.snapAge.Set(time.Since(st.built).Seconds())
-		return st.g
+		return st.g, st.version
 	}
 	end := traceFrom(ctx).stage("snapshot")
-	g := s.snapshot()
+	st := s.snapshotState()
 	end()
-	return g
+	return st.g, st.version
 }
 
 // components returns the per-version cached WCC result (labels + component
@@ -275,6 +339,22 @@ func (s *Server) components(ctx context.Context, g *graph.Graph, version int64) 
 		s.cacheHit(ctx, "wcc")
 		return st, nil
 	}
+	if s.cfg.Incremental && s.incrCC != nil {
+		if batches, ok := s.deltas.take(s.incrCC.Version(), version); ok {
+			ctx2, end := traceFrom(ctx).stageCtx(ctx, "kernel",
+				telemetry.L("kernel", "wcc"), telemetry.L("cache", "incremental"))
+			cc, err := s.incrCC.Advance(ctx2, g, version, batches)
+			end()
+			if err != nil {
+				return nil, err
+			}
+			s.m.ccAdvances.Inc()
+			st := &ccState{version: version, cc: cc, sizes: componentSizes(cc, g)}
+			s.cc.Store(st)
+			return st, nil
+		}
+		s.m.ccFallbacks.Inc()
+	}
 	s.m.ccRebuilds.Inc()
 	ctx, end := traceFrom(ctx).stageCtx(ctx, "kernel",
 		telemetry.L("kernel", "wcc"), telemetry.L("cache", "miss"))
@@ -283,14 +363,23 @@ func (s *Server) components(ctx context.Context, g *graph.Graph, version int64) 
 		end()
 		return nil, err
 	}
+	sizes := componentSizes(cc, g)
+	end()
+	if s.cfg.Incremental {
+		s.incrCC = incr.SeedWCC(cc, version)
+	}
+	st := &ccState{version: version, cc: cc, sizes: sizes}
+	s.cc.Store(st)
+	return st, nil
+}
+
+// componentSizes tallies members per canonical label.
+func componentSizes(cc *kernels.CCResult, g *graph.Graph) []int64 {
 	sizes := make([]int64, g.NumVertices())
 	for _, l := range cc.Label {
 		sizes[l]++
 	}
-	end()
-	st := &ccState{version: version, cc: cc, sizes: sizes}
-	s.cc.Store(st)
-	return st, nil
+	return sizes
 }
 
 // cacheHit publishes one per-version cache hit: the counter plus a root-span
@@ -315,6 +404,22 @@ func (s *Server) pagerank(ctx context.Context, g *graph.Graph, version int64) (*
 		s.cacheHit(ctx, "pagerank")
 		return st, nil
 	}
+	if s.cfg.Incremental && s.incrPR != nil {
+		if batches, ok := s.deltas.take(s.incrPR.Version(), version); ok {
+			ctx2, end := traceFrom(ctx).stageCtx(ctx, "kernel",
+				telemetry.L("kernel", "pagerank"), telemetry.L("cache", "incremental"))
+			rank, iters, err := s.incrPR.Advance(ctx2, g, version, batches)
+			end()
+			if err != nil {
+				return nil, err
+			}
+			s.m.prAdvances.Inc()
+			st := &prState{version: version, rank: rank, iters: iters}
+			s.pr.Store(st)
+			return st, nil
+		}
+		s.m.prFallbacks.Inc()
+	}
 	s.m.prRebuilds.Inc()
 	ctx, end := traceFrom(ctx).stageCtx(ctx, "kernel",
 		telemetry.L("kernel", "pagerank"), telemetry.L("cache", "miss"))
@@ -322,6 +427,9 @@ func (s *Server) pagerank(ctx context.Context, g *graph.Graph, version int64) (*
 	end()
 	if err != nil {
 		return nil, err
+	}
+	if s.cfg.Incremental {
+		s.incrPR = incr.SeedPR(rank, g, kernels.DefaultPageRankOptions(), version)
 	}
 	st := &prState{version: version, rank: rank, iters: iters}
 	s.pr.Store(st)
@@ -410,6 +518,14 @@ type Stats struct {
 	Recovered       bool    `json:"recovered"`
 	Draining        bool    `json:"draining"`
 	UptimeSeconds   float64 `json:"uptime_seconds"`
+	// Incremental reports whether edit-batch-driven incremental maintenance
+	// is enabled (Config.Incremental / graphd -incremental).
+	Incremental bool `json:"incremental"`
+	// PendingDeltaBatches is the number of applied batches retained in the
+	// delta log for incremental consumers (0 in recompute mode).
+	PendingDeltaBatches int `json:"pending_delta_batches"`
+	// PendingDeltaEdits is the total edits across the retained batches.
+	PendingDeltaEdits int `json:"pending_delta_edits"`
 }
 
 // StatsNow assembles the current serving stats.
@@ -422,18 +538,22 @@ func (s *Server) StatsNow() Stats {
 	if st := s.snap.Load(); st != nil {
 		sv = st.version
 	}
+	pendingBatches, pendingEdits := s.deltas.stats()
 	return Stats{
-		Vertices:        s.cfg.Vertices,
-		Edges:           edges,
-		Arcs:            arcs,
-		Directed:        s.cfg.Directed,
-		Version:         s.version.Load(),
-		Applied:         s.applied.Load(),
-		QueueDepth:      len(s.queue),
-		QueueCap:        s.cfg.QueueCap,
-		SnapshotVersion: sv,
-		Recovered:       s.recovered,
-		Draining:        s.draining.Load(),
-		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Vertices:            s.cfg.Vertices,
+		Edges:               edges,
+		Arcs:                arcs,
+		Directed:            s.cfg.Directed,
+		Version:             s.version.Load(),
+		Applied:             s.applied.Load(),
+		QueueDepth:          len(s.queue),
+		QueueCap:            s.cfg.QueueCap,
+		SnapshotVersion:     sv,
+		Recovered:           s.recovered,
+		Draining:            s.draining.Load(),
+		UptimeSeconds:       time.Since(s.started).Seconds(),
+		Incremental:         s.cfg.Incremental,
+		PendingDeltaBatches: pendingBatches,
+		PendingDeltaEdits:   pendingEdits,
 	}
 }
