@@ -5,8 +5,12 @@
 // serves per-vertex Jaccard, k-hop neighborhoods, top-k degree, component
 // lookups, and PageRank scores against fresh immutable snapshots. The
 // telemetry endpoints (/metrics, /debug/spans, /debug/pprof) share the
-// same listener. SIGTERM/SIGINT drain the ingest queue and write a final
-// snapshot before exit. See docs/OPERATIONS.md for the runbook.
+// same listener, as do the health probes (/healthz liveness, /readyz
+// readiness), the SLO engine (-slo flags, /debug/slo), and trigger-driven
+// profiling (-profile-triggers, /debug/profiles). SIGTERM/SIGINT flip
+// /readyz to 503, hold -drain-grace for balancers, then drain the ingest
+// queue and write a final snapshot before exit. See docs/OPERATIONS.md
+// for the runbook.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/par"
 	"repro/internal/server"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -53,7 +58,24 @@ func run() error {
 		slowThreshold = flag.Duration("slow-query-threshold", 0, "capture requests at least this slow to /debug/slowqueries (0 = off)")
 		slowOut       = flag.String("slow-query-out", "", "append slow-query records as JSON lines to this file")
 		slowRing      = flag.Int("slow-query-ring", 0, "slow-query records retained in memory (0 = default 128)")
+
+		sloFast     = flag.Duration("slo-fast-window", 0, "SLO fast burn-rate window (0 = default 1m)")
+		sloSlow     = flag.Duration("slo-slow-window", 0, "SLO slow burn-rate window (0 = default 10m)")
+		sloPeriod   = flag.Duration("slo-period", 0, "SLO window rotation and evaluation period (0 = default 10s)")
+		sloWarn     = flag.Float64("slo-warn-burn", 0, "burn rate entering warning on both windows (0 = default 1)")
+		sloBreach   = flag.Float64("slo-breach-burn", 0, "burn rate entering breaching on both windows (0 = default 4)")
+		profTrig    = flag.Bool("profile-triggers", false, "capture CPU/heap/goroutine profile bundles on SLO breach and slow-query triggers (/debug/profiles)")
+		profDir     = flag.String("profile-dir", "", "also write each captured profile bundle to this directory")
+		profRing    = flag.Int("profile-ring", 0, "profile bundles retained in memory (0 = default 8)")
+		profMinIval = flag.Duration("profile-min-interval", 0, "min time between profile captures (0 = default 30s)")
+		profCPU     = flag.Duration("profile-cpu", 0, "CPU profile sampling duration per capture (0 = default 2s)")
+		readyQueue  = flag.Float64("ready-queue-fraction", 0, "fail /readyz when ingest queue depth reaches this fraction of -queue (0 = default 0.9)")
+		readyHeap   = flag.Uint64("max-heap-bytes", 0, "fail /readyz when live heap exceeds this many bytes (0 = no heap check)")
+		readySnap   = flag.Duration("ready-snapshot-max-age", 0, "fail /readyz when the last persisted snapshot is older (0 = 3x -snapshot-interval)")
+		drainGrace  = flag.Duration("drain-grace", 0, "hold /readyz at 503 this long before closing the listener on shutdown, so load balancers drain first")
 	)
+	var sloSpecs slo.ObjectiveFlag
+	flag.Var(&sloSpecs, "slo", "per-endpoint SLO spec, repeatable: \"component,p99=5ms\" or \"endpoint=pagerank,p50=1ms,p99=20ms,avail=99.9%,name=pr\"")
 	par.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -81,6 +103,20 @@ func run() error {
 	cfg.Registry = reg
 	cfg.SlowQueryThreshold = *slowThreshold
 	cfg.SlowQueryRing = *slowRing
+	cfg.SLOObjectives = sloSpecs.Objectives
+	cfg.SLOFastWindow = *sloFast
+	cfg.SLOSlowWindow = *sloSlow
+	cfg.SLOPeriod = *sloPeriod
+	cfg.SLOWarnBurn = *sloWarn
+	cfg.SLOBreachBurn = *sloBreach
+	cfg.ProfileTriggers = *profTrig
+	cfg.ProfileDir = *profDir
+	cfg.ProfileRing = *profRing
+	cfg.ProfileMinInterval = *profMinIval
+	cfg.ProfileCPUDuration = *profCPU
+	cfg.ReadyQueueFraction = *readyQueue
+	cfg.ReadyMaxHeapBytes = *readyHeap
+	cfg.ReadySnapshotMaxAge = *readySnap
 	if *slowOut != "" {
 		f, err := os.OpenFile(*slowOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -118,8 +154,16 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "graphd: %v — draining\n", sig)
 	}
 
-	// Graceful drain: stop the listener first (in-flight requests finish),
+	// Graceful drain, in load-balancer order: first flip /readyz to 503 and
+	// hold the listener open for the drain-grace window so balancers stop
+	// routing here (liveness /healthz stays 200 — a restart now would lose
+	// queued updates); then stop the listener (in-flight requests finish);
 	// then drain the ingest queue and write the final snapshot.
+	srv.BeginDrain()
+	if *drainGrace > 0 {
+		fmt.Fprintf(os.Stderr, "graphd: not-ready, holding %v for balancers to drain\n", *drainGrace)
+		time.Sleep(*drainGrace)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

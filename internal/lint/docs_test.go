@@ -18,6 +18,8 @@ func TestServerExportedDocs(t *testing.T) {
 		filepath.Join("..", "dyngraph"),
 		filepath.Join("..", "telemetry"),
 		filepath.Join("..", "incr"),
+		filepath.Join("..", "slo"),
+		filepath.Join("..", "prof"),
 	}
 	findings, err := MissingDocs(dirs)
 	if err != nil {

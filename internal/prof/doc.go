@@ -1,0 +1,24 @@
+// Package prof is trigger-driven continuous profiling for the serving
+// daemon: when something is going wrong *right now* — an SLO objective
+// entering breaching, a slow query crossing its threshold — the serving
+// layer fires a trigger and the profiler captures a bundle of CPU, heap,
+// and goroutine profiles stamped with the trace IDs active at that moment.
+// That closes the attribution gap left by on-demand /debug/pprof: by the
+// time an operator attaches, the regression is usually over; a
+// trigger-captured bundle is evidence from inside the incident, and the
+// stamped trace IDs tie it to the exact requests the span ring retained.
+//
+// Captures are rate-limited (Config.MinInterval) and serialized (the Go
+// runtime allows one CPU profile at a time), retained in a bounded
+// in-memory ring served at /debug/profiles, and optionally written to
+// Config.Dir as one directory per bundle (cpu.pprof, heap.pprof,
+// goroutine.pprof, meta.json) for post-mortem pprof sessions. Request and
+// kernel goroutines are tagged with pprof labels by the serving layer
+// (pprof.Do with op=<endpoint>; label inheritance covers the par worker
+// goroutines spawned inside the request), so captured CPU samples
+// attribute by endpoint the same way span-based stage attribution does.
+//
+// A nil or disabled *Profiler is legal everywhere and every method on it
+// is an allocation-free no-op (gated by TestDisabledProfilerAllocationFree),
+// so trigger hooks can stay unconditionally in place on the request path.
+package prof

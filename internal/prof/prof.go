@@ -1,0 +1,343 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Config sizes a Profiler. Registry is optional (nil publishes no prof_*
+// metrics); everything else has defaults.
+type Config struct {
+	// Registry receives prof_captures_total{reason},
+	// prof_skipped_total{cause}, and prof_last_capture_unix.
+	Registry *telemetry.Registry
+	// Dir, when non-empty, receives one directory per bundle
+	// (<unix-nanos>-<reason>/cpu.pprof, heap.pprof, goroutine.pprof,
+	// meta.json). Empty keeps bundles in memory only.
+	Dir string
+	// Ring bounds the in-memory bundle ring (default 8; oldest evicted).
+	Ring int
+	// MinInterval rate-limits captures: triggers closer than this to the
+	// previous accepted capture are dropped (default 30s).
+	MinInterval time.Duration
+	// CPUDuration is how long each CPU profile samples (default 2s). Heap
+	// and goroutine profiles are instantaneous.
+	CPUDuration time.Duration
+}
+
+// Bundle is one captured profile set. CPU, Heap, and Goroutine hold the
+// raw pprof protobufs (gzip-compressed, the format `go tool pprof` reads).
+type Bundle struct {
+	// ID is the bundle's stable identity within the process (monotonic).
+	ID int64 `json:"id"`
+	// Time is the capture start instant.
+	Time time.Time `json:"time"`
+	// Reason names the trigger ("slo:<objective>", "slowquery", ...).
+	Reason string `json:"reason"`
+	// TraceIDs are the request traces active when the trigger fired.
+	TraceIDs []string `json:"trace_ids"`
+	// Path is the on-disk bundle directory ("" when Dir is unset).
+	Path string `json:"path,omitempty"`
+	// CPU, Heap, and Goroutine are the raw profiles (omitted from the
+	// /debug/profiles index; fetch them at /debug/profiles/{id}/{kind}).
+	CPU       []byte `json:"-"`
+	Heap      []byte `json:"-"`
+	Goroutine []byte `json:"-"`
+}
+
+// BundleMeta is the index form of a Bundle: everything but the profile
+// bytes, plus their sizes.
+type BundleMeta struct {
+	// ID, Time, Reason, TraceIDs, Path mirror the Bundle fields.
+	ID       int64     `json:"id"`
+	Time     time.Time `json:"time"`
+	Reason   string    `json:"reason"`
+	TraceIDs []string  `json:"trace_ids"`
+	Path     string    `json:"path,omitempty"`
+	// CPUBytes, HeapBytes, GoroutineBytes are the profile sizes.
+	CPUBytes       int `json:"cpu_bytes"`
+	HeapBytes      int `json:"heap_bytes"`
+	GoroutineBytes int `json:"goroutine_bytes"`
+}
+
+// Profiler captures trigger-driven profile bundles. Create with New; a nil
+// *Profiler is a disabled one (every method is an allocation-free no-op).
+type Profiler struct {
+	cfg Config
+
+	// lastNs is the unix-nano timestamp of the last accepted trigger; the
+	// rate limit is enforced with one CAS so concurrent triggers elect
+	// exactly one winner.
+	lastNs    atomic.Int64
+	capturing atomic.Bool
+	nextID    atomic.Int64
+
+	mu   sync.Mutex
+	ring []Bundle
+	head int
+	n    int
+
+	captures *telemetry.Counter
+	skipRate *telemetry.Counter
+	skipBusy *telemetry.Counter
+	lastUnix *telemetry.Gauge
+	failures *telemetry.Counter
+}
+
+// New builds a profiler. The returned profiler is enabled; callers that
+// want profiling off keep a nil *Profiler instead.
+func New(cfg Config) *Profiler {
+	if cfg.Ring <= 0 {
+		cfg.Ring = 8
+	}
+	if cfg.MinInterval <= 0 {
+		cfg.MinInterval = 30 * time.Second
+	}
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = 2 * time.Second
+	}
+	p := &Profiler{cfg: cfg, ring: make([]Bundle, cfg.Ring)}
+	if reg := cfg.Registry; reg != nil {
+		p.captures = reg.Counter("prof_captures_total")
+		p.skipRate = reg.Counter("prof_skipped_total", telemetry.L("cause", "ratelimited"))
+		p.skipBusy = reg.Counter("prof_skipped_total", telemetry.L("cause", "busy"))
+		p.failures = reg.Counter("prof_failures_total")
+		p.lastUnix = reg.Gauge("prof_last_capture_unix")
+	}
+	return p
+}
+
+// Enabled reports whether triggers can capture (false on nil).
+func (p *Profiler) Enabled() bool { return p != nil }
+
+// Trigger requests a capture. It returns immediately: the profiles are
+// captured on a background goroutine (the CPU profile alone takes
+// Config.CPUDuration). Returns whether the trigger was accepted — false
+// when the profiler is disabled, rate-limited, or already capturing.
+// traces stamps the bundle with the request traces active at the trigger.
+func (p *Profiler) Trigger(reason string, traces []telemetry.TraceID) bool {
+	if p == nil {
+		return false
+	}
+	now := time.Now()
+	last := p.lastNs.Load()
+	if last != 0 && now.Sub(time.Unix(0, last)) < p.cfg.MinInterval {
+		p.skipRate.Inc()
+		return false
+	}
+	if !p.lastNs.CompareAndSwap(last, now.UnixNano()) {
+		p.skipRate.Inc() // another trigger won the slot
+		return false
+	}
+	if !p.capturing.CompareAndSwap(false, true) {
+		p.skipBusy.Inc()
+		return false
+	}
+	ids := make([]string, len(traces))
+	for i, tr := range traces {
+		ids[i] = tr.String()
+	}
+	go p.capture(Bundle{
+		ID: p.nextID.Add(1), Time: now, Reason: reason, TraceIDs: ids,
+	})
+	return true
+}
+
+// capture runs one bundle capture and retains it; it owns p.capturing.
+func (p *Profiler) capture(b Bundle) {
+	defer p.capturing.Store(false)
+
+	var cpu bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpu); err == nil {
+		time.Sleep(p.cfg.CPUDuration)
+		pprof.StopCPUProfile()
+		b.CPU = cpu.Bytes()
+	} else {
+		// Another CPU profile is running (e.g. an operator on
+		// /debug/pprof/profile); keep the instantaneous profiles.
+		p.failures.Inc()
+	}
+	var heap bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&heap, 0); err == nil {
+		b.Heap = heap.Bytes()
+	}
+	var goro bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&goro, 0); err == nil {
+		b.Goroutine = goro.Bytes()
+	}
+
+	if p.cfg.Dir != "" {
+		if path, err := p.writeBundle(b); err == nil {
+			b.Path = path
+		} else {
+			p.failures.Inc()
+		}
+	}
+
+	p.mu.Lock()
+	p.ring[p.head] = b
+	p.head = (p.head + 1) % len(p.ring)
+	if p.n < len(p.ring) {
+		p.n++
+	}
+	p.mu.Unlock()
+	p.captures.Inc()
+	p.lastUnix.Set(float64(b.Time.Unix()))
+}
+
+// writeBundle persists one bundle under Config.Dir.
+func (p *Profiler) writeBundle(b Bundle) (string, error) {
+	dir := filepath.Join(p.cfg.Dir, fmt.Sprintf("%d-%s", b.Time.UnixNano(), sanitize(b.Reason)))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	files := []struct {
+		name string
+		data []byte
+	}{{"cpu.pprof", b.CPU}, {"heap.pprof", b.Heap}, {"goroutine.pprof", b.Goroutine}}
+	for _, f := range files {
+		if len(f.data) == 0 {
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(dir, f.name), f.data, 0o644); err != nil {
+			return "", err
+		}
+	}
+	meta, err := json.MarshalIndent(BundleMeta{
+		ID: b.ID, Time: b.Time, Reason: b.Reason, TraceIDs: b.TraceIDs, Path: dir,
+		CPUBytes: len(b.CPU), HeapBytes: len(b.Heap), GoroutineBytes: len(b.Goroutine),
+	}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), meta, 0o644); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// sanitize maps a trigger reason to a filesystem-safe token.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('.')
+		}
+	}
+	return b.String()
+}
+
+// Bundles returns the retained bundle metadata, oldest first. Safe on nil.
+func (p *Profiler) Bundles() []BundleMeta {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]BundleMeta, 0, p.n)
+	start := (p.head - p.n + len(p.ring)) % len(p.ring)
+	for i := 0; i < p.n; i++ {
+		b := &p.ring[(start+i)%len(p.ring)]
+		out = append(out, BundleMeta{
+			ID: b.ID, Time: b.Time, Reason: b.Reason, TraceIDs: b.TraceIDs, Path: b.Path,
+			CPUBytes: len(b.CPU), HeapBytes: len(b.Heap), GoroutineBytes: len(b.Goroutine),
+		})
+	}
+	return out
+}
+
+// Bundle returns one retained bundle by ID.
+func (p *Profiler) Bundle(id int64) (Bundle, bool) {
+	if p == nil {
+		return Bundle{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < p.n; i++ {
+		b := p.ring[(p.head-1-i+len(p.ring))%len(p.ring)]
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return Bundle{}, false
+}
+
+// Capturing reports whether a capture is in flight (false on nil).
+func (p *Profiler) Capturing() bool { return p != nil && p.capturing.Load() }
+
+// ServeHTTP serves the bundle ring:
+//
+//	GET <prefix>          JSON index: {"enabled","capturing","bundles":[meta...]}
+//	GET <prefix>/{id}/cpu|heap|goroutine   raw pprof protobuf
+//
+// Mount it at both "/debug/profiles" and "/debug/profiles/". A nil
+// profiler serves {"enabled":false} so probes always get valid JSON.
+func (p *Profiler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	const prefix = "/debug/profiles"
+	rest := strings.Trim(strings.TrimPrefix(r.URL.Path, prefix), "/")
+	if rest == "" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		bundles := p.Bundles()
+		if bundles == nil {
+			bundles = []BundleMeta{}
+		}
+		_ = enc.Encode(map[string]any{
+			"enabled":   p.Enabled(),
+			"capturing": p.Capturing(),
+			"bundles":   bundles,
+		})
+		return
+	}
+	idStr, kind, ok := strings.Cut(rest, "/")
+	if !ok {
+		http.Error(w, "want /debug/profiles/{id}/{cpu|heap|goroutine}", http.StatusBadRequest)
+		return
+	}
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad bundle id "+idStr, http.StatusBadRequest)
+		return
+	}
+	b, found := p.Bundle(id)
+	if !found {
+		http.Error(w, "no retained bundle "+idStr, http.StatusNotFound)
+		return
+	}
+	var data []byte
+	switch kind {
+	case "cpu":
+		data = b.CPU
+	case "heap":
+		data = b.Heap
+	case "goroutine":
+		data = b.Goroutine
+	default:
+		http.Error(w, "unknown profile kind "+kind, http.StatusBadRequest)
+		return
+	}
+	if len(data) == 0 {
+		http.Error(w, "profile "+kind+" empty in bundle "+idStr, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("bundle-%d-%s.pprof", id, kind)))
+	_, _ = w.Write(data)
+}

@@ -1,0 +1,203 @@
+package prof
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// waitCapture polls until the profiler finishes its in-flight capture and
+// has retained n bundles.
+func waitCapture(t *testing.T, p *Profiler, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if !p.Capturing() && len(p.Bundles()) >= n {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("capture did not finish: capturing=%v bundles=%d want %d",
+		p.Capturing(), len(p.Bundles()), n)
+}
+
+// TestTriggerCapturesBundle: an accepted trigger produces one bundle with
+// all three profiles, the trigger metadata, and the stamped trace IDs.
+func TestTriggerCapturesBundle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := New(Config{Registry: reg, CPUDuration: 50 * time.Millisecond, MinInterval: time.Hour})
+	tr := telemetry.TraceID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	if !p.Trigger("slo:test", []telemetry.TraceID{tr}) {
+		t.Fatal("first trigger rejected")
+	}
+	waitCapture(t, p, 1)
+
+	bundles := p.Bundles()
+	if len(bundles) != 1 {
+		t.Fatalf("got %d bundles, want 1", len(bundles))
+	}
+	m := bundles[0]
+	if m.Reason != "slo:test" {
+		t.Fatalf("reason %q, want slo:test", m.Reason)
+	}
+	if len(m.TraceIDs) != 1 || m.TraceIDs[0] != tr.String() {
+		t.Fatalf("trace ids %v, want [%s]", m.TraceIDs, tr)
+	}
+	if m.CPUBytes == 0 || m.HeapBytes == 0 || m.GoroutineBytes == 0 {
+		t.Fatalf("empty profile in bundle: %+v", m)
+	}
+	if v := reg.Counter("prof_captures_total").Value(); v != 1 {
+		t.Fatalf("prof_captures_total = %d, want 1", v)
+	}
+}
+
+// TestTriggerRateLimit: a second trigger inside MinInterval is dropped and
+// counted as skipped, so a sustained breach yields exactly one bundle.
+func TestTriggerRateLimit(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := New(Config{Registry: reg, CPUDuration: 20 * time.Millisecond, MinInterval: time.Hour})
+	if !p.Trigger("first", nil) {
+		t.Fatal("first trigger rejected")
+	}
+	for i := 0; i < 5; i++ {
+		if p.Trigger("second", nil) {
+			t.Fatal("trigger inside MinInterval accepted")
+		}
+	}
+	waitCapture(t, p, 1)
+	if len(p.Bundles()) != 1 {
+		t.Fatalf("got %d bundles, want exactly 1", len(p.Bundles()))
+	}
+	if v := reg.Counter("prof_skipped_total", telemetry.L("cause", "ratelimited")).Value(); v != 5 {
+		t.Fatalf("ratelimited skips = %d, want 5", v)
+	}
+}
+
+// TestRingEviction: the bundle ring keeps only the newest Ring bundles.
+func TestRingEviction(t *testing.T) {
+	p := New(Config{Ring: 2, CPUDuration: time.Millisecond, MinInterval: time.Nanosecond})
+	for i := 0; i < 4; i++ {
+		if !p.Trigger("r", nil) {
+			t.Fatalf("trigger %d rejected", i)
+		}
+		waitCapture(t, p, min(i+1, 2))
+		time.Sleep(2 * time.Millisecond) // clear MinInterval
+	}
+	bundles := p.Bundles()
+	if len(bundles) != 2 || bundles[0].ID != 3 || bundles[1].ID != 4 {
+		t.Fatalf("ring contents wrong: %+v", bundles)
+	}
+	if _, ok := p.Bundle(1); ok {
+		t.Fatal("evicted bundle still retrievable")
+	}
+	if _, ok := p.Bundle(4); !ok {
+		t.Fatal("newest bundle not retrievable")
+	}
+}
+
+// TestBundleDir: with Dir set, each bundle lands on disk with all three
+// profiles and a parseable meta.json.
+func TestBundleDir(t *testing.T) {
+	dir := t.TempDir()
+	p := New(Config{Dir: dir, CPUDuration: 20 * time.Millisecond, MinInterval: time.Hour})
+	if !p.Trigger("slo:disk", nil) {
+		t.Fatal("trigger rejected")
+	}
+	waitCapture(t, p, 1)
+	b := p.Bundles()[0]
+	if b.Path == "" {
+		t.Fatal("bundle has no on-disk path")
+	}
+	for _, f := range []string{"cpu.pprof", "heap.pprof", "goroutine.pprof", "meta.json"} {
+		if _, err := os.Stat(filepath.Join(b.Path, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(b.Path, "meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta BundleMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		t.Fatalf("meta.json invalid: %v", err)
+	}
+	if meta.Reason != "slo:disk" {
+		t.Fatalf("meta reason %q, want slo:disk", meta.Reason)
+	}
+}
+
+// TestHandler: the /debug/profiles index is valid JSON and per-bundle
+// artifact downloads round-trip the captured bytes.
+func TestHandler(t *testing.T) {
+	p := New(Config{CPUDuration: 20 * time.Millisecond, MinInterval: time.Hour})
+	if !p.Trigger("h", nil) {
+		t.Fatal("trigger rejected")
+	}
+	waitCapture(t, p, 1)
+
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles", nil))
+	var idx struct {
+		Enabled bool         `json:"enabled"`
+		Bundles []BundleMeta `json:"bundles"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &idx); err != nil {
+		t.Fatalf("index not JSON: %v", err)
+	}
+	if !idx.Enabled || len(idx.Bundles) != 1 {
+		t.Fatalf("index wrong: %+v", idx)
+	}
+
+	rec = httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles/1/heap", nil))
+	if rec.Code != 200 || rec.Body.Len() == 0 {
+		t.Fatalf("heap download: code %d len %d", rec.Code, rec.Body.Len())
+	}
+	for _, path := range []string{"/debug/profiles/99/cpu", "/debug/profiles/1/bogus", "/debug/profiles/x/cpu"} {
+		rec = httptest.NewRecorder()
+		p.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code == 200 {
+			t.Errorf("GET %s succeeded, want error", path)
+		}
+	}
+}
+
+// TestNilProfilerHandler: a nil profiler still serves a valid disabled
+// index, so /debug/profiles never 404s on an unconfigured daemon.
+func TestNilProfilerHandler(t *testing.T) {
+	var p *Profiler
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles", nil))
+	var idx struct {
+		Enabled bool `json:"enabled"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &idx); err != nil {
+		t.Fatalf("nil index not JSON: %v", err)
+	}
+	if idx.Enabled {
+		t.Fatal("nil profiler reports enabled")
+	}
+}
+
+// TestDisabledProfilerAllocationFree: every hook the request path can hit
+// on a nil (disabled) profiler allocates nothing.
+func TestDisabledProfilerAllocationFree(t *testing.T) {
+	var p *Profiler
+	allocs := testing.AllocsPerRun(1000, func() {
+		if p.Enabled() {
+			t.Fatal("nil profiler enabled")
+		}
+		if p.Trigger("x", nil) {
+			t.Fatal("nil profiler accepted trigger")
+		}
+		_ = p.Capturing()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled profiler allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -30,21 +32,33 @@ func (s *Server) enqueue(edits []dyngraph.Edit) EnqueueResult {
 			res.Rejected = len(edits) - i
 			s.m.enqueued.Add(int64(res.Accepted))
 			s.m.rejected.Add(int64(res.Rejected))
-			s.m.depth.Set(float64(len(s.queue)))
+			s.setQueueDepth()
 			return res
 		}
 	}
 	s.m.enqueued.Add(int64(res.Accepted))
-	s.m.depth.Set(float64(len(s.queue)))
+	s.setQueueDepth()
 	return res
+}
+
+// setQueueDepth publishes the current queue occupancy and raises the
+// high-water mark, the capacity-planning signal for QueueCap.
+func (s *Server) setQueueDepth() {
+	d := len(s.queue)
+	s.m.depth.Set(float64(d))
+	s.m.depthHWM.observe(int64(d))
 }
 
 // ingestLoop is the single writer of the dynamic graph: it drains the
 // queue into batches of at most Config.BatchSize, collapses in-batch
 // duplicates, applies each batch under the write lock, and bumps the graph
 // version. On shutdown it drains whatever remains before exiting, so every
-// acknowledged update reaches the final snapshot.
+// acknowledged update reaches the final snapshot. The goroutine carries an
+// op=ingest-loop pprof label so batch-application CPU samples in captured
+// profiles attribute to ingest rather than to whichever request happened
+// to trigger the capture.
 func (s *Server) ingestLoop() {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels("op", "ingest-loop")))
 	defer close(s.ingestEnd)
 	batch := make([]dyngraph.Edit, 0, s.cfg.BatchSize)
 	flush := time.NewTimer(s.cfg.FlushEvery)
@@ -155,7 +169,7 @@ func (s *Server) applyBatch(batch []dyngraph.Edit) {
 	s.m.batches.Inc()
 	s.m.batchSize.Observe(float64(len(dedup)))
 	s.m.applySec.ObserveDuration(time.Since(start))
-	s.m.depth.Set(float64(len(s.queue)))
+	s.setQueueDepth()
 }
 
 // editKey packs the dedup identity of an edit: the endpoint pair,

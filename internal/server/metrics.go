@@ -1,6 +1,33 @@
 package server
 
-import "repro/internal/telemetry"
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// watermark tracks a running maximum and publishes it as a gauge. observe
+// is lock-free and allocation-free (CAS loop), so it can sit on the
+// request and ingest hot paths; the gauge only moves when a new high-water
+// mark is set, which is rare once the process warms up.
+type watermark struct {
+	g   *telemetry.Gauge
+	cur atomic.Int64
+}
+
+// observe raises the watermark to v if v is a new maximum.
+func (w *watermark) observe(v int64) {
+	for {
+		cur := w.cur.Load()
+		if v <= cur {
+			return
+		}
+		if w.cur.CompareAndSwap(cur, v) {
+			w.g.Set(float64(v))
+			return
+		}
+	}
+}
 
 // Metric families published by the server, all on the registry passed in
 // Config (shared with par_*, runtime_* and the rest of the process):
@@ -14,9 +41,17 @@ import "repro/internal/telemetry"
 //	server_ingest_batch_size                updates per applied batch
 //	server_ingest_apply_seconds             batch application latency
 //	server_ingest_queue_depth               current queue occupancy (gauge)
+//	server_ingest_queue_depth_hwm           deepest queue occupancy seen (gauge)
 //	server_queries_total{op,code}           queries by endpoint and HTTP status
+//	server_requests_total{op}               requests by endpoint regardless of
+//	                                        status (SLO availability denominator)
+//	server_request_errors_total{op}         5xx responses by endpoint (SLO
+//	                                        availability numerator; 429 and 4xx
+//	                                        spend no budget)
 //	server_query_seconds{op}                end-to-end query latency
 //	server_queries_inflight                 admitted queries now running (gauge)
+//	server_admission_inflight_hwm           most queries ever admitted at once
+//	                                        (gauge; saturation vs MaxInflight)
 //	server_admission_wait_seconds           time spent waiting for a query slot
 //	server_snapshot_rebuilds_total          full CSR snapshot rebuilds
 //	server_snapshot_patches_total           incremental CSR snapshot patches
@@ -38,6 +73,11 @@ import "repro/internal/telemetry"
 //	server_persist_total                    snapshot files written
 //	server_persist_seconds                  snapshot write latency
 //	server_drain_seconds                    time the shutdown drain took (gauge)
+//	server_ready                            readiness as 1/0 (gauge; mirrors the
+//	                                        last /readyz evaluation)
+//
+// The slo_* families (slo_state, slo_burn_rate, slo_transitions_total) are
+// documented in internal/slo, the prof_* families in internal/prof.
 type metricsSet struct {
 	enqueued  *telemetry.Counter
 	rejected  *telemetry.Counter
@@ -50,8 +90,11 @@ type metricsSet struct {
 	batchSize *telemetry.Histogram
 	applySec  *telemetry.Histogram
 	depth     *telemetry.Gauge
+	depthHWM  watermark
 
 	inflight    *telemetry.Gauge
+	inflightHWM watermark
+	ready       *telemetry.Gauge
 	admitWait   *telemetry.Histogram
 	rebuilds    *telemetry.Counter
 	snapPatches *telemetry.Counter
@@ -77,7 +120,7 @@ type metricsSet struct {
 
 func newMetricsSet(reg *telemetry.Registry) *metricsSet {
 	op := func(v string) telemetry.Label { return telemetry.L("op", v) }
-	return &metricsSet{
+	m := &metricsSet{
 		enqueued:  reg.Counter("server_ingest_enqueued_total"),
 		rejected:  reg.Counter("server_ingest_rejected_total"),
 		deduped:   reg.Counter("server_ingest_deduped_total"),
@@ -112,14 +155,24 @@ func newMetricsSet(reg *telemetry.Registry) *metricsSet {
 		persists:   reg.Counter("server_persist_total"),
 		persistSec: reg.Histogram("server_persist_seconds"),
 		drainSec:   reg.Gauge("server_drain_seconds"),
+		ready:      reg.Gauge("server_ready"),
 	}
+	m.depthHWM.g = reg.Gauge("server_ingest_queue_depth_hwm")
+	m.inflightHWM.g = reg.Gauge("server_admission_inflight_hwm")
+	return m
 }
 
-// queryMetrics resolves the labeled handles for one (endpoint, status)
+// countQuery resolves the labeled handles for one (endpoint, status)
 // pair. Handles are cheap to resolve (registry lookup) relative to query
-// cost, so no per-op cache is kept.
+// cost, so no per-op cache is kept. Besides the per-code counter it feeds
+// the SLO availability families: every request into the denominator, 5xx
+// into the numerator (backpressure and client errors spend no budget).
 func (s *Server) countQuery(op string, code int, seconds float64) {
-	s.reg.Counter("server_queries_total",
-		telemetry.L("op", op), telemetry.L("code", httpCodeLabel(code))).Inc()
-	s.reg.Histogram("server_query_seconds", telemetry.L("op", op)).Observe(seconds)
+	opL := telemetry.L("op", op)
+	s.reg.Counter("server_queries_total", opL, telemetry.L("code", httpCodeLabel(code))).Inc()
+	s.reg.Counter("server_requests_total", opL).Inc()
+	if code >= 500 {
+		s.reg.Counter("server_request_errors_total", opL).Inc()
+	}
+	s.reg.Histogram("server_query_seconds", opL).Observe(seconds)
 }

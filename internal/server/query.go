@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -18,8 +19,11 @@ import (
 // Handler returns the daemon's HTTP API, with the telemetry registry's own
 // endpoints (/metrics, /metrics.json, /debug/spans, /debug/trace/{id},
 // /debug/pprof/...) mounted on the same mux — one listener serves traffic
-// and observability. The whole mux is wrapped in the traceparent middleware,
-// so every endpoint accepts and echoes a W3C trace identity.
+// and observability. /healthz is pure liveness and /readyz the aggregated
+// readiness model (see health.go); /debug/slo serves the SLO engine's
+// self-evaluation and /debug/profiles the trigger-captured profile
+// bundles. The whole mux is wrapped in the traceparent middleware, so
+// every endpoint accepts and echoes a W3C trace identity.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", s.handleIngest)
@@ -32,13 +36,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.StatsNow())
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		if s.draining.Load() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/slo", s.handleSLO)
+	mux.Handle("/debug/profiles", s.prof)
+	mux.Handle("/debug/profiles/", s.prof)
 	tel := s.reg.Handler()
 	mux.Handle("/metrics", tel)
 	mux.Handle("/metrics.json", tel)
@@ -79,6 +81,13 @@ func (s *Server) query(op string, h func(ctx context.Context, r *http.Request) (
 		defer cancel()
 
 		ctx, rt := s.startRequestTrace(ctx, w, op, start)
+		if s.prof.Enabled() {
+			// Track the trace so a breach-triggered profile bundle can be
+			// stamped with the requests it overlapped. Gated on the profiler
+			// so the default path stays allocation-free.
+			s.trackTrace(rt.tc.TraceID)
+			defer s.untrackTrace(rt.tc.TraceID)
+		}
 		finish := func() {
 			wall := time.Since(start)
 			rt.finish(code, wall)
@@ -93,6 +102,7 @@ func (s *Server) query(op string, h func(ctx context.Context, r *http.Request) (
 			endAdmit()
 			s.m.admitWait.ObserveDuration(time.Since(start))
 			s.m.inflight.Add(1)
+			s.m.inflightHWM.observe(int64(len(s.admit)))
 			defer func() {
 				<-s.admit
 				s.m.inflight.Add(-1)
@@ -106,7 +116,14 @@ func (s *Server) query(op string, h func(ctx context.Context, r *http.Request) (
 			return
 		}
 
-		out, err := h(ctx, r)
+		if d := s.cfg.queryDelay; d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+
+		out, err := s.runHandler(ctx, op, r, h)
 		if err != nil {
 			var he *httpError
 			switch {
@@ -128,6 +145,23 @@ func (s *Server) query(op string, h func(ctx context.Context, r *http.Request) (
 		endEncode()
 		finish()
 	}
+}
+
+// runHandler invokes the endpoint body. With the profiler enabled, the
+// handler runs under a pprof goroutine label (op=<endpoint>) — labels are
+// inherited by the par worker goroutines the kernels spawn, so CPU samples
+// in trigger-captured profiles attribute by endpoint. Disabled, the call
+// is direct (pprof.Do costs an allocation, so it is gated).
+func (s *Server) runHandler(ctx context.Context, op string, r *http.Request, h func(ctx context.Context, r *http.Request) (any, error)) (any, error) {
+	if !s.prof.Enabled() {
+		return h(ctx, r)
+	}
+	var out any
+	var err error
+	pprof.Do(ctx, pprof.Labels("op", op), func(ctx context.Context) {
+		out, err = h(ctx, r)
+	})
+	return out, err
 }
 
 // requestTimeout resolves the query deadline: ?timeout= (Go duration),

@@ -16,6 +16,8 @@ import (
 	"repro/internal/incr"
 	"repro/internal/kernels"
 	"repro/internal/par"
+	"repro/internal/prof"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -81,10 +83,54 @@ type Config struct {
 	// SlowQueryRing bounds the in-memory slow-query ring (default 128).
 	SlowQueryRing int
 
+	// SLOObjectives enables the SLO engine (internal/slo): declarative
+	// per-endpoint latency/availability targets evaluated from windowed
+	// telemetry deltas, served at /debug/slo and feeding /readyz. Empty
+	// disables the engine entirely (the evaluator is nil; zero overhead).
+	SLOObjectives []slo.Objective
+	// SLOFastWindow/SLOSlowWindow/SLOPeriod shape the burn-rate windows
+	// (defaults 1m / 10m / 10s; see slo.Config).
+	SLOFastWindow time.Duration
+	SLOSlowWindow time.Duration
+	SLOPeriod     time.Duration
+	// SLOWarnBurn/SLOBreachBurn are the state-machine thresholds
+	// (defaults 1 / 4; see slo.Config).
+	SLOWarnBurn   float64
+	SLOBreachBurn float64
+
+	// ProfileTriggers enables trigger-driven profiling (internal/prof): a
+	// profile bundle is captured when an SLO objective enters breaching or a
+	// slow query fires. Off by default — the profiler is nil and every hook
+	// on the request path is an allocation-free no-op.
+	ProfileTriggers bool
+	// ProfileDir, when set, additionally writes each bundle to disk.
+	ProfileDir string
+	// ProfileRing bounds the in-memory bundle ring (default 8).
+	ProfileRing int
+	// ProfileMinInterval rate-limits captures (default 30s).
+	ProfileMinInterval time.Duration
+	// ProfileCPUDuration is the CPU profile sampling length (default 2s).
+	ProfileCPUDuration time.Duration
+
+	// ReadyQueueFraction fails the /readyz ingest-queue check when queue
+	// depth reaches this fraction of QueueCap (default 0.9).
+	ReadyQueueFraction float64
+	// ReadyMaxHeapBytes fails the /readyz heap check when live heap
+	// occupancy exceeds it; 0 disables the check.
+	ReadyMaxHeapBytes uint64
+	// ReadySnapshotMaxAge fails the /readyz snapshot-age check when the last
+	// persisted snapshot is older; <= 0 defaults to 3×SnapshotEvery. Only
+	// evaluated when persistence is enabled.
+	ReadySnapshotMaxAge time.Duration
+
 	// applyGate, when non-nil, is received from before every batch
 	// application. Tests use it to stall the ingest loop and deterministically
 	// fill the queue; close it to release the loop for good.
 	applyGate chan struct{}
+	// queryDelay, when > 0, stalls every admitted query for the duration
+	// (deadline-aware). Tests use it as an artificially slow workload to
+	// drive the SLO engine into breach.
+	queryDelay time.Duration
 }
 
 // DefaultConfig returns production-shaped defaults for a scale-16 graph.
@@ -130,6 +176,21 @@ type Server struct {
 	reg  *telemetry.Registry
 	m    *metricsSet
 	slow *slowLog
+
+	// slo and prof are nil unless configured; both are nil-safe, so their
+	// hooks stay unconditionally in place on the request path.
+	slo  *slo.Evaluator
+	prof *prof.Profiler
+
+	// activeTraces refcounts the trace IDs of in-flight traced requests so a
+	// profile capture can be stamped with the requests it overlapped.
+	// Maintained only when the profiler is enabled.
+	activeMu     sync.Mutex
+	activeTraces map[telemetry.TraceID]int
+
+	// lastPersist is the unix-nano instant of the last successful Persist
+	// (0 before the first) — the /readyz snapshot-age anchor.
+	lastPersist atomic.Int64
 
 	// gmu serializes access to dyn: the ingest loop takes the write lock
 	// per batch; snapshot rebuilds and persistence take the read lock.
@@ -235,6 +296,34 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Incremental {
 		s.deltas = newDeltaLog(cfg.MaxPendingEdits, s.m.pendingDeltas)
+	}
+
+	if cfg.ProfileTriggers {
+		s.prof = prof.New(prof.Config{
+			Registry:    reg,
+			Dir:         cfg.ProfileDir,
+			Ring:        cfg.ProfileRing,
+			MinInterval: cfg.ProfileMinInterval,
+			CPUDuration: cfg.ProfileCPUDuration,
+		})
+		s.activeTraces = make(map[telemetry.TraceID]int)
+	}
+	if len(cfg.SLOObjectives) > 0 {
+		ev, err := slo.New(slo.Config{
+			Registry:     reg,
+			Objectives:   cfg.SLOObjectives,
+			FastWindow:   cfg.SLOFastWindow,
+			SlowWindow:   cfg.SLOSlowWindow,
+			Period:       cfg.SLOPeriod,
+			WarnBurn:     cfg.SLOWarnBurn,
+			BreachBurn:   cfg.SLOBreachBurn,
+			OnTransition: s.onSLOTransition,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.slo = ev
+		go ev.Run(s.stopCh)
 	}
 
 	go s.ingestLoop()
@@ -465,8 +554,54 @@ func (s *Server) Persist() error {
 	}
 	s.m.persists.Inc()
 	s.m.persistSec.ObserveDuration(time.Since(start))
+	s.lastPersist.Store(time.Now().UnixNano())
 	return nil
 }
+
+// onSLOTransition is the evaluator's transition hook: an objective
+// entering breaching triggers a profile capture stamped with the traces
+// in flight at that instant — evidence from inside the incident.
+func (s *Server) onSLOTransition(tr slo.Transition) {
+	if tr.To == slo.StateBreaching {
+		s.prof.Trigger("slo:"+tr.Objective.Endpoint, s.activeTraceIDs())
+	}
+}
+
+// trackTrace registers an in-flight traced request for profile stamping.
+// Only called when the profiler is enabled.
+func (s *Server) trackTrace(id telemetry.TraceID) {
+	s.activeMu.Lock()
+	s.activeTraces[id]++
+	s.activeMu.Unlock()
+}
+
+// untrackTrace drops one reference to an in-flight trace.
+func (s *Server) untrackTrace(id telemetry.TraceID) {
+	s.activeMu.Lock()
+	if s.activeTraces[id]--; s.activeTraces[id] <= 0 {
+		delete(s.activeTraces, id)
+	}
+	s.activeMu.Unlock()
+}
+
+// activeTraceIDs snapshots the trace IDs of requests in flight right now.
+func (s *Server) activeTraceIDs() []telemetry.TraceID {
+	s.activeMu.Lock()
+	defer s.activeMu.Unlock()
+	out := make([]telemetry.TraceID, 0, len(s.activeTraces))
+	for id := range s.activeTraces {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SLOStatus returns the SLO engine's current evaluation (disabled status
+// when no objectives are configured).
+func (s *Server) SLOStatus() slo.Status { return s.slo.Status() }
+
+// ProfileBundles returns the retained trigger-captured profile bundles,
+// oldest first (nil when profiling is disabled).
+func (s *Server) ProfileBundles() []prof.BundleMeta { return s.prof.Bundles() }
 
 // persistLoop writes periodic snapshots until shutdown (the final snapshot
 // is Shutdown's, after the drain).

@@ -409,8 +409,14 @@ func TestShutdownDrainAndRecover(t *testing.T) {
 	if code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
 		t.Fatalf("ingest while draining = %d (Retry-After %q), want 503 with Retry-After", code, hdr.Get("Retry-After"))
 	}
-	if code := getJSON(t, ts.URL, "/healthz", nil); code != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining = %d, want 503", code)
+	// Liveness stays up through the drain (a restart here would lose the
+	// queued updates); readiness reports the drain so balancers route away.
+	if code := getJSON(t, ts.URL, "/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200 (liveness)", code)
+	}
+	var rd Readiness
+	if code := getJSON(t, ts.URL, "/readyz", &rd); code != http.StatusServiceUnavailable || rd.Ready {
+		t.Fatalf("readyz while draining = %d ready=%v, want 503 not-ready", code, rd.Ready)
 	}
 
 	wantEdges := s.StatsNow().Edges

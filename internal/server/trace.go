@@ -109,7 +109,12 @@ func (rt *reqTrace) finish(code int, wall time.Duration) {
 		rt.s.stageObserve(rt.op, "other", other)
 	}
 	rt.root.End()
-	rt.s.slow.offer(rt, code, wall)
+	if rt.s.slow.offer(rt, code, wall) {
+		// A slow query is a profiling trigger: capture the process in the
+		// act, stamped with this request's trace. Nil-safe and rate-limited;
+		// a sustained slow spell costs one bundle per MinInterval.
+		rt.s.prof.Trigger("slowquery:"+rt.op, []telemetry.TraceID{rt.tc.TraceID})
+	}
 }
 
 // stageObserve records one lifecycle stage latency into the
@@ -206,12 +211,13 @@ func newSlowLog(threshold time.Duration, ringSize int, out io.Writer, reg *telem
 	return sl
 }
 
-// offer records the request if it crossed the slow threshold. The span tree
+// offer records the request if it crossed the slow threshold, reporting
+// whether it did (the caller's profiling-trigger signal). The span tree
 // is assembled from the tracer ring at record time, so it must run after
 // the root span ended.
-func (sl *slowLog) offer(rt *reqTrace, code int, wall time.Duration) {
+func (sl *slowLog) offer(rt *reqTrace, code int, wall time.Duration) bool {
 	if sl == nil || sl.threshold <= 0 || wall < sl.threshold || rt == nil {
-		return
+		return false
 	}
 	rec := SlowQuery{
 		Time:     time.Now(),
@@ -234,6 +240,7 @@ func (sl *slowLog) offer(rt *reqTrace, code int, wall time.Duration) {
 	if enc != nil {
 		_ = enc.Encode(rec)
 	}
+	return true
 }
 
 // snapshotRecords returns the retained slow queries, oldest first.

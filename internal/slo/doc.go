@@ -1,0 +1,31 @@
+// Package slo is graphd's self-judging layer: declarative per-endpoint
+// service-level objectives (latency p50/p99 targets and availability)
+// evaluated continuously from windowed telemetry deltas. The Evaluator
+// wraps the serving layer's cumulative request histograms and error
+// counters with rotating time-window trackers (telemetry.WindowedHistogram
+// / WindowedCounter — the cumulative Prometheus semantics are untouched),
+// computes multi-window burn rates (a fast window catches incidents while
+// they happen, a slow window filters blips), and runs each objective
+// through an ok → warning → breaching state machine. State and burn rates
+// are exported as the slo_state{objective} and
+// slo_burn_rate{objective,window} metric families, served as JSON at
+// /debug/slo, fed into the /readyz readiness model, and — via the
+// transition hook — used to trigger internal/prof profile captures at the
+// moment a regression is happening.
+//
+// Burn rate is the SRE-workbook quantity: the fraction of requests that
+// violated the objective over a window, divided by the objective's error
+// budget (1 − target). A burn rate of 1 means the budget is being consumed
+// exactly as fast as it accrues; 4 means a month's budget burns in a week.
+// A latency target "p99 ≤ T" has budget 0.01 (at most 1% of requests may
+// exceed T); "p50 ≤ T" has budget 0.5; availability 99.9% has budget
+// 0.001. An objective with several targets burns at the maximum of its
+// rules. Empty windows burn at 0: no traffic violates nothing.
+//
+// The evaluator runs entirely off the request path — it reads histogram
+// snapshots on a periodic tick — so enabling SLOs adds zero allocations
+// and zero synchronization to request handling (gated by
+// TestDisabledSLOAllocationFree in internal/server). The clock is
+// injectable, so every state-machine path is unit-testable without
+// sleeping.
+package slo

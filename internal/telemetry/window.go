@@ -1,0 +1,254 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Rotating time-window deltas over cumulative instruments. A Histogram (or
+// Counter) keeps its cumulative semantics — Prometheus scrapes are
+// unchanged — while a Windowed wrapper snapshots the cumulative state at
+// rotation boundaries and serves *deltas* over a trailing window by
+// subtracting an old boundary snapshot from the current state. The hot
+// path is untouched: Observe/Inc never see the wrapper, and rotation reads
+// the same lock-free snapshot an exporter would. Windowed views are what
+// SLO burn-rate evaluation needs ("how many requests in the last minute
+// exceeded the target?"), which cumulative counts cannot answer.
+
+// histWindowSlot is one rotation boundary: the cumulative snapshot taken
+// at that instant.
+type histWindowSlot struct {
+	at   time.Time
+	snap HistogramSnapshot
+}
+
+// WindowedHistogram tracks rotating time-window deltas over a cumulative
+// Histogram. Call Rotate on a periodic tick (it records a boundary snapshot
+// at most once per period) and Delta to read the observation delta over a
+// trailing window. All methods are safe for concurrent use and safe on a
+// nil receiver; the wrapped histogram's writers are never blocked.
+type WindowedHistogram struct {
+	h      *Histogram
+	period time.Duration
+
+	mu    sync.Mutex
+	slots []histWindowSlot // ring, oldest..newest
+	head  int              // next write position
+	n     int              // filled entries
+	last  time.Time        // most recent boundary, zero before first Rotate
+}
+
+// NewWindowedHistogram wraps h with a rotation ring able to reconstruct
+// deltas over windows up to slots×period long. period must be positive;
+// slots is clamped to at least 2 (one live boundary plus one history slot).
+func NewWindowedHistogram(h *Histogram, period time.Duration, slots int) *WindowedHistogram {
+	if period <= 0 {
+		period = time.Second
+	}
+	if slots < 2 {
+		slots = 2
+	}
+	return &WindowedHistogram{h: h, period: period, slots: make([]histWindowSlot, slots)}
+}
+
+// Histogram returns the wrapped cumulative histogram (nil on a nil receiver).
+func (w *WindowedHistogram) Histogram() *Histogram {
+	if w == nil {
+		return nil
+	}
+	return w.h
+}
+
+// Rotate records a boundary snapshot when at least one period has elapsed
+// since the previous boundary (a tick exactly on the boundary rotates).
+// A clock that moved backwards (now before the last boundary) resets the
+// ring: stale "future" boundaries would otherwise corrupt every delta, so
+// history is dropped and tracking restarts from now. Returns whether a
+// boundary was recorded.
+func (w *WindowedHistogram) Rotate(now time.Time) bool {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.last.IsZero() {
+		if now.Before(w.last) {
+			w.head, w.n = 0, 0 // clock skew: drop history, re-anchor below
+		} else if now.Sub(w.last) < w.period {
+			return false
+		}
+	}
+	w.slots[w.head] = histWindowSlot{at: now, snap: w.h.Snapshot()}
+	w.head = (w.head + 1) % len(w.slots)
+	if w.n < len(w.slots) {
+		w.n++
+	}
+	w.last = now
+	return true
+}
+
+// Delta returns the observation delta over the trailing window ending at
+// now: current cumulative state minus the most recent boundary snapshot
+// taken at or before now-window. The boundary granularity means the span
+// covered is [boundary, now] ⊇ window, overshooting by less than one
+// period. When the tracker is younger than the window the oldest boundary
+// is used (the delta then covers only the tracker's lifetime), and with no
+// boundaries at all the full cumulative state is returned — on a fresh
+// process "everything so far" is the only honest trailing window.
+func (w *WindowedHistogram) Delta(window time.Duration, now time.Time) HistogramSnapshot {
+	if w == nil {
+		return HistogramSnapshot{}
+	}
+	cur := w.h.Snapshot()
+	cutoff := now.Add(-window)
+	w.mu.Lock()
+	var base *HistogramSnapshot
+	// Scan newest → oldest for the first boundary at or before the cutoff;
+	// remember the oldest as the fallback for short histories.
+	for i := 0; i < w.n; i++ {
+		s := &w.slots[(w.head-1-i+len(w.slots))%len(w.slots)]
+		base = &s.snap
+		if !s.at.After(cutoff) {
+			break
+		}
+	}
+	var baseCopy HistogramSnapshot
+	if base != nil {
+		baseCopy = *base
+	}
+	w.mu.Unlock()
+	if base == nil {
+		return cur
+	}
+	return subtractSnapshot(cur, baseCopy)
+}
+
+// subtractSnapshot returns cur − base bucket-wise. Counts are clamped at
+// zero: cumulative counts are monotonic, but the two snapshots are taken
+// lock-free at different instants, so a bucket can transiently read lower
+// than its base under heavy concurrent writes.
+func subtractSnapshot(cur, base HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: cur.Count - base.Count, Sum: cur.Sum - base.Sum}
+	if out.Count < 0 {
+		out.Count = 0
+	}
+	// Both bucket lists are sparse and ascending by bound; merge-subtract.
+	j := 0
+	for _, b := range cur.Buckets {
+		for j < len(base.Buckets) && base.Buckets[j].UpperBound < b.UpperBound {
+			j++
+		}
+		n := b.Count
+		if j < len(base.Buckets) && base.Buckets[j].UpperBound == b.UpperBound {
+			n -= base.Buckets[j].Count
+		}
+		if n > 0 {
+			out.Buckets = append(out.Buckets, Bucket{UpperBound: b.UpperBound, Count: n})
+		}
+	}
+	return out
+}
+
+// CountOver estimates how many of the snapshot's observations exceeded
+// threshold, interpolating linearly inside the bucket the threshold falls
+// in (the same within-one-bucket accuracy contract as Quantile). The
+// result is fractional because of the interpolation.
+func (s HistogramSnapshot) CountOver(threshold float64) float64 {
+	var over float64
+	for _, b := range s.Buckets {
+		lo := b.UpperBound / 2
+		switch {
+		case threshold >= b.UpperBound:
+			// whole bucket at or below the threshold
+		case threshold <= lo:
+			over += float64(b.Count)
+		default:
+			over += float64(b.Count) * (b.UpperBound - threshold) / (b.UpperBound - lo)
+		}
+	}
+	return over
+}
+
+// counterWindowSlot is one rotation boundary of a WindowedCounter.
+type counterWindowSlot struct {
+	at time.Time
+	v  int64
+}
+
+// WindowedCounter is the Counter form of WindowedHistogram: rotating
+// boundary values over a cumulative counter, serving value deltas over a
+// trailing window. Same rotation, clock-skew, and short-history semantics.
+// Safe for concurrent use and on a nil receiver.
+type WindowedCounter struct {
+	c      *Counter
+	period time.Duration
+
+	mu    sync.Mutex
+	slots []counterWindowSlot
+	head  int
+	n     int
+	last  time.Time
+}
+
+// NewWindowedCounter wraps c with a rotation ring of the given period and
+// slot count (same clamps as NewWindowedHistogram).
+func NewWindowedCounter(c *Counter, period time.Duration, slots int) *WindowedCounter {
+	if period <= 0 {
+		period = time.Second
+	}
+	if slots < 2 {
+		slots = 2
+	}
+	return &WindowedCounter{c: c, period: period, slots: make([]counterWindowSlot, slots)}
+}
+
+// Rotate records a boundary value when a period has elapsed (or resets on
+// backwards clock skew); see WindowedHistogram.Rotate.
+func (w *WindowedCounter) Rotate(now time.Time) bool {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.last.IsZero() {
+		if now.Before(w.last) {
+			w.head, w.n = 0, 0
+		} else if now.Sub(w.last) < w.period {
+			return false
+		}
+	}
+	w.slots[w.head] = counterWindowSlot{at: now, v: w.c.Value()}
+	w.head = (w.head + 1) % len(w.slots)
+	if w.n < len(w.slots) {
+		w.n++
+	}
+	w.last = now
+	return true
+}
+
+// Delta returns the counter's increase over the trailing window ending at
+// now; see WindowedHistogram.Delta for the boundary semantics.
+func (w *WindowedCounter) Delta(window time.Duration, now time.Time) int64 {
+	if w == nil {
+		return 0
+	}
+	cur := w.c.Value()
+	cutoff := now.Add(-window)
+	w.mu.Lock()
+	base, found := int64(0), false
+	for i := 0; i < w.n; i++ {
+		s := &w.slots[(w.head-1-i+len(w.slots))%len(w.slots)]
+		base, found = s.v, true
+		if !s.at.After(cutoff) {
+			break
+		}
+	}
+	w.mu.Unlock()
+	if !found {
+		return cur
+	}
+	if d := cur - base; d > 0 {
+		return d
+	}
+	return 0
+}

@@ -2,6 +2,10 @@
 # graphd smoke test: build the daemon, start it, ingest 10k edges over HTTP,
 # run one of each query, SIGTERM it, and verify the clean shutdown left a
 # snapshot that a second daemon recovers byte-equivalently (same edge count).
+# Along the way it asserts the readiness model: /readyz gates startup,
+# /debug/slo serves valid JSON on a fresh daemon, the SIGTERM drain flips
+# /readyz to 503 before the listener closes (drain-grace), and the
+# recovered daemon reports ready again.
 # Run from the repo root: ./scripts/graphd_smoke.sh
 set -euo pipefail
 
@@ -20,12 +24,14 @@ trap cleanup EXIT
 
 die() { echo "graphd_smoke: FAIL: $*" >&2; [ -f "$LOG" ] && tail -20 "$LOG" >&2; exit 1; }
 
+# Readiness (not liveness) gates traffic: wait for /readyz 200, the same
+# signal a load balancer would use.
 wait_ready() {
   for _ in $(seq 1 100); do
-    curl -fsS "$URL/healthz" >/dev/null 2>&1 && return 0
+    curl -fsS "$URL/readyz" >/dev/null 2>&1 && return 0
     sleep 0.1
   done
-  die "daemon never became healthy"
+  die "daemon never became ready"
 }
 
 # One batch of 1000 updates as a JSON array; vertex ids derived from the
@@ -47,9 +53,25 @@ go build -o "$WORK/graphd" ./cmd/graphd
 
 echo "graphd_smoke: starting daemon"
 "$WORK/graphd" -listen "$ADDR" -vertices 4096 -snapshot "$SNAP" \
-  -snapshot-interval 0 -queue 65536 >"$LOG" 2>&1 &
+  -snapshot-interval 0 -queue 65536 \
+  -slo "component,p99=1s" -drain-grace 2s >"$LOG" 2>&1 &
 PID=$!
 wait_ready
+
+echo "graphd_smoke: health model"
+# Liveness and readiness are distinct endpoints, both healthy at startup.
+curl -fsS "$URL/healthz" >/dev/null || die "/healthz on fresh daemon"
+readyz=$(curl -fsS "$URL/readyz")
+echo "$readyz" | grep -q '"ready":true' || die "/readyz not ready on fresh daemon: $readyz"
+echo "$readyz" | grep -q '"ingest-queue"' || die "/readyz missing ingest-queue check: $readyz"
+# /debug/slo must serve valid JSON on a fresh daemon (objective configured,
+# no traffic yet → enabled, worst ok).
+slo=$(curl -fsS "$URL/debug/slo")
+echo "$slo" | python3 -m json.tool >/dev/null || die "/debug/slo is not valid JSON: $slo"
+echo "$slo" | grep -q '"enabled": *true' || die "/debug/slo not enabled with -slo set: $slo"
+echo "$slo" | grep -q '"worst": *"ok"' || die "fresh daemon SLO worst != ok: $slo"
+# /debug/profiles always serves a valid index (disabled here).
+curl -fsS "$URL/debug/profiles" | python3 -m json.tool >/dev/null || die "/debug/profiles invalid JSON"
 
 echo "graphd_smoke: ingesting 10k edges"
 for b in $(seq 0 9); do
@@ -96,6 +118,17 @@ edges=$(curl -fsS "$URL/stats" | sed -n 's/.*"edges":\([0-9]*\).*/\1/p')
 
 echo "graphd_smoke: SIGTERM drain"
 kill -TERM "$PID"
+# During the drain-grace window the listener is still up: /readyz must
+# report 503 (balancer drain signal) while /healthz stays 200 (no restart).
+drain_seen=""
+for _ in $(seq 1 20); do
+  code=$(curl -s -o /dev/null -w '%{http_code}' "$URL/readyz" 2>/dev/null) || break
+  if [ "$code" = 503 ]; then drain_seen=1; break; fi
+  sleep 0.1
+done
+[ -n "$drain_seen" ] || die "/readyz never reported 503 during the drain-grace window"
+live=$(curl -s -o /dev/null -w '%{http_code}' "$URL/healthz" 2>/dev/null || true)
+[ "$live" = 200 ] || die "/healthz = $live during drain, want 200 (liveness)"
 wait "$PID" || die "daemon exited nonzero after SIGTERM"
 PID=""
 [ -s "$SNAP" ] || die "no snapshot written on shutdown"
@@ -108,6 +141,9 @@ wait_ready
 edges2=$(curl -fsS "$URL/stats" | sed -n 's/.*"edges":\([0-9]*\).*/\1/p')
 [ "$edges2" = "$edges" ] || die "recovered $edges2 edges, expected $edges"
 curl -fsS "$URL/stats" | grep -q '"recovered":true' || die "daemon did not report recovery"
+# Recovery restores readiness: /readyz answers 200 again.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$URL/readyz")
+[ "$code" = 200 ] || die "/readyz = $code after recovery restart, want 200"
 kill -TERM "$PID"
 wait "$PID" || die "recovered daemon exited nonzero after SIGTERM"
 PID=""
