@@ -12,6 +12,8 @@
 //	benchrunner -quick                   CI-sized matrix (smaller scales, fewer reps)
 //	benchrunner -baseline BENCH_baseline.json [-threshold 1.3] [-alloc-threshold 1.5]
 //	benchrunner -nora=false              skip the model-vs-simulated NORA table
+//	benchrunner -serving-only            skip the kernel matrix and NORA; run only
+//	                                     the serving, protocol, and recovery cases
 package main
 
 import (
@@ -41,6 +43,7 @@ func main() {
 	reps := flag.Int("reps", 0, "repetitions per case, min wall wins (0 = matrix default)")
 	kernels := flag.String("kernels", "", "comma-separated kernel subset (default all)")
 	serve := flag.Bool("serve", true, "run the graphd serving-path cases (quiescent vs loaded, full vs incremental)")
+	servingOnly := flag.Bool("serving-only", false, "skip the kernel matrix and NORA table; run only the serving, protocol-comparison, and snapshot-recovery cases")
 	nora := flag.Bool("nora", true, "print the model-vs-simulated NORA table")
 	par.RegisterFlags(flag.CommandLine)
 	tel := telemetry.NewCLI(flag.CommandLine, telemetry.Default())
@@ -82,16 +85,25 @@ func main() {
 	}
 
 	serveSpec := obsv.DefaultServeSpec()
+	protoSpec := obsv.DefaultProtoSpec()
+	recoverSpec := obsv.DefaultRecoverySpec()
 	if *quick {
 		serveSpec = obsv.QuickServeSpec()
+		protoSpec = obsv.QuickProtoSpec()
+		recoverSpec = obsv.QuickRecoverySpec()
 	}
-	if !*serve {
+	if !*serve && !*servingOnly {
 		serveSpec.Queries = 0
 	}
 
 	err := tel.Run(func() error {
 		defer obsv.StartSampler(tel.Registry, 0).Stop()
-		return run(tel.Registry, spec, serveSpec, *serve, *out, *baseline, *threshold, *allocThreshold, *nora)
+		return run(tel.Registry, runOpts{
+			spec: spec, serveSpec: serveSpec, protoSpec: protoSpec, recoverSpec: recoverSpec,
+			serve: *serve || *servingOnly, servingOnly: *servingOnly,
+			out: *out, baseline: *baseline,
+			threshold: *threshold, allocThreshold: *allocThreshold, nora: *nora,
+		})
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
@@ -107,18 +119,48 @@ func (e errRegression) Error() string {
 	return fmt.Sprintf("%d case(s) regressed past the threshold", e.n)
 }
 
-func run(reg *telemetry.Registry, spec obsv.MatrixSpec, serveSpec obsv.ServeSpec, serve bool, out, baseline string, threshold, allocThreshold float64, nora bool) error {
+// runOpts bundles run's configuration; the flag set maps onto it 1:1.
+type runOpts struct {
+	spec           obsv.MatrixSpec
+	serveSpec      obsv.ServeSpec
+	protoSpec      obsv.ProtoSpec
+	recoverSpec    obsv.RecoverySpec
+	serve          bool
+	servingOnly    bool
+	out, baseline  string
+	threshold      float64
+	allocThreshold float64
+	nora           bool
+}
+
+func run(reg *telemetry.Registry, o runOpts) error {
+	spec, out, baseline := o.spec, o.out, o.baseline
+	threshold, allocThreshold := o.threshold, o.allocThreshold
+	nora := o.nora && !o.servingOnly
 	stamp := time.Now().UTC().Format("2006-01-02T15-04-05Z")
 	fmt.Printf("benchrunner: scales=%v ef=%d seed=%d reps=%d workers=%d\n\n",
 		spec.Scales, spec.EdgeFactor, spec.Seed, spec.Reps, par.DefaultWorkers())
 
-	cases := obsv.RunMatrix(reg, spec)
-	if serve {
-		serveCases, err := obsv.RunServing(reg, serveSpec)
+	var cases []obsv.BenchCase
+	if !o.servingOnly {
+		cases = obsv.RunMatrix(reg, spec)
+	}
+	if o.serve {
+		serveCases, err := obsv.RunServing(reg, o.serveSpec)
 		if err != nil {
 			return err
 		}
 		cases = append(cases, serveCases...)
+		protoCases, err := obsv.RunProtoServing(reg, o.protoSpec)
+		if err != nil {
+			return err
+		}
+		cases = append(cases, protoCases...)
+		recoverCases, err := obsv.RunRecoveryBench(reg, o.recoverSpec)
+		if err != nil {
+			return err
+		}
+		cases = append(cases, recoverCases...)
 	}
 
 	tb := bench.NewTable("case", "ns/op", "TEPS", "alloc(MB)", "par-chunks", "gc")

@@ -17,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,6 +42,7 @@ func run() error {
 	cfg := server.DefaultConfig()
 	var (
 		listen        = flag.String("listen", ":8090", "HTTP address serving the query/ingest API and telemetry")
+		listenWire    = flag.String("listen-wire", "", "TCP address serving the binary wire protocol (empty = disabled)")
 		vertices      = flag.Int("vertices", int(cfg.Vertices), "vertex-ID space [0,n); ingest outside it is rejected")
 		directed      = flag.Bool("directed", cfg.Directed, "store a directed graph")
 		snapshot      = flag.String("snapshot", "", "snapshot file for periodic persistence and crash recovery (empty = volatile)")
@@ -145,6 +147,20 @@ func run() error {
 		}
 	}()
 
+	var wireLn net.Listener
+	if *listenWire != "" {
+		wireLn, err = net.Listen("tcp", *listenWire)
+		if err != nil {
+			return fmt.Errorf("listen -listen-wire: %w", err)
+		}
+		go func() {
+			fmt.Fprintf(os.Stderr, "graphd: wire protocol on %s\n", wireLn.Addr())
+			if err := srv.ServeWire(wireLn); err != nil {
+				errCh <- fmt.Errorf("wire listener: %w", err)
+			}
+		}()
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	select {
@@ -166,6 +182,9 @@ func run() error {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if wireLn != nil {
+		wireLn.Close() // stop accepting; srv.Shutdown closes live sessions
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "graphd: http shutdown: %v\n", err)
 	}

@@ -263,6 +263,54 @@ func FromGraph(src *graph.Graph) *DynGraph {
 	return g
 }
 
+// FromCSRGraph bulk-loads an immutable graph into a fresh dynamic graph in
+// O(arcs). CSR rows are copied verbatim into full block chains — no per-edge
+// duplicate scan (CSR rows are already duplicate-free) and no symmetric
+// re-insertion (an undirected CSR stores both arc directions) — so loading
+// costs one pass over the arrays where FromGraph pays O(degree) per edge.
+// This is the recovery path for flat snapshots.
+func FromCSRGraph(src *graph.Graph) *DynGraph {
+	n := src.NumVertices()
+	g := New(n, src.Directed())
+	offsets, targets, weights, times := src.CSR()
+	if n == 0 || len(offsets) == 0 {
+		return g
+	}
+	for v := int32(0); v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		var last *block
+		for at := lo; at < hi; at += int64(g.blockSize) {
+			end := at + int64(g.blockSize)
+			if end > hi {
+				end = hi
+			}
+			nb := &block{slots: make([]edgeSlot, end-at, g.blockSize)}
+			for i := range nb.slots {
+				j := at + int64(i)
+				s := &nb.slots[i]
+				s.dst = targets[j]
+				if weights != nil {
+					s.weight = weights[j]
+				} else {
+					s.weight = 1
+				}
+				if times != nil {
+					s.time = times[j]
+				}
+			}
+			if last == nil {
+				g.adj[v] = nb
+			} else {
+				last.next = nb
+			}
+			last = nb
+		}
+		g.degree[v] = int32(hi - lo)
+	}
+	g.numArcs = int64(len(targets))
+	return g
+}
+
 // Validate checks internal consistency: degree counters match slot counts,
 // undirected symmetry holds, and no duplicate arcs exist.
 func (g *DynGraph) Validate() error {

@@ -217,3 +217,55 @@ func TestForEachNeighborPayload(t *testing.T) {
 		t.Fatalf("payload = %v,%v", gotW, gotT)
 	}
 }
+
+func TestFromCSRGraph(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		rng := rand.New(rand.NewSource(42))
+		src := New(200, directed)
+		for i := 0; i < 3000; i++ {
+			v, w := int32(rng.Intn(200)), int32(rng.Intn(200))
+			src.InsertEdge(v, w, rng.Float32(), int64(i))
+		}
+		snap := src.Snapshot()
+
+		got := FromCSRGraph(snap)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("directed=%v: Validate: %v", directed, err)
+		}
+		// The bulk load and the per-edge path must agree edge-for-edge,
+		// including weights and timestamps. (Comparing against src directly
+		// would be wrong: Snapshot drops self-loops at Build.)
+		want := FromGraph(snap)
+		if got.NumVertices() != want.NumVertices() || got.NumArcs() != want.NumArcs() || got.Directed() != directed {
+			t.Fatalf("directed=%v: shape mismatch: %d/%d arcs", directed, got.NumArcs(), want.NumArcs())
+		}
+		for v := int32(0); v < src.NumVertices(); v++ {
+			type payload struct {
+				w float32
+				t int64
+			}
+			wantN := map[int32]payload{}
+			want.ForEachNeighbor(v, func(w int32, weight float32, tm int64) {
+				wantN[w] = payload{weight, tm}
+			})
+			count := 0
+			got.ForEachNeighbor(v, func(w int32, weight float32, tm int64) {
+				count++
+				p, ok := wantN[w]
+				if !ok || p.w != weight || p.t != tm {
+					t.Fatalf("directed=%v: vertex %d neighbor %d mismatch", directed, v, w)
+				}
+			})
+			if count != len(wantN) {
+				t.Fatalf("directed=%v: vertex %d has %d neighbors, want %d", directed, v, count, len(wantN))
+			}
+		}
+	}
+}
+
+func TestFromCSRGraphEmpty(t *testing.T) {
+	g := FromCSRGraph(New(0, true).Snapshot())
+	if g.NumVertices() != 0 || g.NumArcs() != 0 {
+		t.Fatalf("empty bulk load: %d vertices, %d arcs", g.NumVertices(), g.NumArcs())
+	}
+}

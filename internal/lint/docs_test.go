@@ -20,6 +20,8 @@ func TestServerExportedDocs(t *testing.T) {
 		filepath.Join("..", "incr"),
 		filepath.Join("..", "slo"),
 		filepath.Join("..", "prof"),
+		filepath.Join("..", "wire"),
+		filepath.Join("..", "wire", "snapfmt"),
 	}
 	findings, err := MissingDocs(dirs)
 	if err != nil {

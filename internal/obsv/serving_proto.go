@@ -1,0 +1,427 @@
+package obsv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/dyngraph"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+	"repro/internal/wire/snapfmt"
+)
+
+// ProtoSpec describes the protocol-comparison serving benchmark (E15): one
+// quiescent graphd instance served over both listeners, queried by three
+// clients — HTTP+JSON, the binary wire protocol one request per frame, and
+// the wire protocol with BatchSize sub-queries per frame. All three run the
+// same component/pagerank/topdegree mix over real TCP sockets, so the cases
+// isolate protocol overhead (framing, encode/decode, allocation) rather
+// than kernel cost.
+type ProtoSpec struct {
+	Vertices int32 // vertex-ID space of the served graph
+	Preload  int   // ring chord distances 1..Preload preloaded per vertex
+	Queries  int   // measured queries per protocol
+	Batch    int   // sub-queries per frame in the wire-batch case
+}
+
+// DefaultProtoSpec is the committed-baseline protocol comparison.
+func DefaultProtoSpec() ProtoSpec {
+	return ProtoSpec{Vertices: 1 << 13, Preload: 8, Queries: 300, Batch: 16}
+}
+
+// QuickProtoSpec is a CI-sized protocol comparison (a few seconds).
+func QuickProtoSpec() ProtoSpec {
+	return ProtoSpec{Vertices: 1 << 11, Preload: 8, Queries: 120, Batch: 16}
+}
+
+// RunProtoServing executes the protocol comparison and returns six cases:
+// proto-p50/<client> and proto-p99/<client> for json, wire, and wire-batch.
+// NsPerOp is the per-query latency percentile (the batch client's frame
+// round-trip is divided by the batch size — amortized latency is what
+// batching buys). Each case's Account bills the measured loop with
+// Items=queries, so Account.BytesPerItem is allocated bytes per request
+// across client and server — the protocol-efficiency figure the baseline
+// gates.
+func RunProtoServing(reg *telemetry.Registry, spec ProtoSpec) ([]BenchCase, error) {
+	if spec.Batch < 1 {
+		spec.Batch = 1
+	}
+	if spec.Queries < spec.Batch {
+		spec.Queries = spec.Batch
+	}
+
+	cfg := server.DefaultConfig()
+	cfg.Vertices = spec.Vertices
+	cfg.QueueCap = 1 << 14
+	cfg.FlushEvery = time.Millisecond
+	cfg.DefaultTimeout = 30 * time.Second
+	cfg.MaxTimeout = 30 * time.Second
+	// Own registry: the benchmark server's counters must not leak into the
+	// benchrunner's registry (same isolation as runServingMode).
+	cfg.Registry = telemetry.NewRegistry()
+	s, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(httpLn)
+	defer hs.Close()
+
+	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go s.ServeWire(wireLn)
+	defer wireLn.Close()
+
+	wc, err := wire.Dial(wireLn.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer wc.Close()
+
+	// Preload over the wire protocol (it exists; use it), retrying the
+	// rejected suffix on backpressure per the accepted-prefix contract.
+	n := spec.Vertices
+	var total int64
+	edits := make([]wire.IngestEdit, 0, 1<<12)
+	flush := func() error {
+		pending := edits
+		for len(pending) > 0 {
+			res, ierr := wc.Ingest(pending, 30*time.Second)
+			var se *wire.StatusError
+			if errors.As(ierr, &se) && se.Status == wire.StatusBackpressure {
+				pending = pending[res.Accepted:]
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+			if ierr != nil {
+				return ierr
+			}
+			pending = nil
+		}
+		total += int64(len(edits))
+		edits = edits[:0]
+		return nil
+	}
+	for v := int32(0); v < n; v++ {
+		for d := int32(1); d <= int32(spec.Preload); d++ {
+			edits = append(edits, wire.IngestEdit{Src: v, Dst: (v + d) % n})
+			if len(edits) == cap(edits) {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for s.Applied() < total {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("obsv: proto preload of %d updates did not drain", total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	httpBase := "http://" + httpLn.Addr().String()
+	hc := &http.Client{Timeout: 30 * time.Second}
+	getJSON := func(path string) error {
+		resp, gerr := hc.Get(httpBase + path)
+		if gerr != nil {
+			return gerr
+		}
+		defer resp.Body.Close()
+		if _, cerr := io.Copy(io.Discard, resp.Body); cerr != nil {
+			return cerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s returned %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+	// The query mix, identical across protocols. Every measured endpoint is
+	// warmed first so the one-off kernel seed isn't billed to any protocol.
+	queryVertex := func(i int) int32 { return (int32(i) * 37) % n }
+	wireQuery := func(i int) error {
+		v := queryVertex(i)
+		var qerr error
+		switch i % 3 {
+		case 0:
+			_, qerr = wc.Component(v, 30*time.Second)
+		case 1:
+			_, qerr = wc.PageRankVertex(v, 30*time.Second)
+		default:
+			_, qerr = wc.TopDegree(10, 30*time.Second)
+		}
+		return qerr
+	}
+	jsonQuery := func(i int) error {
+		v := queryVertex(i)
+		switch i % 3 {
+		case 0:
+			return getJSON(fmt.Sprintf("/query/component?v=%d", v))
+		case 1:
+			return getJSON(fmt.Sprintf("/query/pagerank?v=%d", v))
+		default:
+			return getJSON("/query/topdegree?k=10")
+		}
+	}
+	batchSub := func(i int) *wire.Request {
+		v := queryVertex(i)
+		switch i % 3 {
+		case 0:
+			return &wire.Request{Op: wire.OpComponent, V: v}
+		case 1:
+			return &wire.Request{Op: wire.OpPageRank, HasV: true, V: v}
+		default:
+			return &wire.Request{Op: wire.OpTopDegree, K: 10}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := jsonQuery(i); err != nil {
+			return nil, err
+		}
+		if err := wireQuery(i); err != nil {
+			return nil, err
+		}
+	}
+
+	percentiles := func(lat []time.Duration) (p50, p99 int64) {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p50 = lat[len(lat)/2].Nanoseconds()
+		p99 = lat[min(len(lat)-1, len(lat)*99/100)].Nanoseconds()
+		return
+	}
+
+	type protoCase struct {
+		client   string
+		p50, p99 int64
+		acct     Account
+	}
+	var results []protoCase
+
+	lat := make([]time.Duration, 0, spec.Queries)
+	m := StartMeter("proto/json")
+	for i := 0; i < spec.Queries; i++ {
+		start := time.Now()
+		if err := jsonQuery(i); err != nil {
+			return nil, fmt.Errorf("obsv: proto json query: %w", err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	acct := m.Stop(int64(spec.Queries))
+	p50, p99 := percentiles(lat)
+	results = append(results, protoCase{"json", p50, p99, acct})
+
+	lat = lat[:0]
+	m = StartMeter("proto/wire")
+	for i := 0; i < spec.Queries; i++ {
+		start := time.Now()
+		if err := wireQuery(i); err != nil {
+			return nil, fmt.Errorf("obsv: proto wire query: %w", err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	acct = m.Stop(int64(spec.Queries))
+	p50, p99 = percentiles(lat)
+	results = append(results, protoCase{"wire", p50, p99, acct})
+
+	lat = lat[:0]
+	frames := spec.Queries / spec.Batch
+	m = StartMeter("proto/wire-batch")
+	for f := 0; f < frames; f++ {
+		subs := make([]*wire.Request, spec.Batch)
+		for j := range subs {
+			subs[j] = batchSub(f*spec.Batch + j)
+		}
+		start := time.Now()
+		items, berr := wc.Batch(subs, 30*time.Second)
+		if berr != nil {
+			return nil, fmt.Errorf("obsv: proto batch frame: %w", berr)
+		}
+		per := time.Since(start) / time.Duration(spec.Batch)
+		for _, it := range items {
+			if it.Status != wire.StatusOK {
+				return nil, fmt.Errorf("obsv: proto batch sub-query: status %d: %s", it.Status, it.Err)
+			}
+			lat = append(lat, per)
+		}
+	}
+	acct = m.Stop(int64(frames * spec.Batch))
+	p50, p99 = percentiles(lat)
+	results = append(results, protoCase{"wire-batch", p50, p99, acct})
+
+	var cases []BenchCase
+	for _, r := range results {
+		sp := reg.Tracer().Start("obsv.protocase", telemetry.L("client", r.client))
+		for _, l := range r.acct.SpanAttrs() {
+			sp.SetAttr(l.Key, l.Value)
+		}
+		sp.End()
+		r.acct.Publish(reg, telemetry.L("graph", "proto-"+r.client))
+		for _, pc := range []struct {
+			kernel string
+			ns     int64
+		}{{"proto-p50", r.p50}, {"proto-p99", r.p99}} {
+			cases = append(cases, BenchCase{
+				Name:    pc.kernel + "/" + r.client,
+				Kernel:  pc.kernel,
+				Graph:   r.client,
+				Reps:    1,
+				NsPerOp: pc.ns,
+				Account: r.acct,
+			})
+		}
+	}
+	return cases, nil
+}
+
+// RecoverySpec describes the snapshot-recovery benchmark (E15's second
+// axis): a ring-and-chords graph at each scale is persisted in both the
+// legacy record-per-edge format and the flat CSR format, then recovered
+// end-to-end into a DynGraph the way server.New does it — dyngraph.Load
+// for legacy, snapfmt.ReadFile + dyngraph.FromCSRGraph for flat.
+type RecoverySpec struct {
+	Scales  []int32 // vertex counts, one pair of cases each
+	Preload int     // ring chord distances 1..Preload per vertex
+	Reps    int     // recovery repetitions; NsPerOp is the minimum
+}
+
+// DefaultRecoverySpec is the committed-baseline recovery benchmark.
+func DefaultRecoverySpec() RecoverySpec {
+	return RecoverySpec{Scales: []int32{1 << 13, 1 << 16}, Preload: 8, Reps: 3}
+}
+
+// QuickRecoverySpec is a CI-sized recovery benchmark.
+func QuickRecoverySpec() RecoverySpec {
+	return RecoverySpec{Scales: []int32{1 << 11, 1 << 13}, Preload: 8, Reps: 2}
+}
+
+// RunRecoveryBench returns recover-flat/n<scale> and recover-legacy/n<scale>
+// cases. NsPerOp is the fastest recovery of Reps runs (cold-cache noise is
+// not the subject); Items is the arc count, so TEPS reads as recovered
+// arcs per second and the flat format's O(read) scaling is visible as
+// near-constant TEPS across scales while the legacy reader's per-edge
+// re-insertion cost compounds.
+func RunRecoveryBench(reg *telemetry.Registry, spec RecoverySpec) ([]BenchCase, error) {
+	if spec.Reps < 1 {
+		spec.Reps = 1
+	}
+	dir, err := os.MkdirTemp("", "recoverbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var cases []BenchCase
+	for _, n := range spec.Scales {
+		dg := dyngraph.New(n, false)
+		for v := int32(0); v < n; v++ {
+			for d := int32(1); d <= int32(spec.Preload); d++ {
+				dg.InsertEdge(v, (v+d)%n, 1, 0)
+			}
+		}
+		arcs := dg.NumArcs()
+
+		legacyPath := filepath.Join(dir, fmt.Sprintf("legacy-%d.snap", n))
+		lf, err := os.Create(legacyPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := dg.Save(lf); err != nil {
+			lf.Close()
+			return nil, err
+		}
+		if err := lf.Close(); err != nil {
+			return nil, err
+		}
+
+		flatPath := filepath.Join(dir, fmt.Sprintf("flat-%d.snap", n))
+		ff, err := os.Create(flatPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := snapfmt.Write(ff, dg.Snapshot()); err != nil {
+			ff.Close()
+			return nil, err
+		}
+		if err := ff.Close(); err != nil {
+			return nil, err
+		}
+
+		for _, fc := range []struct {
+			format  string
+			recover func() (int64, error)
+		}{
+			{"legacy", func() (int64, error) {
+				f, oerr := os.Open(legacyPath)
+				if oerr != nil {
+					return 0, oerr
+				}
+				defer f.Close()
+				g, lerr := dyngraph.Load(f)
+				if lerr != nil {
+					return 0, lerr
+				}
+				return g.NumArcs(), nil
+			}},
+			{"flat", func() (int64, error) {
+				csr, rerr := snapfmt.ReadFile(flatPath)
+				if rerr != nil {
+					return 0, rerr
+				}
+				return dyngraph.FromCSRGraph(csr).NumArcs(), nil
+			}},
+		} {
+			best := int64(0)
+			var acct Account
+			for rep := 0; rep < spec.Reps; rep++ {
+				m := StartMeter("recover/" + fc.format)
+				got, rerr := fc.recover()
+				a := m.Stop(arcs)
+				if rerr != nil {
+					return nil, fmt.Errorf("obsv: recover %s n=%d: %w", fc.format, n, rerr)
+				}
+				if got != arcs {
+					return nil, fmt.Errorf("obsv: recover %s n=%d: %d arcs, want %d", fc.format, n, got, arcs)
+				}
+				if best == 0 || a.Wall.Nanoseconds() < best {
+					best = a.Wall.Nanoseconds()
+					acct = a
+				}
+			}
+			acct.Publish(reg, telemetry.L("graph", fmt.Sprintf("recover-%s-n%d", fc.format, n)))
+			cases = append(cases, BenchCase{
+				Name:    fmt.Sprintf("recover-%s/n%d", fc.format, n),
+				Kernel:  "recover-" + fc.format,
+				Graph:   fmt.Sprintf("n%d", n),
+				Reps:    spec.Reps,
+				NsPerOp: best,
+				Account: acct,
+				TEPS:    acct.TEPS(),
+			})
+		}
+	}
+	return cases, nil
+}

@@ -70,6 +70,8 @@ func (w *watermark) observe(v int64) {
 //	server_incr_pending_batches             batches retained in the delta log
 //	                                        (gauge; Config.Incremental)
 //	server_slow_queries_total{endpoint}     requests over the slow-query threshold
+//	server_wire_connections_total           wire-protocol sessions accepted
+//	server_wire_connections_active          open wire-protocol sessions (gauge)
 //	server_persist_total                    snapshot files written
 //	server_persist_seconds                  snapshot write latency
 //	server_drain_seconds                    time the shutdown drain took (gauge)
@@ -116,6 +118,9 @@ type metricsSet struct {
 	persists   *telemetry.Counter
 	persistSec *telemetry.Histogram
 	drainSec   *telemetry.Gauge
+
+	wireConnsTotal *telemetry.Counter
+	wireActive     *telemetry.Gauge
 }
 
 func newMetricsSet(reg *telemetry.Registry) *metricsSet {
@@ -156,6 +161,9 @@ func newMetricsSet(reg *telemetry.Registry) *metricsSet {
 		persistSec: reg.Histogram("server_persist_seconds"),
 		drainSec:   reg.Gauge("server_drain_seconds"),
 		ready:      reg.Gauge("server_ready"),
+
+		wireConnsTotal: reg.Counter("server_wire_connections_total"),
+		wireActive:     reg.Gauge("server_wire_connections_active"),
 	}
 	m.depthHWM.g = reg.Gauge("server_ingest_queue_depth_hwm")
 	m.inflightHWM.g = reg.Gauge("server_admission_inflight_hwm")

@@ -3,17 +3,13 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
-	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/dyngraph"
-	"repro/internal/kernels"
-	"repro/internal/telemetry"
 )
 
 // Handler returns the daemon's HTTP API, with the telemetry registry's own
@@ -33,6 +29,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query/topdegree", s.query("topdegree", s.handleTopDegree))
 	mux.HandleFunc("/query/component", s.query("component", s.handleComponent))
 	mux.HandleFunc("/query/pagerank", s.query("pagerank", s.handlePageRank))
+	mux.HandleFunc("/query/batch", s.query("batch", s.handleBatch))
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.StatsNow())
 	})
@@ -62,17 +59,18 @@ func badRequest(format string, args ...any) error {
 }
 
 // query wraps one query endpoint with the full serving discipline:
-// deadline resolution, admission control, the request trace (root span +
-// lifecycle stages + slow-query capture), metrics, and error-to-status
-// mapping (deadline exceeded → 504).
+// deadline resolution, the request trace (root span + lifecycle stages +
+// slow-query capture), metrics, and the shared dispatch core (admission,
+// error-to-status mapping; see dispatch.go) that the wire protocol also
+// runs through. The handler h is only the HTTP codec: it parses request
+// parameters and delegates to a run* query body.
 func (s *Server) query(op string, h func(ctx context.Context, r *http.Request) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		code := http.StatusOK
 
 		d, err := s.requestTimeout(r)
 		if err != nil {
-			code = http.StatusBadRequest
+			code := http.StatusBadRequest
 			http.Error(w, err.Error(), code)
 			s.countQuery(op, code, time.Since(start).Seconds())
 			return
@@ -88,80 +86,21 @@ func (s *Server) query(op string, h func(ctx context.Context, r *http.Request) (
 			s.trackTrace(rt.tc.TraceID)
 			defer s.untrackTrace(rt.tc.TraceID)
 		}
-		finish := func() {
-			wall := time.Since(start)
-			rt.finish(code, wall)
-			s.countQuery(op, code, wall.Seconds())
-		}
 
-		// Admission: a slot in the worker-budget semaphore, bounded by the
-		// same deadline the kernel will run under.
-		endAdmit := rt.stage("admission")
-		select {
-		case s.admit <- struct{}{}:
-			endAdmit()
-			s.m.admitWait.ObserveDuration(time.Since(start))
-			s.m.inflight.Add(1)
-			s.m.inflightHWM.observe(int64(len(s.admit)))
-			defer func() {
-				<-s.admit
-				s.m.inflight.Add(-1)
-			}()
-		case <-ctx.Done():
-			endAdmit()
-			code = http.StatusGatewayTimeout
-			rt.root.SetAttr("status", "admission-timeout")
-			http.Error(w, "deadline exceeded while waiting for admission", code)
-			finish()
-			return
-		}
-
-		if d := s.cfg.queryDelay; d > 0 {
-			select {
-			case <-time.After(d):
-			case <-ctx.Done():
-			}
-		}
-
-		out, err := s.runHandler(ctx, op, r, h)
+		out, code, err := s.dispatch(ctx, rt, op, start, func(ctx context.Context) (any, error) {
+			return h(ctx, r)
+		})
 		if err != nil {
-			var he *httpError
-			switch {
-			case errors.As(err, &he):
-				code = he.code
-			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-				code = http.StatusGatewayTimeout
-			default:
-				code = http.StatusInternalServerError
-			}
-			rt.root.SetAttr("status", strconv.Itoa(code))
 			http.Error(w, err.Error(), code)
-			finish()
-			return
+		} else {
+			endEncode := rt.stage("encode")
+			writeJSON(w, code, out)
+			endEncode()
 		}
-		rt.root.SetAttr("status", "200")
-		endEncode := rt.stage("encode")
-		writeJSON(w, code, out)
-		endEncode()
-		finish()
+		wall := time.Since(start)
+		rt.finish(code, wall)
+		s.countQuery(op, code, wall.Seconds())
 	}
-}
-
-// runHandler invokes the endpoint body. With the profiler enabled, the
-// handler runs under a pprof goroutine label (op=<endpoint>) — labels are
-// inherited by the par worker goroutines the kernels spawn, so CPU samples
-// in trigger-captured profiles attribute by endpoint. Disabled, the call
-// is direct (pprof.Do costs an allocation, so it is gated).
-func (s *Server) runHandler(ctx context.Context, op string, r *http.Request, h func(ctx context.Context, r *http.Request) (any, error)) (any, error) {
-	if !s.prof.Enabled() {
-		return h(ctx, r)
-	}
-	var out any
-	var err error
-	pprof.Do(ctx, pprof.Labels("op", op), func(ctx context.Context) {
-		out, err = h(ctx, r)
-	})
-	return out, err
 }
 
 // requestTimeout resolves the query deadline: ?timeout= (Go duration),
@@ -275,23 +214,7 @@ func (s *Server) handleJaccard(ctx context.Context, r *http.Request) (any, error
 			return nil, badRequest("bad threshold %q", raw)
 		}
 	}
-	g := s.snapshotFor(ctx)
-	ctx, end := traceFrom(ctx).stageCtx(ctx, "kernel", telemetry.L("kernel", "jaccard"))
-	scores, err := kernels.JaccardFromVertexCtx(ctx, g, u, threshold)
-	end()
-	if err != nil {
-		return nil, err
-	}
-	type pair struct {
-		V     int32   `json:"v"`
-		Score float64 `json:"score"`
-		Inter int32   `json:"common_neighbors"`
-	}
-	out := make([]pair, len(scores))
-	for i, sc := range scores {
-		out[i] = pair{V: sc.V, Score: sc.Score, Inter: sc.Inter}
-	}
-	return map[string]any{"u": u, "results": out}, nil
+	return s.runJaccard(ctx, u, threshold)
 }
 
 func (s *Server) handleKHop(ctx context.Context, r *http.Request) (any, error) {
@@ -306,14 +229,7 @@ func (s *Server) handleKHop(ctx context.Context, r *http.Request) (any, error) {
 			return nil, badRequest("bad k %q", raw)
 		}
 	}
-	g := s.snapshotFor(ctx)
-	ctx, end := traceFrom(ctx).stageCtx(ctx, "kernel", telemetry.L("kernel", "khop"))
-	order, err := kernels.KHopNeighborhoodCtx(ctx, g, seeds, int32(k))
-	end()
-	if err != nil {
-		return nil, err
-	}
-	return map[string]any{"seeds": seeds, "k": k, "count": len(order), "vertices": order}, nil
+	return s.runKHop(ctx, seeds, int32(k))
 }
 
 func (s *Server) handleTopDegree(ctx context.Context, r *http.Request) (any, error) {
@@ -321,26 +237,7 @@ func (s *Server) handleTopDegree(ctx context.Context, r *http.Request) (any, err
 	if err != nil {
 		return nil, err
 	}
-	if s.cfg.Incremental {
-		// The incremental path serves top-k from the per-version degree
-		// vector, advanced over the delta window instead of re-read from
-		// the CSR; the O(n log k) selection itself is too cheap to stage.
-		g, version := s.snapshotVersionedFor(ctx)
-		st, err := s.degreeVector(ctx, g, version)
-		if err != nil {
-			return nil, err
-		}
-		top := kernels.TopKByScore(st.degrees, k)
-		return map[string]any{"k": k, "results": top}, nil
-	}
-	g := s.snapshotFor(ctx)
-	ctx, end := traceFrom(ctx).stageCtx(ctx, "kernel", telemetry.L("kernel", "topdegree"))
-	top, err := kernels.TopKByDegreeCtx(ctx, g, k)
-	end()
-	if err != nil {
-		return nil, err
-	}
-	return map[string]any{"k": k, "results": top}, nil
+	return s.runTopDegree(ctx, k)
 }
 
 func (s *Server) handleComponent(ctx context.Context, r *http.Request) (any, error) {
@@ -348,40 +245,130 @@ func (s *Server) handleComponent(ctx context.Context, r *http.Request) (any, err
 	if err != nil {
 		return nil, err
 	}
-	g, version := s.snapshotVersionedFor(ctx)
-	st, err := s.components(ctx, g, version)
-	if err != nil {
-		return nil, err
-	}
-	label := st.cc.Label[v]
-	return map[string]any{
-		"v":              v,
-		"component":      label,
-		"size":           st.sizes[label],
-		"num_components": st.cc.NumComponents,
-		"version":        st.version,
-	}, nil
+	return s.runComponent(ctx, v)
 }
 
 func (s *Server) handlePageRank(ctx context.Context, r *http.Request) (any, error) {
-	g, version := s.snapshotVersionedFor(ctx)
-	st, err := s.pagerank(ctx, g, version)
-	if err != nil {
-		return nil, err
-	}
 	if raw := r.URL.Query().Get("v"); raw != "" {
 		v, err := s.vertexParam(r, "v")
 		if err != nil {
 			return nil, err
 		}
-		return map[string]any{"v": v, "rank": st.rank[v], "iterations": st.iters, "version": st.version}, nil
+		return s.runPageRankVertex(ctx, v)
 	}
 	k, err := s.kParam(r, 10)
 	if err != nil {
 		return nil, err
 	}
-	top := kernels.TopKByScore(st.rank, k)
-	return map[string]any{"k": k, "results": top, "iterations": st.iters, "version": st.version}, nil
+	return s.runPageRankTop(ctx, k)
+}
+
+// batchQuerySpec is one sub-query of a POST /query/batch request. Pointer
+// fields distinguish "absent" from zero so required parameters can be
+// enforced per op.
+type batchQuerySpec struct {
+	// Op names the sub-query: jaccard, khop, topdegree, component, pagerank.
+	Op string `json:"op"`
+	// U is jaccard's source vertex.
+	U *int32 `json:"u,omitempty"`
+	// V is the vertex parameter (component, single-vertex pagerank, khop seed).
+	V *int32 `json:"v,omitempty"`
+	// K is the op's count/depth parameter.
+	K *int32 `json:"k,omitempty"`
+	// Threshold is jaccard's minimum score filter.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Seeds is khop's seed list (overrides V).
+	Seeds []int32 `json:"seeds,omitempty"`
+}
+
+// batchSubFor compiles one HTTP batch sub-query spec into a runnable
+// batchSub. Unknown ops and missing required parameters surface as per-item
+// 400s at run time, never as envelope failures.
+func (s *Server) batchSubFor(q batchQuerySpec) batchSub {
+	switch q.Op {
+	case "jaccard":
+		return func(ctx context.Context) (any, error) {
+			if q.U == nil {
+				return nil, badRequest("jaccard: missing u")
+			}
+			return s.runJaccard(ctx, *q.U, q.Threshold)
+		}
+	case "khop":
+		return func(ctx context.Context) (any, error) {
+			seeds := q.Seeds
+			if len(seeds) == 0 && q.V != nil {
+				seeds = []int32{*q.V}
+			}
+			k := int32(1)
+			if q.K != nil {
+				k = *q.K
+			}
+			return s.runKHop(ctx, seeds, k)
+		}
+	case "topdegree":
+		return func(ctx context.Context) (any, error) {
+			k := 10
+			if q.K != nil {
+				k = int(*q.K)
+			}
+			return s.runTopDegree(ctx, k)
+		}
+	case "component":
+		return func(ctx context.Context) (any, error) {
+			if q.V == nil {
+				return nil, badRequest("component: missing v")
+			}
+			return s.runComponent(ctx, *q.V)
+		}
+	case "pagerank":
+		return func(ctx context.Context) (any, error) {
+			if q.V != nil {
+				return s.runPageRankVertex(ctx, *q.V)
+			}
+			k := 10
+			if q.K != nil {
+				k = int(*q.K)
+			}
+			return s.runPageRankTop(ctx, k)
+		}
+	default:
+		return func(context.Context) (any, error) {
+			return nil, badRequest("batch: unsupported op %q", q.Op)
+		}
+	}
+}
+
+// handleBatch answers POST /query/batch: a JSON body
+// {"queries":[{"op":...,...},...]} executed sequentially under one
+// admission slot, one deadline, and one trace. The envelope is 200 as long
+// as it parses; each item carries its own HTTP-equivalent status. Ingest is
+// not batchable — it has its own queue-backed endpoint.
+func (s *Server) handleBatch(ctx context.Context, r *http.Request) (any, error) {
+	if r.Method != http.MethodPost {
+		return nil, &httpError{code: http.StatusMethodNotAllowed, msg: "POST only"}
+	}
+	endDecode := traceFrom(ctx).stage("decode")
+	var body struct {
+		Queries []batchQuerySpec `json:"queries"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxIngestBody))
+	err := dec.Decode(&body)
+	endDecode()
+	if err != nil {
+		return nil, badRequest("bad batch body: %v", err)
+	}
+	if len(body.Queries) == 0 {
+		return nil, badRequest("batch: no queries")
+	}
+	if len(body.Queries) > maxBatchSubs {
+		return nil, badRequest("batch: %d queries exceeds limit %d", len(body.Queries), maxBatchSubs)
+	}
+	subs := make([]batchSub, len(body.Queries))
+	for i, q := range body.Queries {
+		subs[i] = s.batchSubFor(q)
+	}
+	items := s.runBatch(ctx, subs)
+	return map[string]any{"count": len(items), "results": items}, nil
 }
 
 // vertexParam parses a required in-range vertex id query parameter.

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/slo"
 	"repro/internal/telemetry"
+	"repro/internal/wire/snapfmt"
 )
 
 // Config sizes one graphd instance. The zero value is not runnable; use
@@ -230,6 +233,12 @@ type Server struct {
 	ingestEnd chan struct{} // closed when the ingest loop has drained and exited
 	persistWG sync.WaitGroup
 	recovered bool
+
+	// wireMu guards wireConns, the open wire-protocol sessions. Shutdown
+	// closes them (unblocking their frame reads) and nils the map so late
+	// accepts are refused.
+	wireMu    sync.Mutex
+	wireConns map[net.Conn]struct{}
 }
 
 // New builds a server, recovering the graph from Config.SnapshotPath when
@@ -272,23 +281,13 @@ func New(cfg Config) (*Server, error) {
 		started:   time.Now(),
 		stopCh:    make(chan struct{}),
 		ingestEnd: make(chan struct{}),
+		wireConns: make(map[net.Conn]struct{}),
 	}
 
 	if cfg.SnapshotPath != "" {
-		if f, err := os.Open(cfg.SnapshotPath); err == nil {
-			g, lerr := dyngraph.Load(f)
-			f.Close()
-			if lerr != nil {
-				return nil, fmt.Errorf("server: recover %s: %w", cfg.SnapshotPath, lerr)
-			}
-			if g.NumVertices() != cfg.Vertices || g.Directed() != cfg.Directed {
-				return nil, fmt.Errorf("server: snapshot %s is %d vertices directed=%v, config wants %d/%v",
-					cfg.SnapshotPath, g.NumVertices(), g.Directed(), cfg.Vertices, cfg.Directed)
-			}
-			s.dyn = g
-			s.recovered = true
-		} else if !errors.Is(err, os.ErrNotExist) {
-			return nil, fmt.Errorf("server: open snapshot: %w", err)
+		sweepStaleSnapshotTmp(cfg.SnapshotPath)
+		if err := s.recover(cfg.SnapshotPath); err != nil {
+			return nil, err
 		}
 	}
 	if s.dyn == nil {
@@ -332,6 +331,75 @@ func New(cfg Config) (*Server, error) {
 		go s.persistLoop()
 	}
 	return s, nil
+}
+
+// recover loads the snapshot at path, dispatching on format: the flat CSR
+// format (internal/wire/snapfmt, sniffed by magic) is the fast path — the
+// arrays are read straight into a served snapshot (pre-seeded at version 0,
+// so the first query pays no rebuild) and the dynamic graph is bulk-built
+// from them in O(arcs); anything else goes through the legacy
+// dyngraph.Load reader. A flat file that fails its CRC or validation is
+// quarantined (renamed to path+".corrupt") and the server starts empty —
+// losing a snapshot must not keep the daemon down. A snapshot whose shape
+// contradicts the config is a hard error either way: that is an operator
+// mistake, not corruption.
+func (s *Server) recover(path string) error {
+	flat, err := snapfmt.SniffFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("server: open snapshot: %w", err)
+	}
+	if !flat {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("server: open snapshot: %w", err)
+		}
+		g, lerr := dyngraph.Load(f)
+		f.Close()
+		if lerr != nil {
+			return fmt.Errorf("server: recover %s: %w", path, lerr)
+		}
+		if g.NumVertices() != s.cfg.Vertices || g.Directed() != s.cfg.Directed {
+			return fmt.Errorf("server: snapshot %s is %d vertices directed=%v, config wants %d/%v",
+				path, g.NumVertices(), g.Directed(), s.cfg.Vertices, s.cfg.Directed)
+		}
+		s.dyn = g
+		s.recovered = true
+		return nil
+	}
+	g, rerr := snapfmt.ReadFile(path)
+	if rerr != nil {
+		if errors.Is(rerr, snapfmt.ErrCorrupt) {
+			quarantine := path + ".corrupt"
+			if err := os.Rename(path, quarantine); err != nil {
+				return fmt.Errorf("server: quarantine corrupt snapshot: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "server: snapshot %s is corrupt (%v); quarantined to %s, starting empty\n",
+				path, rerr, quarantine)
+			return nil
+		}
+		return fmt.Errorf("server: recover %s: %w", path, rerr)
+	}
+	if g.NumVertices() != s.cfg.Vertices || g.Directed() != s.cfg.Directed {
+		return fmt.Errorf("server: snapshot %s is %d vertices directed=%v, config wants %d/%v",
+			path, g.NumVertices(), g.Directed(), s.cfg.Vertices, s.cfg.Directed)
+	}
+	s.dyn = dyngraph.FromCSRGraph(g)
+	s.snap.Store(&snapState{g: g, version: 0, built: time.Now()})
+	s.recovered = true
+	return nil
+}
+
+// sweepStaleSnapshotTmp removes temp files a crash mid-Persist left next to
+// the snapshot (path+".tmp.<pid>") — harmless individually, unbounded junk
+// across enough crashes.
+func sweepStaleSnapshotTmp(path string) {
+	matches, _ := filepath.Glob(path + ".tmp.*")
+	for _, m := range matches {
+		_ = os.Remove(m)
+	}
 }
 
 // Recovered reports whether New loaded an existing snapshot.
@@ -528,19 +596,26 @@ func (s *Server) pagerank(ctx context.Context, g *graph.Graph, version int64) (*
 // Persist writes the graph to Config.SnapshotPath via a temp file and
 // atomic rename, so a crash mid-write never leaves a torn snapshot. No-op
 // when persistence is disabled.
+//
+// The file is the flat CSR format (internal/wire/snapfmt): the served
+// snapshot's arrays written raw, so recovery is O(read) instead of
+// O(parse). What is persisted is therefore the built CSR view — the same
+// graph every query answers from (self-loops, which the snapshot builder
+// drops, are not persisted). snapshotState brings the snapshot to the
+// current version first, taking the graph read lock only if a
+// rebuild/patch is actually needed.
 func (s *Server) Persist() error {
 	if s.cfg.SnapshotPath == "" {
 		return nil
 	}
 	start := time.Now()
+	st := s.snapshotState()
 	tmp := s.cfg.SnapshotPath + ".tmp." + strconv.Itoa(os.Getpid())
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("server: persist: %w", err)
 	}
-	s.gmu.RLock()
-	err = s.dyn.Save(f)
-	s.gmu.RUnlock()
+	err = snapfmt.Write(f, st.g)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -628,6 +703,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	start := time.Now()
 	s.draining.Store(true)
 	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.closeWireConns()
 	select {
 	case <-s.ingestEnd:
 	case <-ctx.Done():

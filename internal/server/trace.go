@@ -124,22 +124,28 @@ func (s *Server) stageObserve(endpoint, stage string, d time.Duration) {
 		telemetry.L("endpoint", endpoint), telemetry.L("stage", stage)).ObserveDuration(d)
 }
 
-// startRequestTrace builds the per-request trace state for one endpoint:
-// the root span joins the trace identity the middleware put on ctx, the
-// response traceparent is upgraded to carry the root span's ID, and the
-// returned context carries both the reqTrace (for stage attribution) and
-// the root span (for kernel/scheduler child spans).
-func (s *Server) startRequestTrace(ctx context.Context, w http.ResponseWriter, op string, start time.Time) (context.Context, *reqTrace) {
+// startTrace builds the per-request trace state for one op, for any
+// transport: the root span joins the trace identity already on ctx (minted
+// by the caller when the transport has no inbound identity), the upgraded
+// traceparent — carrying the root span's ID — is offered to echo when
+// non-nil, and the returned context carries both the reqTrace (for stage
+// attribution) and the root span (for kernel/scheduler child spans).
+func (s *Server) startTrace(ctx context.Context, echo func(traceparent string), op string, start time.Time) (context.Context, *reqTrace) {
 	tc, _ := ctx.Value(traceCtxKey{}).(telemetry.TraceContext)
 	root := s.reg.Tracer().StartWithTrace(tc, "server."+op, telemetry.L("endpoint", op))
-	if root != nil {
-		w.Header().Set("traceparent",
-			telemetry.TraceContext{TraceID: tc.TraceID, Parent: root.ID()}.Traceparent())
+	if root != nil && echo != nil {
+		echo(telemetry.TraceContext{TraceID: tc.TraceID, Parent: root.ID()}.Traceparent())
 	}
 	rt := &reqTrace{s: s, op: op, tc: tc, root: root, start: start}
 	ctx = context.WithValue(ctx, reqTraceKey{}, rt)
 	ctx = telemetry.ContextWithSpan(ctx, root)
 	return ctx, rt
+}
+
+// startRequestTrace is startTrace for the HTTP transport: the upgraded
+// traceparent is echoed as a response header.
+func (s *Server) startRequestTrace(ctx context.Context, w http.ResponseWriter, op string, start time.Time) (context.Context, *reqTrace) {
+	return s.startTrace(ctx, func(tp string) { w.Header().Set("traceparent", tp) }, op, start)
 }
 
 // traceHeaders is the outermost middleware: it parses the request's W3C

@@ -1,0 +1,222 @@
+package wire
+
+import "encoding/binary"
+
+// Response encoding: a response payload is [status byte][body]. The session
+// appends the status itself, then one Append*Result body; non-OK responses
+// carry a string message via AppendErrorResponse. All encoders append into
+// the caller's buffer — no allocation beyond buffer growth.
+
+// AppendErrorResponse encodes a complete non-OK response payload.
+func AppendErrorResponse(b []byte, status byte, msg string) []byte {
+	b = append(b, status)
+	return AppendString(b, msg)
+}
+
+// AppendJaccardResult appends a JaccardResult body.
+func AppendJaccardResult(b []byte, v *JaccardResult) []byte {
+	b = binary.AppendUvarint(b, uint64(uint32(v.U)))
+	b = binary.AppendUvarint(b, uint64(len(v.Results)))
+	for _, p := range v.Results {
+		b = binary.AppendUvarint(b, uint64(uint32(p.V)))
+		b = AppendF64(b, p.Score)
+		b = binary.AppendUvarint(b, uint64(uint32(p.Inter)))
+	}
+	return b
+}
+
+// DecodeJaccardResult decodes a JaccardResult body, reusing out's slice.
+func DecodeJaccardResult(r *Reader, out *JaccardResult) error {
+	out.U = r.Vertex()
+	n := r.Uvarint()
+	if n > uint64(r.Remaining()) {
+		r.fail("jaccard result count %d exceeds remaining %d bytes", n, r.Remaining())
+		return r.Err()
+	}
+	out.Results = out.Results[:0]
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		var p JaccardPair
+		p.V = r.Vertex()
+		p.Score = r.F64()
+		p.Inter = r.Vertex()
+		out.Results = append(out.Results, p)
+	}
+	return r.Err()
+}
+
+// AppendKHopResult appends a KHopResult body.
+func AppendKHopResult(b []byte, v *KHopResult) []byte {
+	b = binary.AppendUvarint(b, uint64(uint32(v.K)))
+	b = binary.AppendUvarint(b, uint64(len(v.Seeds)))
+	for _, s := range v.Seeds {
+		b = binary.AppendUvarint(b, uint64(uint32(s)))
+	}
+	b = binary.AppendUvarint(b, uint64(len(v.Vertices)))
+	for _, x := range v.Vertices {
+		b = binary.AppendUvarint(b, uint64(uint32(x)))
+	}
+	return b
+}
+
+// DecodeKHopResult decodes a KHopResult body, reusing out's slices.
+func DecodeKHopResult(r *Reader, out *KHopResult) error {
+	out.K = r.Vertex()
+	ns := r.Uvarint()
+	if ns > uint64(r.Remaining()) {
+		r.fail("khop seed count %d exceeds remaining %d bytes", ns, r.Remaining())
+		return r.Err()
+	}
+	out.Seeds = out.Seeds[:0]
+	for i := uint64(0); i < ns && r.Err() == nil; i++ {
+		out.Seeds = append(out.Seeds, r.Vertex())
+	}
+	nv := r.Uvarint()
+	if nv > uint64(r.Remaining()) {
+		r.fail("khop vertex count %d exceeds remaining %d bytes", nv, r.Remaining())
+		return r.Err()
+	}
+	out.Vertices = out.Vertices[:0]
+	for i := uint64(0); i < nv && r.Err() == nil; i++ {
+		out.Vertices = append(out.Vertices, r.Vertex())
+	}
+	out.Count = len(out.Vertices)
+	return r.Err()
+}
+
+// appendScored appends a ScoredVertex list.
+func appendScored(b []byte, items []ScoredVertex) []byte {
+	b = binary.AppendUvarint(b, uint64(len(items)))
+	for _, it := range items {
+		b = binary.AppendUvarint(b, uint64(uint32(it.V)))
+		b = AppendF64(b, it.Score)
+	}
+	return b
+}
+
+// decodeScored decodes a ScoredVertex list, reusing dst.
+func decodeScored(r *Reader, dst []ScoredVertex) []ScoredVertex {
+	n := r.Uvarint()
+	if n > uint64(r.Remaining()) {
+		r.fail("scored-vertex count %d exceeds remaining %d bytes", n, r.Remaining())
+		return dst[:0]
+	}
+	dst = dst[:0]
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		var it ScoredVertex
+		it.V = r.Vertex()
+		it.Score = r.F64()
+		dst = append(dst, it)
+	}
+	return dst
+}
+
+// AppendTopDegreeResult appends a TopDegreeResult body.
+func AppendTopDegreeResult(b []byte, v *TopDegreeResult) []byte {
+	b = binary.AppendUvarint(b, uint64(v.K))
+	return appendScored(b, v.Results)
+}
+
+// DecodeTopDegreeResult decodes a TopDegreeResult body, reusing out's slice.
+func DecodeTopDegreeResult(r *Reader, out *TopDegreeResult) error {
+	out.K = int(r.Uvarint())
+	out.Results = decodeScored(r, out.Results)
+	return r.Err()
+}
+
+// AppendComponentResult appends a ComponentResult body.
+func AppendComponentResult(b []byte, v *ComponentResult) []byte {
+	b = binary.AppendUvarint(b, uint64(uint32(v.V)))
+	b = binary.AppendUvarint(b, uint64(uint32(v.Component)))
+	b = binary.AppendUvarint(b, uint64(v.Size))
+	b = binary.AppendUvarint(b, uint64(uint32(v.NumComponents)))
+	b = binary.AppendUvarint(b, uint64(v.Version))
+	return b
+}
+
+// DecodeComponentResult decodes a ComponentResult body.
+func DecodeComponentResult(r *Reader, out *ComponentResult) error {
+	out.V = r.Vertex()
+	out.Component = r.Vertex()
+	out.Size = int64(r.Uvarint())
+	out.NumComponents = r.Vertex()
+	out.Version = int64(r.Uvarint())
+	return r.Err()
+}
+
+// AppendPageRankResult appends a PageRankResult body (either form).
+func AppendPageRankResult(b []byte, v *PageRankResult) []byte {
+	var flags byte
+	if v.V != nil {
+		flags |= 1
+	}
+	b = append(b, flags)
+	if v.V != nil {
+		b = binary.AppendUvarint(b, uint64(uint32(*v.V)))
+		rank := 0.0
+		if v.Rank != nil {
+			rank = *v.Rank
+		}
+		b = AppendF64(b, rank)
+	} else {
+		b = binary.AppendUvarint(b, uint64(v.K))
+		b = appendScored(b, v.Results)
+	}
+	b = binary.AppendUvarint(b, uint64(v.Iterations))
+	b = binary.AppendUvarint(b, uint64(v.Version))
+	return b
+}
+
+// DecodePageRankResult decodes a PageRankResult body into out. The pointer
+// fields are refreshed (not reused) so decoded results are self-contained.
+func DecodePageRankResult(r *Reader, out *PageRankResult) error {
+	flags := r.Byte()
+	out.V, out.Rank, out.K = nil, nil, 0
+	if flags&1 != 0 {
+		v := r.Vertex()
+		rank := r.F64()
+		out.V, out.Rank = &v, &rank
+		out.Results = nil
+	} else {
+		out.K = int(r.Uvarint())
+		out.Results = decodeScored(r, out.Results)
+	}
+	out.Iterations = int(r.Uvarint())
+	out.Version = int64(r.Uvarint())
+	return r.Err()
+}
+
+// AppendIngestResult appends an IngestResult body.
+func AppendIngestResult(b []byte, v *IngestResult) []byte {
+	b = binary.AppendUvarint(b, uint64(v.Accepted))
+	b = binary.AppendUvarint(b, uint64(v.Rejected))
+	b = binary.AppendUvarint(b, uint64(v.Deduped))
+	b = binary.AppendUvarint(b, uint64(v.Depth))
+	return b
+}
+
+// DecodeIngestResult decodes an IngestResult body.
+func DecodeIngestResult(r *Reader, out *IngestResult) error {
+	out.Accepted = int(r.Uvarint())
+	out.Rejected = int(r.Uvarint())
+	out.Deduped = int(r.Uvarint())
+	out.Depth = int(r.Uvarint())
+	return r.Err()
+}
+
+// AppendRawJSON appends a uvarint-length-prefixed raw JSON body (the stats
+// op's cold-path encoding).
+func AppendRawJSON(b []byte, raw []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(raw)))
+	return append(b, raw...)
+}
+
+// DecodeRawJSON decodes a uvarint-length-prefixed raw JSON body. The
+// returned slice aliases the frame buffer.
+func DecodeRawJSON(r *Reader) ([]byte, error) {
+	n := r.Uvarint()
+	if n > uint64(r.Remaining()) {
+		r.fail("raw JSON length %d exceeds remaining %d bytes", n, r.Remaining())
+		return nil, r.Err()
+	}
+	return r.Bytes(int(n)), r.Err()
+}

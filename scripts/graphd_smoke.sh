@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# graphd smoke test: build the daemon, start it, ingest 10k edges over HTTP,
-# run one of each query, SIGTERM it, and verify the clean shutdown left a
-# snapshot that a second daemon recovers byte-equivalently (same edge count).
-# Along the way it asserts the readiness model: /readyz gates startup,
-# /debug/slo serves valid JSON on a fresh daemon, the SIGTERM drain flips
-# /readyz to 503 before the listener closes (drain-grace), and the
-# recovered daemon reports ready again.
+# graphd smoke test: build the daemon, start it with both listeners, ingest
+# 10k edges over HTTP and 1k more over the binary wire protocol, run one of
+# each query on each protocol and assert the answers are identical, SIGTERM
+# it, and verify the clean shutdown left a flat-format snapshot that a
+# second daemon recovers byte-equivalently (same edge count, same answers
+# on both protocols). Along the way it asserts the readiness model:
+# /readyz gates startup, /debug/slo serves valid JSON on a fresh daemon,
+# the SIGTERM drain flips /readyz to 503 before the listener closes
+# (drain-grace), and the recovered daemon reports ready again.
 # Run from the repo root: ./scripts/graphd_smoke.sh
 set -euo pipefail
 
 ADDR=127.0.0.1:18090
+WIRE_ADDR=127.0.0.1:18091
 URL="http://$ADDR"
 WORK=$(mktemp -d)
 SNAP="$WORK/graph.snap"
@@ -48,11 +51,29 @@ batch_json() {
   }'
 }
 
+# Normalize JSON for cross-protocol comparison: key order is the only
+# permitted difference between an HTTP response and wirecli's re-encoding
+# of the binary answer.
+norm_json() { python3 -c 'import json,sys; print(json.dumps(json.load(sys.stdin), sort_keys=True))'; }
+
+# Assert one query answers identically over HTTP and the wire protocol.
+same_answer() { # $1 = label, $2 = HTTP path, $3... = wirecli args
+  local label="$1" path="$2"; shift 2
+  local http wire
+  http=$(curl -fsS "$URL$path" | norm_json) || die "$label: HTTP query failed"
+  wire=$("$WORK/wirecli" -addr "$WIRE_ADDR" "$@" | norm_json) || die "$label: wire query failed"
+  [ "$http" = "$wire" ] || die "$label: protocol answers differ
+  http: $http
+  wire: $wire"
+}
+
 echo "graphd_smoke: building"
 go build -o "$WORK/graphd" ./cmd/graphd
+go build -o "$WORK/wirecli" ./cmd/wirecli
 
 echo "graphd_smoke: starting daemon"
-"$WORK/graphd" -listen "$ADDR" -vertices 4096 -snapshot "$SNAP" \
+"$WORK/graphd" -listen "$ADDR" -listen-wire "$WIRE_ADDR" \
+  -vertices 4096 -snapshot "$SNAP" \
   -snapshot-interval 0 -queue 65536 \
   -slo "component,p99=1s" -drain-grace 2s >"$LOG" 2>&1 &
 PID=$!
@@ -88,6 +109,17 @@ for _ in $(seq 1 100); do
 done
 [ "$applied" = 10000 ] || die "only $applied of 10000 updates applied"
 
+echo "graphd_smoke: ingesting 1k more edges over the wire protocol"
+accepted=$(batch_json 10 | "$WORK/wirecli" -addr "$WIRE_ADDR" ingest \
+  | sed -n 's/.*"accepted":\([0-9]*\).*/\1/p')
+[ "$accepted" = 1000 ] || die "wire ingest accepted $accepted of 1000 updates"
+for _ in $(seq 1 100); do
+  applied=$(curl -fsS "$URL/stats" | sed -n 's/.*"applied":\([0-9]*\).*/\1/p')
+  [ "$applied" = 11000 ] && break
+  sleep 0.1
+done
+[ "$applied" = 11000 ] || die "only $applied of 11000 updates applied after wire ingest"
+
 echo "graphd_smoke: querying"
 # Request lifecycle tracing: a W3C traceparent header must be echoed back
 # with the same trace ID (the parent-id becomes the server's root span).
@@ -116,6 +148,16 @@ echo "$metrics" | grep -q 'server_snapshot_age_seconds' || die "snapshot age gau
 edges=$(curl -fsS "$URL/stats" | sed -n 's/.*"edges":\([0-9]*\).*/\1/p')
 [ -n "$edges" ] && [ "$edges" -gt 0 ] || die "stats reports no edges"
 
+echo "graphd_smoke: protocol equivalence (HTTP vs wire)"
+"$WORK/wirecli" -addr "$WIRE_ADDR" ping >/dev/null || die "wire ping"
+same_answer component "/query/component?v=1" component 1
+same_answer topdegree "/query/topdegree?k=3" topdegree 3
+same_answer khop "/query/khop?v=1&k=2" khop 1 2
+same_answer jaccard "/query/jaccard?u=1" jaccard 1
+same_answer pagerank "/query/pagerank?v=1" pagerank 1
+wire_edges=$("$WORK/wirecli" -addr "$WIRE_ADDR" stats | sed -n 's/.*"edges":\([0-9]*\).*/\1/p')
+[ "$wire_edges" = "$edges" ] || die "wire stats reports $wire_edges edges, HTTP $edges"
+
 echo "graphd_smoke: SIGTERM drain"
 kill -TERM "$PID"
 # During the drain-grace window the listener is still up: /readyz must
@@ -132,9 +174,12 @@ live=$(curl -s -o /dev/null -w '%{http_code}' "$URL/healthz" 2>/dev/null || true
 wait "$PID" || die "daemon exited nonzero after SIGTERM"
 PID=""
 [ -s "$SNAP" ] || die "no snapshot written on shutdown"
+# The drain persists the flat CSR format: magic "GSNF" in the first 4 bytes.
+[ "$(head -c4 "$SNAP")" = "GSNF" ] || die "snapshot is not flat-format (magic $(head -c4 "$SNAP"))"
 
-echo "graphd_smoke: recovery"
-"$WORK/graphd" -listen "$ADDR" -vertices 4096 -snapshot "$SNAP" \
+echo "graphd_smoke: recovery from flat snapshot"
+"$WORK/graphd" -listen "$ADDR" -listen-wire "$WIRE_ADDR" \
+  -vertices 4096 -snapshot "$SNAP" \
   -snapshot-interval 0 >>"$LOG" 2>&1 &
 PID=$!
 wait_ready
@@ -144,6 +189,9 @@ curl -fsS "$URL/stats" | grep -q '"recovered":true' || die "daemon did not repor
 # Recovery restores readiness: /readyz answers 200 again.
 code=$(curl -s -o /dev/null -w '%{http_code}' "$URL/readyz")
 [ "$code" = 200 ] || die "/readyz = $code after recovery restart, want 200"
+# Both protocols serve the recovered graph with identical answers.
+same_answer component-recovered "/query/component?v=2" component 2
+same_answer topdegree-recovered "/query/topdegree?k=3" topdegree 3
 kill -TERM "$PID"
 wait "$PID" || die "recovered daemon exited nonzero after SIGTERM"
 PID=""
