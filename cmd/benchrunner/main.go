@@ -87,10 +87,12 @@ func main() {
 	serveSpec := obsv.DefaultServeSpec()
 	protoSpec := obsv.DefaultProtoSpec()
 	recoverSpec := obsv.DefaultRecoverySpec()
+	clusterSpec := obsv.DefaultClusterSpec()
 	if *quick {
 		serveSpec = obsv.QuickServeSpec()
 		protoSpec = obsv.QuickProtoSpec()
 		recoverSpec = obsv.QuickRecoverySpec()
+		clusterSpec = obsv.QuickClusterSpec()
 	}
 	if !*serve && !*servingOnly {
 		serveSpec.Queries = 0
@@ -100,6 +102,7 @@ func main() {
 		defer obsv.StartSampler(tel.Registry, 0).Stop()
 		return run(tel.Registry, runOpts{
 			spec: spec, serveSpec: serveSpec, protoSpec: protoSpec, recoverSpec: recoverSpec,
+			clusterSpec: clusterSpec,
 			serve: *serve || *servingOnly, servingOnly: *servingOnly,
 			out: *out, baseline: *baseline,
 			threshold: *threshold, allocThreshold: *allocThreshold, nora: *nora,
@@ -125,6 +128,7 @@ type runOpts struct {
 	serveSpec      obsv.ServeSpec
 	protoSpec      obsv.ProtoSpec
 	recoverSpec    obsv.RecoverySpec
+	clusterSpec    obsv.ClusterSpec
 	serve          bool
 	servingOnly    bool
 	out, baseline  string
@@ -161,6 +165,11 @@ func run(reg *telemetry.Registry, o runOpts) error {
 			return err
 		}
 		cases = append(cases, recoverCases...)
+		clusterCases, err := obsv.RunClusterServing(reg, o.clusterSpec)
+		if err != nil {
+			return err
+		}
+		cases = append(cases, clusterCases...)
 	}
 
 	tb := bench.NewTable("case", "ns/op", "TEPS", "alloc(MB)", "par-chunks", "gc")

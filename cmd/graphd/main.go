@@ -43,6 +43,8 @@ func run() error {
 	var (
 		listen        = flag.String("listen", ":8090", "HTTP address serving the query/ingest API and telemetry")
 		listenWire    = flag.String("listen-wire", "", "TCP address serving the binary wire protocol (empty = disabled)")
+		shardIndex    = flag.Int("shard-index", 0, "this process's partition index in a graphctl cluster (requires -shard-count)")
+		shardCount    = flag.Int("shard-count", 0, "total shards in the cluster (0 or 1 = standalone); shard mode requires -listen-wire")
 		vertices      = flag.Int("vertices", int(cfg.Vertices), "vertex-ID space [0,n); ingest outside it is rejected")
 		directed      = flag.Bool("directed", cfg.Directed, "store a directed graph")
 		snapshot      = flag.String("snapshot", "", "snapshot file for periodic persistence and crash recovery (empty = volatile)")
@@ -90,6 +92,11 @@ func run() error {
 	sampler := obsv.StartSampler(reg, *metricsSample)
 	defer sampler.Stop()
 
+	if *shardCount > 1 && *listenWire == "" {
+		return fmt.Errorf("-shard-count %d requires -listen-wire: the coordinator exchanges shard ops over the wire protocol", *shardCount)
+	}
+	cfg.ShardIndex = *shardIndex
+	cfg.ShardCount = *shardCount
 	cfg.Vertices = int32(*vertices)
 	cfg.Directed = *directed
 	cfg.SnapshotPath = *snapshot
@@ -131,6 +138,11 @@ func run() error {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *shardCount > 1 {
+		st := srv.StatsNow()
+		fmt.Fprintf(os.Stderr, "graphd: shard %d/%d, owns %d of %d vertices\n",
+			*shardIndex, *shardCount, st.OwnedVertices, st.Vertices)
 	}
 	if srv.Recovered() {
 		st := srv.StatsNow()

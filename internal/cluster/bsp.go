@@ -1,0 +1,434 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/wire"
+)
+
+// BSP drivers: each global kernel runs as coordinator-paced supersteps.
+// The coordinator owns the dense global state (rank vectors, labels,
+// frontiers); shards contribute only what their owned adjacency can
+// produce; every round is a barrier (fanOut returns when all shards have
+// answered). Per-shard partial results are always combined in ascending
+// shard order so floating-point accumulation order is deterministic
+// across runs.
+//
+// Consistency: every shard response carries its snapshot version. A gather
+// whose responses disagree with the expected vector fails with errSkew and
+// is retried once — enough to absorb an ingest batch landing mid-gather.
+// Kernels driven against heavily-churning shards can keep failing; the
+// documented operating mode is to run global kernels against quiescent or
+// slowly-churning clusters (see docs/CLUSTER.md).
+
+// gatherDegrees fans shard.degrees to every shard and reassembles the
+// global degree vector by enumerating the partition the same way each
+// shard did (ascending owned vertices).
+func (c *Coordinator) gatherDegrees(ctx context.Context) (*degState, error) {
+	shards := len(c.shards)
+	to := wireTimeout(ctx)
+	parts := make([]*wire.ShardDegreesResult, shards)
+	err := c.fanOut(func(sc *shardConn) error {
+		return sc.call(func(cl *wire.Client) error {
+			res, err := cl.ShardDegrees(to)
+			if err != nil {
+				return err
+			}
+			parts[sc.index] = res
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	vec := make(versionVec, shards)
+	for i, p := range parts {
+		vec[i] = p.Version
+	}
+	st := &degState{vec: vec, scores: make([]float64, c.cfg.Vertices)}
+	cursor := make([]int, shards)
+	for v := int32(0); v < c.cfg.Vertices; v++ {
+		o := Owner(v, shards)
+		if cursor[o] >= len(parts[o].Degrees) {
+			return nil, badRequestf("shard %d returned %d degrees, fewer than it owns", o, len(parts[o].Degrees))
+		}
+		st.scores[v] = float64(parts[o].Degrees[cursor[o]])
+		cursor[o]++
+	}
+	return st, nil
+}
+
+// degrees returns the global degree vector for the current version vector,
+// serving the cache when valid, rebuilding on miss, and falling back to the
+// stale cache when a shard is unreachable (degraded mode). The bool reports
+// whether the answer is stale. The cache mutex covers only the check and
+// the store, never a shard exchange — concurrent misses may rebuild twice,
+// which is wasted work but never wrong (states are immutable once built).
+func (c *Coordinator) degrees(ctx context.Context) (*degState, bool, error) {
+	vec, verr := c.versions(ctx)
+	c.cacheMu.Lock()
+	cached := c.deg
+	c.cacheMu.Unlock()
+	if verr != nil {
+		if cached != nil {
+			c.m.staleServes.Inc()
+			return cached, true, nil
+		}
+		return nil, false, verr
+	}
+	if cached != nil && cached.vec.equal(vec) {
+		c.m.cacheHit("degrees")
+		return cached, false, nil
+	}
+	st, err := c.gatherDegrees(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	c.m.rebuild("degrees")
+	c.cacheMu.Lock()
+	c.deg = st
+	c.cacheMu.Unlock()
+	return st, false, nil
+}
+
+// gatherWCC runs the one-superstep distributed WCC: every shard reports
+// its local canonical component labels (each already collapses all paths
+// that stay inside the shard's owned adjacency), the coordinator unions
+// v with its shard-local label for every shard, and the merged forest is
+// relabeled to canonical min-member form. Because min-member labels are a
+// pure function of the component partition — not of the merge order — the
+// result is byte-identical to single-process kernels.WCC.
+func (c *Coordinator) gatherWCC(ctx context.Context) (*wccState, error) {
+	shards := len(c.shards)
+	to := wireTimeout(ctx)
+	parts := make([]*wire.ShardWCCResult, shards)
+	start := time.Now()
+	err := c.fanOut(func(sc *shardConn) error {
+		return sc.call(func(cl *wire.Client) error {
+			res, err := cl.ShardWCC(to)
+			if err != nil {
+				return err
+			}
+			if int32(len(res.Labels)) != c.cfg.Vertices {
+				return badRequestf("shard %d returned %d labels, want %d", sc.index, len(res.Labels), c.cfg.Vertices)
+			}
+			parts[sc.index] = res
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.m.superstep("wcc", start)
+	vec := make(versionVec, shards)
+	for i, p := range parts {
+		vec[i] = p.Version
+	}
+
+	n := c.cfg.Vertices
+	uf := kernels.NewUnionFind(n)
+	for _, p := range parts {
+		for v := int32(0); v < n; v++ {
+			uf.Union(v, p.Labels[v])
+		}
+	}
+	// Min-member relabel: scanning ascending, the first vertex seen for each
+	// union-find root IS the component's minimum member.
+	labels := make([]int32, n)
+	canon := make(map[int32]int32)
+	sizes := make(map[int32]int64)
+	var num int32
+	for v := int32(0); v < n; v++ {
+		root := uf.Find(v)
+		lab, ok := canon[root]
+		if !ok {
+			lab = v
+			canon[root] = v
+			num++
+		}
+		labels[v] = lab
+		sizes[lab]++
+	}
+	return &wccState{vec: vec, labels: labels, sizes: sizes, num: num}, nil
+}
+
+// components returns the merged WCC state for the current version vector
+// with the same cache/stale policy as degrees.
+func (c *Coordinator) components(ctx context.Context) (*wccState, bool, error) {
+	vec, verr := c.versions(ctx)
+	c.cacheMu.Lock()
+	cached := c.wcc
+	c.cacheMu.Unlock()
+	if verr != nil {
+		if cached != nil {
+			c.m.staleServes.Inc()
+			return cached, true, nil
+		}
+		return nil, false, verr
+	}
+	if cached != nil && cached.vec.equal(vec) {
+		c.m.cacheHit("wcc")
+		return cached, false, nil
+	}
+	st, err := c.gatherWCC(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	c.m.rebuild("wcc")
+	c.cacheMu.Lock()
+	c.wcc = st
+	c.cacheMu.Unlock()
+	return st, false, nil
+}
+
+// runPageRank drives distributed power iteration: the coordinator owns the
+// rank vector, computes the dangling redistribution and damping, and each
+// superstep pushes the current vector to every shard, which returns the
+// contribution sums its owned out-arcs produce. The update rule, the L1
+// convergence test, and the iteration accounting mirror kernels.PageRank
+// exactly; only the accumulation order of contributions differs (shard
+// order instead of CSR in-neighbor order), which is why the acceptance
+// contract for PageRank is "within tolerance", not byte-identity.
+func (c *Coordinator) runPageRank(ctx context.Context) (*prState, error) {
+	deg, stale, err := c.degrees(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if stale {
+		// Supersteps need every shard live; a stale degree vector means at
+		// least one is not.
+		return nil, &Error{Code: http.StatusServiceUnavailable, Msg: "cluster: cannot run supersteps with a shard unreachable"}
+	}
+	vec := deg.vec
+	opt := c.cfg.PageRank
+	n := int(c.cfg.Vertices)
+	shards := len(c.shards)
+	to := wireTimeout(ctx)
+
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	invN := 1.0 / float64(n)
+	for i := range rank {
+		rank[i] = invN
+	}
+
+	iters := 0
+	for ; iters < opt.MaxIters; iters++ {
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			if deg.scores[v] == 0 {
+				dangling += rank[v]
+			}
+		}
+		base := (1-opt.Damping)*invN + opt.Damping*dangling*invN
+
+		start := time.Now()
+		parts := make([]*wire.ShardPRStepResult, shards)
+		err := c.fanOut(func(sc *shardConn) error {
+			return sc.call(func(cl *wire.Client) error {
+				res, err := cl.ShardPRStep(rank, to)
+				if err != nil {
+					return err
+				}
+				if res.Version != vec[sc.index] {
+					return errSkew
+				}
+				parts[sc.index] = res
+				return nil
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.m.superstep("pagerank", start)
+
+		for v := 0; v < n; v++ {
+			next[v] = 0
+		}
+		for _, p := range parts {
+			for v := 0; v < n; v++ {
+				next[v] += p.Contrib[v]
+			}
+		}
+		delta := 0.0
+		for v := 0; v < n; v++ {
+			next[v] = base + opt.Damping*next[v]
+			d := next[v] - rank[v]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+		rank, next = next, rank
+		if delta < opt.Tolerance {
+			iters++
+			break
+		}
+	}
+	return &prState{vec: vec, rank: rank, iters: iters}, nil
+}
+
+// pagerank returns the converged distributed PageRank for the current
+// version vector, with cache, one skew retry, and stale fallback.
+func (c *Coordinator) pagerank(ctx context.Context) (*prState, bool, error) {
+	vec, verr := c.versions(ctx)
+	c.cacheMu.Lock()
+	cached := c.pr
+	c.cacheMu.Unlock()
+	if verr != nil {
+		if cached != nil {
+			c.m.staleServes.Inc()
+			return cached, true, nil
+		}
+		return nil, false, verr
+	}
+	if cached != nil && cached.vec.equal(vec) {
+		c.m.cacheHit("pagerank")
+		return cached, false, nil
+	}
+	st, err := c.runPageRank(ctx)
+	if errors.Is(err, errSkew) {
+		c.m.skewRetries.Inc()
+		st, err = c.runPageRank(ctx)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	c.m.rebuild("pagerank")
+	c.cacheMu.Lock()
+	c.pr = st
+	c.cacheMu.Unlock()
+	return st, false, nil
+}
+
+// adjacency fetches the complete neighbor lists of the given vertices,
+// grouped by owner, one shard.adj exchange per involved shard, results
+// reassembled into the callers' original order. The returned slices alias
+// shard response buffers and must be treated as immutable.
+func (c *Coordinator) adjacency(ctx context.Context, vertices []int32) ([][]int32, error) {
+	shards := len(c.shards)
+	to := wireTimeout(ctx)
+	perShard := make([][]int32, shards)
+	perShardPos := make([][]int, shards)
+	for i, v := range vertices {
+		o := Owner(v, shards)
+		perShard[o] = append(perShard[o], v)
+		perShardPos[o] = append(perShardPos[o], i)
+	}
+	out := make([][]int32, len(vertices))
+	err := c.fanOut(func(sc *shardConn) error {
+		want := perShard[sc.index]
+		if len(want) == 0 {
+			return nil
+		}
+		return sc.call(func(cl *wire.Client) error {
+			res, err := cl.ShardAdj(want, to)
+			if err != nil {
+				return err
+			}
+			if len(res.Lists) != len(want) {
+				return badRequestf("shard %d returned %d adjacency lists, want %d", sc.index, len(res.Lists), len(want))
+			}
+			for j, pos := range perShardPos[sc.index] {
+				out[pos] = res.Lists[j]
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// khop replays kernels.KHopNeighborhoodCtx level by level: dedupe seeds in
+// order, then for each level fetch the frontier's adjacency (one exchange
+// per owning shard) and expand the frontier in its original order so the
+// BFS discovery order — and therefore the result bytes — match the
+// single-process kernel exactly.
+func (c *Coordinator) khop(ctx context.Context, seeds []int32, k int32) ([]int32, error) {
+	depth := make([]int32, c.cfg.Vertices)
+	for i := range depth {
+		depth[i] = kernels.Unreached
+	}
+	var order, frontier []int32
+	for _, s := range seeds {
+		if depth[s] != kernels.Unreached {
+			continue
+		}
+		depth[s] = 0
+		order = append(order, s)
+		frontier = append(frontier, s)
+	}
+	for d := int32(1); d <= k && len(frontier) > 0; d++ {
+		lists, err := c.adjacency(ctx, frontier)
+		if err != nil {
+			return nil, err
+		}
+		var next []int32
+		for i := range frontier {
+			for _, w := range lists[i] {
+				if depth[w] == kernels.Unreached {
+					depth[w] = d
+					next = append(next, w)
+					order = append(order, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return order, nil
+}
+
+// jaccard replays kernels.JaccardFromVertexCtx by scatter-gathering two
+// adjacency waves (u's neighbors, then their neighbors) and scoring against
+// the global degree vector. Accumulation order differs from the kernel's
+// but (score, v) sort keys are unique per vertex, so the sorted output is
+// byte-identical.
+func (c *Coordinator) jaccard(ctx context.Context, u int32, threshold float64) ([]wire.JaccardPair, error) {
+	adjU, err := c.adjacency(ctx, []int32{u})
+	if err != nil {
+		return nil, err
+	}
+	nu := adjU[0]
+	if len(nu) == 0 {
+		return nil, nil
+	}
+	deg, _, err := c.degrees(ctx)
+	if err != nil {
+		return nil, err
+	}
+	lists, err := c.adjacency(ctx, nu)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[int32]int32)
+	for _, list := range lists {
+		for _, v := range list {
+			if v != u {
+				counts[v]++
+			}
+		}
+	}
+	du := int64(deg.scores[u])
+	pairs := make([]wire.JaccardPair, 0, len(counts))
+	for v, cnt := range counts {
+		union := du + int64(deg.scores[v]) - int64(cnt)
+		score := float64(cnt) / float64(union)
+		if score >= threshold && score > 0 {
+			pairs = append(pairs, wire.JaccardPair{V: v, Score: score, Inter: cnt})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Score != pairs[j].Score {
+			return pairs[i].Score > pairs[j].Score
+		}
+		return pairs[i].V < pairs[j].V
+	})
+	return pairs, nil
+}

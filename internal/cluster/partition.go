@@ -1,0 +1,35 @@
+package cluster
+
+// Owner maps a global vertex ID to its owning shard index in [0, shards).
+// The mapping is a pure function of (v, shards) — shards and the
+// coordinator each evaluate it locally and always agree, so no ownership
+// table is stored or exchanged. The hash is the 64-bit murmur3 finalizer,
+// which spreads consecutive vertex IDs evenly across shards (sequential ID
+// ranges are the common ingest pattern; a modulo without mixing would put
+// every range stripe-aligned on one shard count and skewed on another).
+// With shards <= 1 every vertex is owned by shard 0, which makes a
+// standalone graphd the degenerate one-shard cluster.
+func Owner(v int32, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	x := uint64(uint32(v))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(shards))
+}
+
+// OwnedCount returns how many vertices in [0, vertices) Owner assigns to
+// shard index under the given shard count.
+func OwnedCount(vertices int32, index, shards int) int64 {
+	var n int64
+	for v := int32(0); v < vertices; v++ {
+		if Owner(v, shards) == index {
+			n++
+		}
+	}
+	return n
+}

@@ -22,6 +22,7 @@ func TestServerExportedDocs(t *testing.T) {
 		filepath.Join("..", "prof"),
 		filepath.Join("..", "wire"),
 		filepath.Join("..", "wire", "snapfmt"),
+		filepath.Join("..", "cluster"),
 	}
 	findings, err := MissingDocs(dirs)
 	if err != nil {

@@ -1,0 +1,322 @@
+package obsv
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// ClusterSpec describes the sharded-serving benchmark (E16): the same ring
+// graph served by 1, 2, and 4 graphd shards behind a coordinator, versus
+// one standalone graphd queried directly over the wire protocol. The cases
+// measure what sharding costs and buys on one machine: partitioned ingest
+// throughput, the coordinator hop on point queries, and the per-superstep
+// wall of BSP PageRank.
+type ClusterSpec struct {
+	Vertices int32 // shared vertex-ID space
+	Preload  int   // ring chord distances 1..Preload per vertex
+	Queries  int   // measured point queries per serving mode
+	Shards   []int // shard counts, one cluster per entry
+}
+
+// DefaultClusterSpec is the committed-baseline cluster comparison.
+func DefaultClusterSpec() ClusterSpec {
+	return ClusterSpec{Vertices: 1 << 12, Preload: 8, Queries: 200, Shards: []int{1, 2, 4}}
+}
+
+// QuickClusterSpec is a CI-sized cluster comparison (a few seconds).
+func QuickClusterSpec() ClusterSpec {
+	return ClusterSpec{Vertices: 1 << 10, Preload: 8, Queries: 80, Shards: []int{1, 2, 4}}
+}
+
+// clusterHarness is one booted cluster: shard servers on real TCP wire
+// listeners plus an in-process coordinator.
+type clusterHarness struct {
+	shards []*server.Server
+	lns    []net.Listener
+	coord  *cluster.Coordinator
+}
+
+// close tears the cluster down, coordinator first.
+func (h *clusterHarness) close() {
+	if h.coord != nil {
+		h.coord.Close()
+	}
+	for _, ln := range h.lns {
+		ln.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, s := range h.shards {
+		_ = s.Shutdown(ctx)
+	}
+}
+
+// bootCluster starts count shard servers and a coordinator over them.
+func bootCluster(vertices int32, count int) (*clusterHarness, error) {
+	h := &clusterHarness{}
+	addrs := make([]cluster.ShardAddr, count)
+	for i := 0; i < count; i++ {
+		cfg := server.DefaultConfig()
+		cfg.Vertices = vertices
+		cfg.ShardIndex = i
+		cfg.ShardCount = count
+		cfg.QueueCap = 1 << 14
+		cfg.FlushEvery = time.Millisecond
+		cfg.DefaultTimeout = 30 * time.Second
+		cfg.MaxTimeout = 30 * time.Second
+		cfg.Registry = telemetry.NewRegistry()
+		s, err := server.New(cfg)
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		h.shards = append(h.shards, s)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		h.lns = append(h.lns, ln)
+		go s.ServeWire(ln)
+		addrs[i] = cluster.ShardAddr{Wire: ln.Addr().String()}
+	}
+	coord, err := cluster.New(cluster.Config{
+		Vertices:       vertices,
+		Shards:         addrs,
+		Registry:       telemetry.NewRegistry(),
+		DefaultTimeout: 30 * time.Second,
+		MaxTimeout:     30 * time.Second,
+	})
+	if err != nil {
+		h.close()
+		return nil, err
+	}
+	h.coord = coord
+	return h, nil
+}
+
+// ringEdits builds the ring-and-chords preload stream shared by every
+// serving mode.
+func ringEdits(n int32, preload int) []wire.IngestEdit {
+	edits := make([]wire.IngestEdit, 0, int(n)*preload)
+	for v := int32(0); v < n; v++ {
+		for d := int32(1); d <= int32(preload); d++ {
+			edits = append(edits, wire.IngestEdit{Src: v, Dst: (v + d) % n})
+		}
+	}
+	return edits
+}
+
+// clusterPercentiles sorts and extracts p50/p99 nanoseconds.
+func clusterPercentiles(lat []time.Duration) (p50, p99 int64) {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 = lat[len(lat)/2].Nanoseconds()
+	p99 = lat[min(len(lat)-1, len(lat)*99/100)].Nanoseconds()
+	return
+}
+
+// RunClusterServing executes E16 and returns, per shard count S:
+//
+//	cluster-ingest/s<S>        per-update wall of partitioned ingest through
+//	                           the coordinator (TEPS = updates/s admitted+applied)
+//	cluster-pq-p50/coord-s<S>  point-query latency via the coordinator
+//	cluster-pq-p99/coord-s<S>  (component + khop + topdegree mix)
+//	cluster-pr-superstep/s<S>  per-superstep wall of distributed PageRank
+//
+// plus cluster-pq-p50/direct and cluster-pq-p99/direct: the same query mix
+// against one standalone graphd over its wire listener — the no-coordinator
+// baseline the coord-s1 cases are read against.
+func RunClusterServing(reg *telemetry.Registry, spec ClusterSpec) ([]BenchCase, error) {
+	if spec.Queries < 1 {
+		spec.Queries = 1
+	}
+	n := spec.Vertices
+	edits := ringEdits(n, spec.Preload)
+	var cases []BenchCase
+
+	// Direct baseline: one standalone graphd, queried over the wire.
+	direct, err := bootCluster(n, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer direct.close()
+	if _, _, err := ingestThrough(direct, edits); err != nil {
+		return nil, err
+	}
+	wc, err := wire.Dial(direct.lns[0].Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer wc.Close()
+	directQuery := func(i int) error {
+		v := (int32(i) * 37) % n
+		var qerr error
+		switch i % 3 {
+		case 0:
+			_, qerr = wc.Component(v, 30*time.Second)
+		case 1:
+			_, qerr = wc.KHop([]int32{v}, 1, 30*time.Second)
+		default:
+			_, qerr = wc.TopDegree(10, 30*time.Second)
+		}
+		return qerr
+	}
+	for i := 0; i < 3; i++ { // warm kernel caches off the clock
+		if err := directQuery(i); err != nil {
+			return nil, err
+		}
+	}
+	lat := make([]time.Duration, 0, spec.Queries)
+	m := StartMeter("cluster/direct")
+	for i := 0; i < spec.Queries; i++ {
+		start := time.Now()
+		if err := directQuery(i); err != nil {
+			return nil, fmt.Errorf("obsv: direct query: %w", err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	acct := m.Stop(int64(spec.Queries))
+	acct.Publish(reg, telemetry.L("graph", "cluster-direct"))
+	p50, p99 := clusterPercentiles(lat)
+	cases = append(cases,
+		BenchCase{Name: "cluster-pq-p50/direct", Kernel: "cluster-pq-p50", Graph: "direct", Reps: 1, NsPerOp: p50, Account: acct},
+		BenchCase{Name: "cluster-pq-p99/direct", Kernel: "cluster-pq-p99", Graph: "direct", Reps: 1, NsPerOp: p99, Account: acct},
+	)
+
+	for _, shardCount := range spec.Shards {
+		h, err := bootCluster(n, shardCount)
+		if err != nil {
+			return nil, err
+		}
+		tag := fmt.Sprintf("s%d", shardCount)
+
+		ingestAcct, wall, err := ingestThrough(h, edits)
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		ingestAcct.Publish(reg, telemetry.L("graph", "cluster-ingest-"+tag))
+		cases = append(cases, BenchCase{
+			Name: "cluster-ingest/" + tag, Kernel: "cluster-ingest", Graph: tag,
+			Reps: 1, NsPerOp: wall.Nanoseconds() / int64(len(edits)),
+			Account: ingestAcct, TEPS: ingestAcct.TEPS(),
+		})
+
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		coordQuery := func(i int) error {
+			v := (int32(i) * 37) % n
+			var qerr error
+			switch i % 3 {
+			case 0:
+				_, qerr = h.coord.Component(ctx, v)
+			case 1:
+				_, qerr = h.coord.KHop(ctx, []int32{v}, 1)
+			default:
+				_, qerr = h.coord.TopDegree(ctx, 10)
+			}
+			return qerr
+		}
+		for i := 0; i < 3; i++ {
+			if err := coordQuery(i); err != nil {
+				cancel()
+				h.close()
+				return nil, fmt.Errorf("obsv: cluster warmup (%s): %w", tag, err)
+			}
+		}
+		lat = lat[:0]
+		m = StartMeter("cluster/coord-" + tag)
+		for i := 0; i < spec.Queries; i++ {
+			start := time.Now()
+			if err := coordQuery(i); err != nil {
+				cancel()
+				h.close()
+				return nil, fmt.Errorf("obsv: cluster query (%s): %w", tag, err)
+			}
+			lat = append(lat, time.Since(start))
+		}
+		acct = m.Stop(int64(spec.Queries))
+		acct.Publish(reg, telemetry.L("graph", "cluster-coord-"+tag))
+		p50, p99 = clusterPercentiles(lat)
+		cases = append(cases,
+			BenchCase{Name: "cluster-pq-p50/coord-" + tag, Kernel: "cluster-pq-p50", Graph: "coord-" + tag, Reps: 1, NsPerOp: p50, Account: acct},
+			BenchCase{Name: "cluster-pq-p99/coord-" + tag, Kernel: "cluster-pq-p99", Graph: "coord-" + tag, Reps: 1, NsPerOp: p99, Account: acct},
+		)
+
+		m = StartMeter("cluster/pr-" + tag)
+		pr, err := h.coord.PageRankTop(ctx, 10)
+		prAcct := m.Stop(1)
+		if err != nil {
+			cancel()
+			h.close()
+			return nil, fmt.Errorf("obsv: cluster pagerank (%s): %w", tag, err)
+		}
+		iters := pr.Iterations
+		if iters < 1 {
+			iters = 1
+		}
+		prAcct.Publish(reg, telemetry.L("graph", "cluster-pr-"+tag))
+		cases = append(cases, BenchCase{
+			Name: "cluster-pr-superstep/" + tag, Kernel: "cluster-pr-superstep", Graph: tag,
+			Reps: iters, NsPerOp: prAcct.Wall.Nanoseconds() / int64(iters), Account: prAcct,
+		})
+		cancel()
+		h.close()
+	}
+	return cases, nil
+}
+
+// ingestThrough pushes the edit stream through the coordinator in chunks,
+// honoring the 429 accepted-prefix retry contract, and waits until every
+// shard has applied its routed share. Returns the measured account and the
+// admission+apply wall.
+func ingestThrough(h *clusterHarness, edits []wire.IngestEdit) (Account, time.Duration, error) {
+	shardCount := len(h.shards)
+	routed := make([]int64, shardCount)
+	for _, e := range edits {
+		o1 := cluster.Owner(e.Src, shardCount)
+		routed[o1]++
+		if o2 := cluster.Owner(e.Dst, shardCount); o2 != o1 {
+			routed[o2]++
+		}
+	}
+	const chunk = 4096
+	m := StartMeter("cluster/ingest")
+	start := time.Now()
+	for off := 0; off < len(edits); {
+		end := off + chunk
+		if end > len(edits) {
+			end = len(edits)
+		}
+		res, code, err := h.coord.Ingest(edits[off:end], 30*time.Second)
+		switch code {
+		case 202:
+			off = end
+		case 429:
+			off += res.Accepted
+			time.Sleep(2 * time.Millisecond)
+		default:
+			m.Stop(0)
+			return Account{}, 0, fmt.Errorf("obsv: cluster ingest: code %d: %v", code, err)
+		}
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for i, s := range h.shards {
+		for s.Applied() < routed[i] {
+			if time.Now().After(deadline) {
+				m.Stop(0)
+				return Account{}, 0, fmt.Errorf("obsv: shard %d applied %d of %d", i, s.Applied(), routed[i])
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wall := time.Since(start)
+	return m.Stop(int64(len(edits))), wall, nil
+}

@@ -1,0 +1,506 @@
+package server
+
+import (
+	"context"
+	"math"
+	"net"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// The sharded differential suite: a graphctl-style coordinator over N
+// in-process shard servers must answer exactly like one graphd holding the
+// whole graph. WCC, k-hop, top-degree, and jaccard are required to be
+// byte-identical; PageRank within tolerance (the superstep accumulation
+// order differs). The kill/restart test exercises the cluster's failure
+// modes: degraded /readyz, stale-serving global reads, surviving-shard
+// point queries, ingest 503 with a retryable accepted prefix, and snapshot
+// recovery + rejoin.
+
+// testShard is one in-process shard: server, wire listener, HTTP listener.
+type testShard struct {
+	s        *Server
+	wireLn   net.Listener
+	hs       *httptest.Server
+	wireAddr string
+}
+
+// startShard boots shard index/count over the given vertex space with a
+// wire listener on addr ("" = pick a port) and an httptest HTTP listener.
+func startShard(t *testing.T, vertices int32, index, count int, snapPath, addr string) *testShard {
+	t.Helper()
+	cfg := testConfig(vertices)
+	cfg.ShardIndex = index
+	cfg.ShardCount = count
+	cfg.SnapshotPath = snapPath
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("shard %d: New: %v", index, err)
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	// A restarted shard rebinds its old port; give the kernel a moment to
+	// release it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard %d: listen %s: %v", index, addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	go func() { _ = s.ServeWire(ln) }()
+	sh := &testShard{s: s, wireLn: ln, hs: httptest.NewServer(s.Handler()), wireAddr: ln.Addr().String()}
+	t.Cleanup(func() { sh.stop(t) })
+	return sh
+}
+
+// stop tears the shard down gracefully (final snapshot included); safe to
+// call twice.
+func (sh *testShard) stop(t *testing.T) {
+	t.Helper()
+	if sh.s == nil {
+		return
+	}
+	sh.hs.Close()
+	sh.wireLn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = sh.s.Shutdown(ctx)
+	sh.s = nil
+}
+
+// httpAddr returns the shard's HTTP host:port for coordinator polling.
+func (sh *testShard) httpAddr() string { return sh.hs.Listener.Addr().String() }
+
+// startCluster boots count shards plus a coordinator polling them fast.
+func startCluster(t *testing.T, vertices int32, count int) ([]*testShard, *cluster.Coordinator) {
+	t.Helper()
+	shards := make([]*testShard, count)
+	addrs := make([]cluster.ShardAddr, count)
+	for i := 0; i < count; i++ {
+		shards[i] = startShard(t, vertices, i, count, "", "")
+		addrs[i] = cluster.ShardAddr{Wire: shards[i].wireAddr, HTTP: shards[i].httpAddr()}
+	}
+	coord, err := cluster.New(cluster.Config{
+		Vertices:     vertices,
+		Shards:       addrs,
+		Registry:     telemetry.NewRegistry(),
+		PollInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(coord.Close)
+	return shards, coord
+}
+
+// clusterEdits builds a deterministic edit stream with distinct (src, dst)
+// pairs: one big quasi-random component, a separate three-vertex chain, a
+// couple of deletes of never-inserted edges (routing no-ops), and isolated
+// tail vertices.
+func clusterEdits(vertices int32) []wire.IngestEdit {
+	span := vertices - 16
+	seen := make(map[[2]int32]bool)
+	var edits []wire.IngestEdit
+	for i := 0; i < 400; i++ {
+		src := int32(i*7) % span
+		dst := int32(i*13+1) % span
+		if src == dst {
+			dst = (dst + 1) % span
+		}
+		key := [2]int32{src, dst}
+		if seen[key] || seen[[2]int32{dst, src}] {
+			continue
+		}
+		seen[key] = true
+		edits = append(edits, wire.IngestEdit{Src: src, Dst: dst, Weight: float32(i%5) + 1, Time: int64(i)})
+	}
+	a, b, c := vertices-10, vertices-9, vertices-8
+	edits = append(edits,
+		wire.IngestEdit{Src: a, Dst: b}, wire.IngestEdit{Src: b, Dst: c},
+		wire.IngestEdit{Src: vertices - 7, Dst: vertices - 6, Delete: true},
+	)
+	return edits
+}
+
+// routedCounts computes how many edits the coordinator routes to each
+// shard: one copy per distinct endpoint owner.
+func routedCounts(edits []wire.IngestEdit, shards int) []int64 {
+	counts := make([]int64, shards)
+	for _, e := range edits {
+		o1 := cluster.Owner(e.Src, shards)
+		counts[o1]++
+		if o2 := cluster.Owner(e.Dst, shards); o2 != o1 {
+			counts[o2]++
+		}
+	}
+	return counts
+}
+
+// ingestBoth feeds the same edits to the solo server (HTTP) and the
+// coordinator (partitioned fan-out) and waits until every copy is applied.
+func ingestBoth(t *testing.T, solo *Server, soloURL string, shards []*testShard, coord *cluster.Coordinator, edits []wire.IngestEdit, appliedBase []int64, soloBase int64) {
+	t.Helper()
+	updates := make([]IngestUpdate, len(edits))
+	for i, e := range edits {
+		updates[i] = IngestUpdate{Src: e.Src, Dst: e.Dst, Weight: e.Weight, Time: e.Time, Delete: e.Delete}
+	}
+	code, res, _ := postIngest(t, soloURL, updates)
+	if code != 202 || res.Accepted != len(edits) {
+		t.Fatalf("solo ingest: code %d accepted %d", code, res.Accepted)
+	}
+	cres, ccode, err := coord.Ingest(edits, 5*time.Second)
+	if err != nil || ccode != 202 || cres.Accepted != len(edits) {
+		t.Fatalf("cluster ingest: code %d accepted %+v err %v", ccode, cres, err)
+	}
+	waitApplied(t, solo, soloBase+int64(len(edits)))
+	for i, want := range routedCounts(edits, len(shards)) {
+		waitApplied(t, shards[i].s, appliedBase[i]+want)
+	}
+}
+
+// mustComponentEqual compares a cluster component answer to solo's on every
+// semantic field (Version is process-local and excluded by contract).
+func mustComponentEqual(t *testing.T, what string, got, want *wire.ComponentResult) {
+	t.Helper()
+	if got.V != want.V || got.Component != want.Component || got.Size != want.Size || got.NumComponents != want.NumComponents {
+		t.Fatalf("%s: cluster %+v != solo %+v", what, got, want)
+	}
+}
+
+// TestClusterDifferential is the sharded-vs-single differential: every
+// query class answered by a 2-shard and a 3-shard cluster must match the
+// standalone server on the same edit stream.
+func TestClusterDifferential(t *testing.T) {
+	for _, shardCount := range []int{2, 3} {
+		shardCount := shardCount
+		t.Run(map[int]string{2: "two-shards", 3: "three-shards"}[shardCount], func(t *testing.T) {
+			const vertices = 80
+			solo, ts := startServer(t, testConfig(vertices))
+			shards, coord := startCluster(t, vertices, shardCount)
+
+			edits := clusterEdits(vertices)
+			ingestBoth(t, solo, ts.URL, shards, coord, edits, make([]int64, shardCount), 0)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+
+			t.Run("component", func(t *testing.T) {
+				for v := int32(0); v < vertices; v++ {
+					got, err := coord.Component(ctx, v)
+					if err != nil {
+						t.Fatalf("cluster component(%d): %v", v, err)
+					}
+					want, err := solo.runComponent(ctx, v)
+					if err != nil {
+						t.Fatalf("solo component(%d): %v", v, err)
+					}
+					mustComponentEqual(t, "component", got, want)
+				}
+			})
+
+			t.Run("khop", func(t *testing.T) {
+				cases := []struct {
+					seeds []int32
+					k     int32
+				}{
+					{[]int32{0}, 1}, {[]int32{0}, 2}, {[]int32{0}, 3},
+					{[]int32{1, 5, 9}, 2}, {[]int32{vertices - 10}, 4},
+					{[]int32{3, 3, 7}, 1}, {[]int32{vertices - 1}, 2},
+				}
+				for _, tc := range cases {
+					got, err := coord.KHop(ctx, tc.seeds, tc.k)
+					if err != nil {
+						t.Fatalf("cluster khop(%v,%d): %v", tc.seeds, tc.k, err)
+					}
+					want, err := solo.runKHop(ctx, tc.seeds, tc.k)
+					if err != nil {
+						t.Fatalf("solo khop(%v,%d): %v", tc.seeds, tc.k, err)
+					}
+					mustEqual(t, "khop", *got, *want)
+				}
+			})
+
+			t.Run("topdegree", func(t *testing.T) {
+				for _, k := range []int{1, 5, 10, 25} {
+					got, err := coord.TopDegree(ctx, int32(k))
+					if err != nil {
+						t.Fatalf("cluster topdegree(%d): %v", k, err)
+					}
+					want, err := solo.runTopDegree(ctx, k)
+					if err != nil {
+						t.Fatalf("solo topdegree(%d): %v", k, err)
+					}
+					mustEqual(t, "topdegree", *got, *want)
+				}
+			})
+
+			t.Run("jaccard", func(t *testing.T) {
+				for _, u := range []int32{0, 1, 7, 33, vertices - 10, vertices - 1} {
+					for _, th := range []float64{0, 0.2} {
+						got, err := coord.Jaccard(ctx, u, th)
+						if err != nil {
+							t.Fatalf("cluster jaccard(%d,%g): %v", u, th, err)
+						}
+						want, err := solo.runJaccard(ctx, u, th)
+						if err != nil {
+							t.Fatalf("solo jaccard(%d,%g): %v", u, th, err)
+						}
+						if got.U != want.U || len(got.Results) != len(want.Results) {
+							t.Fatalf("jaccard(%d,%g): cluster %+v != solo %+v", u, th, got, want)
+						}
+						for i := range got.Results {
+							if got.Results[i] != want.Results[i] {
+								t.Fatalf("jaccard(%d,%g)[%d]: cluster %+v != solo %+v", u, th, i, got.Results[i], want.Results[i])
+							}
+						}
+					}
+				}
+			})
+
+			t.Run("pagerank", func(t *testing.T) {
+				const tol = 1e-9
+				soloTop, err := solo.runPageRankTop(ctx, 10)
+				if err != nil {
+					t.Fatalf("solo pagerank: %v", err)
+				}
+				soloRank := make(map[int32]float64)
+				for v := int32(0); v < vertices; v++ {
+					pr, err := solo.runPageRankVertex(ctx, v)
+					if err != nil {
+						t.Fatalf("solo pagerank(%d): %v", v, err)
+					}
+					soloRank[v] = *pr.Rank
+				}
+				for v := int32(0); v < vertices; v++ {
+					got, err := coord.PageRankVertex(ctx, v)
+					if err != nil {
+						t.Fatalf("cluster pagerank(%d): %v", v, err)
+					}
+					if diff := math.Abs(*got.Rank - soloRank[v]); diff > tol {
+						t.Fatalf("pagerank(%d): cluster %.12f vs solo %.12f (diff %g > %g)", v, *got.Rank, soloRank[v], diff, tol)
+					}
+				}
+				top, err := coord.PageRankTop(ctx, 10)
+				if err != nil {
+					t.Fatalf("cluster pagerank top: %v", err)
+				}
+				if top.K != soloTop.K || len(top.Results) != len(soloTop.Results) {
+					t.Fatalf("pagerank top shape: cluster %+v != solo %+v", top, soloTop)
+				}
+				for i, sv := range top.Results {
+					if i > 0 && top.Results[i-1].Score < sv.Score {
+						t.Fatalf("pagerank top not descending at %d", i)
+					}
+					if diff := math.Abs(sv.Score - soloRank[sv.V]); diff > tol {
+						t.Fatalf("pagerank top[%d] v=%d: %.12f vs solo %.12f", i, sv.V, sv.Score, soloRank[sv.V])
+					}
+				}
+			})
+
+			t.Run("readyz-and-stats", func(t *testing.T) {
+				rd := coord.Readiness()
+				if !rd.Ready || len(rd.Checks) != shardCount {
+					t.Fatalf("cluster not ready with all shards up: %+v", rd)
+				}
+				st := coord.Stats()
+				if st.Shards != shardCount || st.Ready != shardCount {
+					t.Fatalf("stats: %+v", st)
+				}
+				var owned int64
+				for _, si := range st.ShardInfo {
+					owned += si.Owned
+				}
+				if owned != int64(vertices) {
+					t.Fatalf("shards own %d of %d vertices", owned, vertices)
+				}
+			})
+		})
+	}
+}
+
+// ownedVertex returns a vertex owned by the given shard.
+func ownedVertex(t *testing.T, vertices int32, shard, shards int) int32 {
+	t.Helper()
+	for v := int32(0); v < vertices; v++ {
+		if cluster.Owner(v, shards) == shard {
+			return v
+		}
+	}
+	t.Fatalf("no vertex owned by shard %d", shard)
+	return -1
+}
+
+// TestClusterKillShard exercises the shard-down failure modes end to end:
+// the coordinator's /readyz degrades, global reads serve the last cached
+// answer, point queries on surviving shards still answer while queries
+// needing the dead shard fail, ingest routed at the dead shard reports a
+// retryable accepted prefix, and a restarted shard recovers from its flat
+// snapshot and rejoins.
+func TestClusterKillShard(t *testing.T) {
+	const (
+		vertices   = 80
+		shardCount = 3
+		victim     = 1
+	)
+	dir := t.TempDir()
+	solo, ts := startServer(t, testConfig(vertices))
+	shards := make([]*testShard, shardCount)
+	addrs := make([]cluster.ShardAddr, shardCount)
+	for i := 0; i < shardCount; i++ {
+		// The victim gets a snapshot path (to recover from) and wire-only
+		// health (its HTTP port dies with the process and cannot be
+		// rebound deterministically by httptest).
+		snap := ""
+		if i == victim {
+			snap = filepath.Join(dir, "victim.snap")
+		}
+		shards[i] = startShard(t, vertices, i, shardCount, snap, "")
+		addrs[i] = cluster.ShardAddr{Wire: shards[i].wireAddr}
+		if i != victim {
+			addrs[i].HTTP = shards[i].httpAddr()
+		}
+	}
+	coord, err := cluster.New(cluster.Config{
+		Vertices:     vertices,
+		Shards:       addrs,
+		Registry:     telemetry.NewRegistry(),
+		PollInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(coord.Close)
+
+	edits := clusterEdits(vertices)
+	ingestBoth(t, solo, ts.URL, shards, coord, edits, make([]int64, shardCount), 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Prime the coordinator's WCC cache and remember the pre-kill answer.
+	probe := ownedVertex(t, vertices, 0, shardCount)
+	preKill, err := coord.Component(ctx, probe)
+	if err != nil {
+		t.Fatalf("component before kill: %v", err)
+	}
+
+	victimAddr := shards[victim].wireAddr
+	shards[victim].stop(t)
+	waitFor(t, 10*time.Second, "coordinator to notice the dead shard", func() bool { return !coord.Readiness().Ready })
+	rd := coord.Readiness()
+	for i, chk := range rd.Checks {
+		if (i == victim) == chk.OK {
+			t.Fatalf("readiness check %d after kill: %+v", i, rd)
+		}
+	}
+
+	// Degraded global read: component serves the cached (stale) answer.
+	stale, err := coord.Component(ctx, probe)
+	if err != nil {
+		t.Fatalf("stale component: %v", err)
+	}
+	mustComponentEqual(t, "stale component", stale, preKill)
+
+	// Surviving-shard point query: a 1-hop khop only touches the seed's
+	// owner, so a seed owned by a live shard answers — and still matches
+	// solo — while a seed owned by the dead shard fails.
+	liveSeed := ownedVertex(t, vertices, 0, shardCount)
+	got, err := coord.KHop(ctx, []int32{liveSeed}, 1)
+	if err != nil {
+		t.Fatalf("khop on surviving shard: %v", err)
+	}
+	want, err := solo.runKHop(ctx, []int32{liveSeed}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, "khop during outage", *got, *want)
+	deadSeed := ownedVertex(t, vertices, victim, shardCount)
+	if _, err := coord.KHop(ctx, []int32{deadSeed}, 1); err == nil {
+		t.Fatal("khop seeded at the dead shard should fail")
+	}
+
+	// Ingest with the dead shard in the route: the edits before the first
+	// dead-routed edit are the accepted prefix; the client retries the
+	// suffix after recovery.
+	liveV2 := int32(-1)
+	for v := int32(0); v < vertices; v++ {
+		if cluster.Owner(v, shardCount) == 0 && v != liveSeed {
+			liveV2 = v
+			break
+		}
+	}
+	deadV2 := int32(-1)
+	for v := int32(0); v < vertices; v++ {
+		if cluster.Owner(v, shardCount) == victim && v != deadSeed {
+			deadV2 = v
+			break
+		}
+	}
+	outageEdits := []wire.IngestEdit{
+		{Src: liveSeed, Dst: liveV2, Weight: 9, Time: 1000},
+		{Src: deadSeed, Dst: deadV2, Weight: 9, Time: 1001},
+	}
+	res, code, err := coord.Ingest(outageEdits, 2*time.Second)
+	if code != 503 || err == nil {
+		t.Fatalf("ingest during outage: code %d res %+v err %v", code, res, err)
+	}
+	if res.Accepted != 1 || res.Rejected != 1 {
+		t.Fatalf("ingest during outage prefix: %+v", res)
+	}
+
+	// Restart the victim at its old wire address from its final snapshot.
+	shards[victim] = startShard(t, vertices, victim, shardCount, filepath.Join(dir, "victim.snap"), victimAddr)
+	if !shards[victim].s.Recovered() {
+		t.Fatal("restarted shard did not recover from snapshot")
+	}
+	waitFor(t, 10*time.Second, "restarted shard to rejoin", func() bool { return coord.Readiness().Ready })
+
+	// Retry the rejected suffix, mirror the whole outage batch into solo,
+	// and require the cluster to converge back to solo-identical answers.
+	res, code, err = coord.Ingest(outageEdits[res.Accepted:], 5*time.Second)
+	if err != nil || code != 202 || res.Accepted != 1 {
+		t.Fatalf("retry after rejoin: code %d res %+v err %v", code, res, err)
+	}
+	soloUpdates := []IngestUpdate{
+		{Src: outageEdits[0].Src, Dst: outageEdits[0].Dst, Weight: 9, Time: 1000},
+		{Src: outageEdits[1].Src, Dst: outageEdits[1].Dst, Weight: 9, Time: 1001},
+	}
+	if code, _, _ := postIngest(t, ts.URL, soloUpdates); code != 202 {
+		t.Fatalf("solo outage mirror: code %d", code)
+	}
+	waitApplied(t, solo, int64(len(edits)+2))
+	waitApplied(t, shards[victim].s, 1)
+	waitApplied(t, shards[0].s, routedCounts(edits, shardCount)[0]+1)
+
+	khopGot, err := coord.KHop(ctx, []int32{deadSeed}, 2)
+	if err != nil {
+		t.Fatalf("khop after rejoin: %v", err)
+	}
+	khopWant, err := solo.runKHop(ctx, []int32{deadSeed}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, "khop after rejoin", *khopGot, *khopWant)
+	for _, v := range []int32{probe, deadSeed, liveV2} {
+		gotC, err := coord.Component(ctx, v)
+		if err != nil {
+			t.Fatalf("component after rejoin: %v", err)
+		}
+		wantC, err := solo.runComponent(ctx, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustComponentEqual(t, "component after rejoin", gotC, wantC)
+	}
+}

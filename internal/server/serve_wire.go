@@ -267,6 +267,18 @@ func (s *Server) wireRun(req *wire.Request) func(context.Context) (any, error) {
 			}
 			return s.runBatch(ctx, subs), nil
 		}
+	case wire.OpShardMeta:
+		return func(ctx context.Context) (any, error) { return s.runShardMeta(ctx) }
+	case wire.OpShardDegrees:
+		return func(ctx context.Context) (any, error) { return s.runShardDegrees(ctx) }
+	case wire.OpShardWCC:
+		return func(ctx context.Context) (any, error) { return s.runShardWCC(ctx) }
+	case wire.OpShardPRStep:
+		rank := req.Rank
+		return func(ctx context.Context) (any, error) { return s.runShardPRStep(ctx, rank) }
+	case wire.OpShardAdj:
+		vertices := req.Seeds
+		return func(ctx context.Context) (any, error) { return s.runShardAdj(ctx, vertices) }
 	default:
 		op := req.Op
 		return func(context.Context) (any, error) { return nil, badRequest("unknown op %d", op) }
@@ -292,7 +304,8 @@ func (s *Server) wireBatchSubs(req *wire.Request) ([]batchSub, error) {
 			subs[i] = func(context.Context) (any, error) { return nil, err }
 			continue
 		}
-		if reqs[i].Op == wire.OpIngest || reqs[i].Op == wire.OpStats || reqs[i].Op == wire.OpPing {
+		if reqs[i].Op == wire.OpIngest || reqs[i].Op == wire.OpStats || reqs[i].Op == wire.OpPing ||
+			reqs[i].Op >= wire.OpShardMeta {
 			err := badRequest("batch query %d: op %s is not batchable", i, wire.OpName(reqs[i].Op))
 			subs[i] = func(context.Context) (any, error) { return nil, err }
 			continue
@@ -316,6 +329,16 @@ func appendWireResult(out []byte, res any) []byte {
 		return wire.AppendComponentResult(out, v)
 	case *wire.PageRankResult:
 		return wire.AppendPageRankResult(out, v)
+	case *wire.ShardMeta:
+		return wire.AppendShardMeta(out, v)
+	case *wire.ShardDegreesResult:
+		return wire.AppendShardDegreesResult(out, v)
+	case *wire.ShardWCCResult:
+		return wire.AppendShardWCCResult(out, v)
+	case *wire.ShardPRStepResult:
+		return wire.AppendShardPRStepResult(out, v)
+	case *wire.ShardAdjResult:
+		return wire.AppendShardAdjResult(out, v)
 	case []batchItem:
 		out = binary.AppendUvarint(out, uint64(len(v)))
 		var sub []byte

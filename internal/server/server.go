@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dyngraph"
 	"repro/internal/graph"
 	"repro/internal/incr"
@@ -32,6 +33,17 @@ type Config struct {
 	Vertices int32
 	// Directed selects the stored graph's directedness.
 	Directed bool
+
+	// ShardIndex and ShardCount place this server in a hash-partitioned
+	// cluster (graphd -shard-index/-shard-count): the server owns the
+	// vertices cluster.Owner assigns to ShardIndex and answers the wire
+	// shard-exchange ops (shard.meta, shard.degrees, shard.wcc,
+	// shard.prstep, shard.adj) from that owned set. ShardCount <= 1 is the
+	// standalone default — the server owns every vertex and the shard ops
+	// degenerate to whole-graph answers. The coordinator rejects a shard
+	// whose ShardCount/Vertices/Directed disagree with its own config.
+	ShardIndex int
+	ShardCount int
 
 	// SnapshotPath is where the graph is persisted (tmp+rename). Empty
 	// disables persistence and recovery.
@@ -226,6 +238,11 @@ type Server struct {
 	queue chan dyngraph.Edit
 	admit chan struct{}
 
+	// ownedCount is the size of this server's owned vertex set under the
+	// cluster hash partition (Config.ShardIndex/ShardCount); equals
+	// Vertices when standalone. Computed once at startup.
+	ownedCount int64
+
 	started   time.Time
 	draining  atomic.Bool
 	stopOnce  sync.Once
@@ -249,6 +266,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.QueueCap <= 0 {
 		return nil, fmt.Errorf("server: QueueCap must be > 0, got %d", cfg.QueueCap)
+	}
+	if cfg.ShardCount > 1 {
+		if cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount {
+			return nil, fmt.Errorf("server: ShardIndex %d out of range [0, %d)", cfg.ShardIndex, cfg.ShardCount)
+		}
+	} else if cfg.ShardIndex != 0 {
+		return nil, fmt.Errorf("server: ShardIndex %d requires ShardCount > 1", cfg.ShardIndex)
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 1024
@@ -283,6 +307,7 @@ func New(cfg Config) (*Server, error) {
 		ingestEnd: make(chan struct{}),
 		wireConns: make(map[net.Conn]struct{}),
 	}
+	s.ownedCount = cluster.OwnedCount(cfg.Vertices, cfg.ShardIndex, cfg.ShardCount)
 
 	if cfg.SnapshotPath != "" {
 		sweepStaleSnapshotTmp(cfg.SnapshotPath)
@@ -737,6 +762,14 @@ type Stats struct {
 	PendingDeltaBatches int `json:"pending_delta_batches"`
 	// PendingDeltaEdits is the total edits across the retained batches.
 	PendingDeltaEdits int `json:"pending_delta_edits"`
+	// ShardIndex/ShardCount report the server's position in a hash-
+	// partitioned cluster (0/1 when standalone).
+	ShardIndex int `json:"shard_index"`
+	ShardCount int `json:"shard_count"`
+	// OwnedVertices is the size of the owned vertex set under the cluster
+	// partition (= Vertices when standalone). Uneven values across shards
+	// indicate partition skew.
+	OwnedVertices int64 `json:"owned_vertices"`
 }
 
 // StatsNow assembles the current serving stats.
@@ -766,5 +799,8 @@ func (s *Server) StatsNow() Stats {
 		Incremental:         s.cfg.Incremental,
 		PendingDeltaBatches: pendingBatches,
 		PendingDeltaEdits:   pendingEdits,
+		ShardIndex:          s.cfg.ShardIndex,
+		ShardCount:          s.shardCount(),
+		OwnedVertices:       s.ownedCount,
 	}
 }

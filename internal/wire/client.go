@@ -312,6 +312,21 @@ func DecodeResult(op byte, r *Reader) (any, error) {
 	case OpPageRank:
 		out := &PageRankResult{}
 		return out, DecodePageRankResult(r, out)
+	case OpShardMeta:
+		out := &ShardMeta{}
+		return out, DecodeShardMeta(r, out)
+	case OpShardDegrees:
+		out := &ShardDegreesResult{}
+		return out, DecodeShardDegreesResult(r, out)
+	case OpShardWCC:
+		out := &ShardWCCResult{}
+		return out, DecodeShardWCCResult(r, out)
+	case OpShardPRStep:
+		out := &ShardPRStepResult{}
+		return out, DecodeShardPRStepResult(r, out)
+	case OpShardAdj:
+		out := &ShardAdjResult{}
+		return out, DecodeShardAdjResult(r, out)
 	default:
 		return nil, fmt.Errorf("wire: unknown op %d", op)
 	}

@@ -1,9 +1,12 @@
 // Package wire implements graphd's length-prefixed binary protocol: the
 // same query set as the HTTP+JSON API (jaccard, khop, topdegree, component,
 // pagerank, ingest, stats, batch) without the per-request HTTP parsing and
-// JSON encode/decode tax. It exists for the serving hot path — fan-out
-// clients and the future shard↔coordinator traffic — where requests/s and
-// allocated bytes per request are the budget, not readability.
+// JSON encode/decode tax, plus the shard-exchange ops (shard.meta,
+// shard.degrees, shard.wcc, shard.prstep, shard.adj — see shard.go) that
+// carry coordinator↔shard traffic in a sharded cluster. It exists for the
+// serving hot path — fan-out clients and shard↔coordinator supersteps —
+// where requests/s and allocated bytes per request are the budget, not
+// readability.
 //
 // # Connection lifecycle
 //

@@ -377,6 +377,16 @@ func OpName(op byte) string {
 		return "pagerank"
 	case OpBatch:
 		return "batch"
+	case OpShardMeta:
+		return "shard.meta"
+	case OpShardDegrees:
+		return "shard.degrees"
+	case OpShardWCC:
+		return "shard.wcc"
+	case OpShardPRStep:
+		return "shard.prstep"
+	case OpShardAdj:
+		return "shard.adj"
 	default:
 		return "unknown"
 	}

@@ -568,7 +568,8 @@ func TestClientRejectsVersionMismatch(t *testing.T) {
 }
 
 func TestOpNames(t *testing.T) {
-	ops := []byte{OpPing, OpStats, OpIngest, OpJaccard, OpKHop, OpTopDegree, OpComponent, OpPageRank, OpBatch}
+	ops := []byte{OpPing, OpStats, OpIngest, OpJaccard, OpKHop, OpTopDegree, OpComponent, OpPageRank, OpBatch,
+		OpShardMeta, OpShardDegrees, OpShardWCC, OpShardPRStep, OpShardAdj}
 	seen := map[string]bool{}
 	for _, op := range ops {
 		name := OpName(op)

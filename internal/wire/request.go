@@ -45,8 +45,11 @@ type Request struct {
 	K int32
 	// Threshold is jaccard's minimum score filter.
 	Threshold float64
-	// Seeds are khop's seed vertices.
+	// Seeds are khop's seed vertices, and the requested vertex list for the
+	// shard-adjacency op.
 	Seeds []int32
+	// Rank is the dense rank vector pushed by a shard PageRank superstep.
+	Rank []float64
 	// Edits are ingest's graph edits.
 	Edits []IngestEdit
 	// Sub are batch sub-request payloads ([op byte][body]), aliasing the
@@ -124,6 +127,17 @@ func appendRequestBody(b []byte, req *Request) []byte {
 		for _, sub := range req.Sub {
 			b = binary.AppendUvarint(b, uint64(len(sub)))
 			b = append(b, sub...)
+		}
+	case OpShardMeta, OpShardDegrees, OpShardWCC:
+	case OpShardPRStep:
+		b = binary.AppendUvarint(b, uint64(len(req.Rank)))
+		for _, v := range req.Rank {
+			b = AppendF64(b, v)
+		}
+	case OpShardAdj:
+		b = binary.AppendUvarint(b, uint64(len(req.Seeds)))
+		for _, s := range req.Seeds {
+			b = binary.AppendUvarint(b, uint64(uint32(s)))
 		}
 	}
 	return b
@@ -237,6 +251,27 @@ func decodeRequestBody(r *Reader, req *Request, allowBatch bool) {
 				return
 			}
 			req.Sub = append(req.Sub, r.Bytes(int(l)))
+		}
+	case OpShardMeta, OpShardDegrees, OpShardWCC:
+	case OpShardPRStep:
+		n := r.Uvarint()
+		if n > uint64(r.Remaining())/8 { // each rank entry is 8 bytes
+			r.fail("shard rank count %d exceeds remaining %d bytes", n, r.Remaining())
+			return
+		}
+		req.Rank = req.Rank[:0]
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			req.Rank = append(req.Rank, r.F64())
+		}
+	case OpShardAdj:
+		n := r.Uvarint()
+		if n > uint64(r.Remaining()) { // each vertex is >= 1 byte
+			r.fail("shard adjacency vertex count %d exceeds remaining %d bytes", n, r.Remaining())
+			return
+		}
+		req.Seeds = req.Seeds[:0]
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			req.Seeds = append(req.Seeds, r.Vertex())
 		}
 	default:
 		r.fail("unknown op %d", req.Op)

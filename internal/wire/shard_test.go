@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestShardRequestRoundTrip pins encode→decode identity for the
+// shard-exchange request bodies, including the empty-body ops.
+func TestShardRequestRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{Op: OpShardMeta},
+		{Op: OpShardDegrees, TimeoutMicros: 250000},
+		{Op: OpShardWCC},
+		{Op: OpShardPRStep, Rank: []float64{0.25, 0.5, 0.125, 0.125}},
+		{Op: OpShardPRStep, Rank: []float64{}},
+		{Op: OpShardAdj, Seeds: []int32{0, 7, 4095}},
+	}
+	var got Request
+	for _, req := range reqs {
+		payload := AppendRequest(nil, req)
+		if err := DecodeRequest(payload, &got); err != nil {
+			t.Fatalf("DecodeRequest(%s): %v", OpName(req.Op), err)
+		}
+		if got.Op != req.Op || got.TimeoutMicros != req.TimeoutMicros {
+			t.Fatalf("%s: envelope mismatch", OpName(req.Op))
+		}
+		switch req.Op {
+		case OpShardPRStep:
+			if len(got.Rank) != len(req.Rank) {
+				t.Fatalf("prstep rank len = %d, want %d", len(got.Rank), len(req.Rank))
+			}
+			for i := range req.Rank {
+				if got.Rank[i] != req.Rank[i] {
+					t.Fatalf("prstep rank[%d] = %v, want %v", i, got.Rank[i], req.Rank[i])
+				}
+			}
+		case OpShardAdj:
+			if !reflect.DeepEqual(append([]int32{}, got.Seeds...), append([]int32{}, req.Seeds...)) {
+				t.Fatalf("adj vertices = %v, want %v", got.Seeds, req.Seeds)
+			}
+		}
+	}
+}
+
+// TestShardResultRoundTrip pins encode→decode identity for the
+// shard-exchange result bodies.
+func TestShardResultRoundTrip(t *testing.T) {
+	meta := &ShardMeta{Index: 1, Count: 3, Vertices: 4096, Directed: true, Owned: 1365, Version: 42}
+	var gotMeta ShardMeta
+	r := NewReader(AppendShardMeta(nil, meta))
+	if err := DecodeShardMeta(&r, &gotMeta); err != nil {
+		t.Fatalf("DecodeShardMeta: %v", err)
+	}
+	if !reflect.DeepEqual(&gotMeta, meta) {
+		t.Fatalf("ShardMeta = %+v, want %+v", gotMeta, *meta)
+	}
+
+	deg := &ShardDegreesResult{Version: 7, Degrees: []int64{0, 3, 12, 1}}
+	var gotDeg ShardDegreesResult
+	r = NewReader(AppendShardDegreesResult(nil, deg))
+	if err := DecodeShardDegreesResult(&r, &gotDeg); err != nil {
+		t.Fatalf("DecodeShardDegreesResult: %v", err)
+	}
+	if !reflect.DeepEqual(&gotDeg, deg) {
+		t.Fatalf("ShardDegreesResult = %+v, want %+v", gotDeg, *deg)
+	}
+
+	wcc := &ShardWCCResult{Version: 9, Labels: []int32{0, 0, 2, 2, 0}}
+	var gotWCC ShardWCCResult
+	r = NewReader(AppendShardWCCResult(nil, wcc))
+	if err := DecodeShardWCCResult(&r, &gotWCC); err != nil {
+		t.Fatalf("DecodeShardWCCResult: %v", err)
+	}
+	if !reflect.DeepEqual(&gotWCC, wcc) {
+		t.Fatalf("ShardWCCResult = %+v, want %+v", gotWCC, *wcc)
+	}
+
+	pr := &ShardPRStepResult{Version: 3, Contrib: []float64{0.1, 0, 0.9}}
+	var gotPR ShardPRStepResult
+	r = NewReader(AppendShardPRStepResult(nil, pr))
+	if err := DecodeShardPRStepResult(&r, &gotPR); err != nil {
+		t.Fatalf("DecodeShardPRStepResult: %v", err)
+	}
+	if !reflect.DeepEqual(&gotPR, pr) {
+		t.Fatalf("ShardPRStepResult = %+v, want %+v", gotPR, *pr)
+	}
+
+	adj := &ShardAdjResult{Version: 5, Lists: [][]int32{{1, 2, 3}, {}, {4095}}}
+	var gotAdj ShardAdjResult
+	r = NewReader(AppendShardAdjResult(nil, adj))
+	if err := DecodeShardAdjResult(&r, &gotAdj); err != nil {
+		t.Fatalf("DecodeShardAdjResult: %v", err)
+	}
+	if gotAdj.Version != adj.Version || len(gotAdj.Lists) != len(adj.Lists) {
+		t.Fatalf("ShardAdjResult = %+v, want %+v", gotAdj, *adj)
+	}
+	for i := range adj.Lists {
+		if !reflect.DeepEqual(append([]int32{}, gotAdj.Lists[i]...), append([]int32{}, adj.Lists[i]...)) {
+			t.Fatalf("adj list %d = %v, want %v", i, gotAdj.Lists[i], adj.Lists[i])
+		}
+	}
+}
+
+// TestShardDecodeHostileCounts checks the per-element byte floors on the
+// new count fields: a huge claimed count with a short body must fail
+// without allocating.
+func TestShardDecodeHostileCounts(t *testing.T) {
+	cases := map[string][]byte{
+		"prstep rank count": {OpShardPRStep, 0, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"adj vertex count":  {OpShardAdj, 0, 0xff, 0xff, 0xff, 0xff, 0x0f},
+	}
+	var req Request
+	for name, payload := range cases {
+		if err := DecodeRequest(payload, &req); err == nil {
+			t.Errorf("%s: hostile count accepted", name)
+		}
+	}
+	var adj ShardAdjResult
+	r := NewReader([]byte{1, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	if err := DecodeShardAdjResult(&r, &adj); err == nil {
+		t.Error("adj result: hostile list count accepted")
+	}
+	var deg ShardDegreesResult
+	r = NewReader([]byte{1, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	if err := DecodeShardDegreesResult(&r, &deg); err == nil {
+		t.Error("degrees result: hostile count accepted")
+	}
+	var pr ShardPRStepResult
+	r = NewReader([]byte{1, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	if err := DecodeShardPRStepResult(&r, &pr); err == nil {
+		t.Error("prstep result: hostile count accepted")
+	}
+}

@@ -8,6 +8,14 @@
 # /readyz gates startup, /debug/slo serves valid JSON on a fresh daemon,
 # the SIGTERM drain flips /readyz to 503 before the listener closes
 # (drain-grace), and the recovered daemon reports ready again.
+#
+# A second phase runs the cluster scenario: three shard graphds behind a
+# graphctl coordinator, ingest routed through the coordinator, then kill
+# one shard and assert the degraded-mode contract — coordinator /readyz
+# flips to 503 naming the dead shard, cached global reads and point
+# queries on surviving shards still answer, queries owned by the dead
+# shard fail, and a restart from the victim's flat snapshot rejoins the
+# cluster and restores full service.
 # Run from the repo root: ./scripts/graphd_smoke.sh
 set -euo pipefail
 
@@ -19,8 +27,13 @@ SNAP="$WORK/graph.snap"
 LOG="$WORK/graphd.log"
 PID=""
 
+CPID=""
+SPIDS=()
+
 cleanup() {
   [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  [ -n "$CPID" ] && kill "$CPID" 2>/dev/null || true
+  for p in ${SPIDS[@]+"${SPIDS[@]}"}; do kill "$p" 2>/dev/null || true; done
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -70,6 +83,7 @@ same_answer() { # $1 = label, $2 = HTTP path, $3... = wirecli args
 echo "graphd_smoke: building"
 go build -o "$WORK/graphd" ./cmd/graphd
 go build -o "$WORK/wirecli" ./cmd/wirecli
+go build -o "$WORK/graphctl" ./cmd/graphctl
 
 echo "graphd_smoke: starting daemon"
 "$WORK/graphd" -listen "$ADDR" -listen-wire "$WIRE_ADDR" \
@@ -197,3 +211,170 @@ wait "$PID" || die "recovered daemon exited nonzero after SIGTERM"
 PID=""
 
 echo "graphd_smoke: OK ($edges edges survived the restart)"
+
+# ---------------------------------------------------------------------------
+# Cluster phase: 3 shards + coordinator, kill-one-shard, recover, rejoin.
+# ---------------------------------------------------------------------------
+
+CURL="http://127.0.0.1:18095"   # coordinator HTTP
+VSNAP="$WORK/shard1.snap"       # victim's flat snapshot
+VICTIM=1
+
+# The partition function is a pure function of (vertex, shard count): the
+# 64-bit murmur3 finalizer mod shards, mirrored here so the script can pick
+# a vertex owned by a specific shard without asking the cluster.
+owned_vertex() { # $1 = shard index (3 shards, 4096 vertices)
+  python3 -c '
+import sys
+def owner(v, s):
+    x = v & 0xffffffff
+    x ^= x >> 33
+    x = (x * 0xff51afd7ed558ccd) & 0xffffffffffffffff
+    x ^= x >> 33
+    x = (x * 0xc4ceb9fe1a85ec53) & 0xffffffffffffffff
+    x ^= x >> 33
+    return x % s
+print(next(v for v in range(4096) if owner(v, 3) == int(sys.argv[1])))
+' "$1"
+}
+
+# Per-shard applied-edit expectation for the 2000-edit coordinator stream:
+# an edit is routed to owner(src) and owner(dst) (once if they coincide),
+# exactly the coordinator's fan-out rule.
+routed_count() { # $1 = shard index
+  python3 -c '
+import sys
+def owner(v, s):
+    x = v & 0xffffffff
+    x ^= x >> 33
+    x = (x * 0xff51afd7ed558ccd) & 0xffffffffffffffff
+    x ^= x >> 33
+    x = (x * 0xc4ceb9fe1a85ec53) & 0xffffffffffffffff
+    x ^= x >> 33
+    return x % s
+shard = int(sys.argv[1])
+n = 0
+for e in range(2000):
+    src, dst = e % 4096, (e * 7 + 1) % 4096
+    if owner(src, 3) == shard or owner(dst, 3) == shard:
+        n += 1
+print(n)
+' "$1"
+}
+
+start_shard() { # $1 = index; victim gets a snapshot path for the recovery leg
+  local i="$1" snap_args=()
+  [ "$i" = "$VICTIM" ] && snap_args=(-snapshot "$VSNAP" -snapshot-interval 0)
+  "$WORK/graphd" -listen "127.0.0.1:1818$i" -listen-wire "127.0.0.1:1819$i" \
+    -vertices 4096 -shard-index "$i" -shard-count 3 -queue 65536 \
+    ${snap_args[@]+"${snap_args[@]}"} >"$WORK/shard$i.log" 2>&1 &
+  SPIDS[$i]=$!
+}
+
+echo "graphd_smoke: starting 3-shard cluster"
+for i in 0 1 2; do start_shard "$i"; done
+for i in 0 1 2; do
+  for _ in $(seq 1 100); do
+    curl -fsS "http://127.0.0.1:1818$i/readyz" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  curl -fsS "http://127.0.0.1:1818$i/readyz" >/dev/null || die "shard $i never became ready"
+  grep -q "shard $i/3" "$WORK/shard$i.log" || die "shard $i did not announce its partition"
+done
+
+"$WORK/graphctl" -listen 127.0.0.1:18095 \
+  -shards 127.0.0.1:18190,127.0.0.1:18191,127.0.0.1:18192 \
+  -shard-http 127.0.0.1:18180,127.0.0.1:18181,127.0.0.1:18182 \
+  -vertices 4096 -poll-interval 200ms >"$WORK/graphctl.log" 2>&1 &
+CPID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$CURL/readyz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$CURL/readyz" | grep -q '"ready":true' \
+  || die "coordinator never became ready: $(curl -s "$CURL/readyz")"
+curl -fsS "$CURL/stats" | grep -q '"shards_ready":3' || die "coordinator does not see 3 ready shards"
+
+echo "graphd_smoke: cluster ingest through the coordinator"
+for b in 0 1; do
+  code=$(batch_json "$b" | curl -s -o /dev/null -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' --data-binary @- "$CURL/ingest")
+  [ "$code" = 202 ] || die "cluster ingest batch $b returned HTTP $code"
+done
+# Ingest is async per shard; poll each shard's own /stats until its routed
+# share (owner(src) ∪ owner(dst) of every edit) has applied.
+for i in 0 1 2; do
+  want=$(routed_count "$i")
+  for _ in $(seq 1 100); do
+    applied=$(curl -fsS "http://127.0.0.1:1818$i/stats" | sed -n 's/.*"applied":\([0-9]*\).*/\1/p')
+    [ "$applied" = "$want" ] && break
+    sleep 0.1
+  done
+  [ "$applied" = "$want" ] || die "shard $i applied $applied of $want routed edits"
+done
+
+echo "graphd_smoke: cluster queries (all shards up)"
+LIVE_V=$(owned_vertex 0)
+DEAD_V=$(owned_vertex "$VICTIM")
+# The component query also primes the coordinator's WCC cache — the
+# degraded phase below asserts that cached global reads survive a shard loss.
+comp_before=$(curl -fsS "$CURL/query/component?v=$DEAD_V") || die "cluster component query"
+echo "$comp_before" | grep -q '"component"' || die "cluster component malformed: $comp_before"
+curl -fsS "$CURL/query/topdegree?k=3" | grep -q '"results"' || die "cluster topdegree query"
+curl -fsS "$CURL/query/khop?v=$LIVE_V&k=1" | grep -q '"count"' || die "cluster khop query"
+curl -fsS "$CURL/query/pagerank?v=$LIVE_V&timeout=30s" | grep -q '"rank"' || die "cluster pagerank query"
+cmetrics=$(curl -fsS "$CURL/metrics")
+echo "$cmetrics" | grep -q 'cluster_shards_ready' || die "cluster_shards_ready gauge missing"
+echo "$cmetrics" | grep -q 'cluster_supersteps_total' || die "cluster_supersteps_total missing"
+
+echo "graphd_smoke: killing shard $VICTIM"
+kill -TERM "${SPIDS[$VICTIM]}"
+wait "${SPIDS[$VICTIM]}" || die "victim shard exited nonzero after SIGTERM"
+SPIDS[$VICTIM]=""
+[ -s "$VSNAP" ] || die "victim wrote no snapshot on shutdown"
+[ "$(head -c4 "$VSNAP")" = "GSNF" ] || die "victim snapshot is not flat-format"
+
+# Degraded mode: the coordinator's poll notices the dead shard, /readyz
+# flips to 503 naming it, and /stats drops to 2 ready shards.
+degraded=""
+for _ in $(seq 1 50); do
+  code=$(curl -s -o /dev/null -w '%{http_code}' "$CURL/readyz")
+  if [ "$code" = 503 ]; then degraded=1; break; fi
+  sleep 0.2
+done
+[ -n "$degraded" ] || die "coordinator /readyz never reported 503 with a shard down"
+curl -s "$CURL/readyz" | grep -q "\"shard-$VICTIM\"" || die "degraded /readyz does not name shard-$VICTIM"
+curl -fsS "$CURL/stats" | grep -q '"shards_ready":2' || die "stats does not show 2 ready shards"
+
+echo "graphd_smoke: degraded reads"
+# Cached global reads serve stale answers rather than failing outright.
+comp_during=$(curl -fsS "$CURL/query/component?v=$DEAD_V") || die "stale component read failed with shard down"
+[ "$(echo "$comp_before" | norm_json)" = "$(echo "$comp_during" | norm_json)" ] \
+  || die "stale component read differs from the pre-kill answer"
+# Point queries on surviving shards still answer...
+curl -fsS "$CURL/query/khop?v=$LIVE_V&k=1" | grep -q '"count"' || die "surviving-shard khop failed with shard down"
+# ...while traversals owned by the dead shard fail loudly, not wrongly.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$CURL/query/khop?v=$DEAD_V&k=1")
+[ "$code" = 503 ] || [ "$code" = 504 ] || die "dead-shard khop returned HTTP $code, want 503/504"
+
+echo "graphd_smoke: restarting shard $VICTIM from its flat snapshot"
+start_shard "$VICTIM"
+for _ in $(seq 1 100); do
+  curl -fsS "http://127.0.0.1:1818$VICTIM/readyz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "http://127.0.0.1:1818$VICTIM/stats" | grep -q '"recovered":true' \
+  || die "restarted shard did not recover from its snapshot"
+# The coordinator redials on its next poll; readiness recovers cluster-wide.
+rejoined=""
+for _ in $(seq 1 50); do
+  code=$(curl -s -o /dev/null -w '%{http_code}' "$CURL/readyz")
+  if [ "$code" = 200 ]; then rejoined=1; break; fi
+  sleep 0.2
+done
+[ -n "$rejoined" ] || die "coordinator never returned to ready after the shard rejoined"
+curl -fsS "$CURL/stats" | grep -q '"shards_ready":3' || die "stats does not show 3 ready shards after rejoin"
+# Full service restored: dead-owned traversals answer again.
+curl -fsS "$CURL/query/khop?v=$DEAD_V&k=2" | grep -q '"count"' || die "dead-shard khop still failing after rejoin"
+
+echo "graphd_smoke: cluster OK (shard $VICTIM killed, recovered, rejoined)"
